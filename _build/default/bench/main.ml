@@ -1,0 +1,187 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks of the hot paths: routing-table
+   lookups, the claim algorithm's free-space search, shortest-path and
+   tree construction at the paper's topology scale, and BGMP
+   join/data-plane processing.
+
+   Part 2 — figure regeneration: runs the Figure-2 and Figure-4
+   experiments end-to-end and prints the same series the paper plots
+   (also available individually via bin/main.exe). *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rng = Rng.create 42
+
+let routing_table =
+  (* A G-RIB-like trie with 1000 group routes of mixed specificity. *)
+  let trie = Prefix_trie.create () in
+  for i = 0 to 999 do
+    let base = 0xE0000000 lor (Rng.int rng 0x0FFFFFFF land 0x0FFFFF00) in
+    Prefix_trie.add trie (Prefix.make base (16 + (i mod 12))) i
+  done;
+  trie
+
+let lookup_addr () = 0xE0000000 lor Rng.int rng 0x0FFFFFFF
+
+let claim_arena =
+  let space = Address_space.create () in
+  Address_space.add_cover space Prefix.class_d;
+  for i = 0 to 99 do
+    let base = 0xE0000000 lor (Rng.int rng 0x0FFFFFFF land 0x0FFFF000) in
+    let candidate = Prefix.make base 22 in
+    if Address_space.is_free space candidate then Address_space.register space ~owner:i candidate
+  done;
+  space
+
+let big_topo = Gen.power_law ~rng:(Rng.create 7) ~n:3326 ~m:2
+
+let tree_members = Array.to_list (Rng.sample_without_replacement (Rng.create 9) 1000 3326)
+
+let fig3_fabric () =
+  let topo = Gen.figure3 () in
+  let engine = Engine.create () in
+  let b = Option.get (Topo.find_by_name topo "B") in
+  let paths = Spf.bfs topo b in
+  let route_to_root d _g =
+    if d = b then Bgmp_fabric.Root_here
+    else
+      match Spf.next_hop_toward topo paths d with
+      | Some nh -> Bgmp_fabric.Via nh
+      | None -> Bgmp_fabric.Unroutable
+  in
+  (engine, topo, Bgmp_fabric.create ~engine ~topo ~route_to_root ())
+
+let benchmarks =
+  Test.make_grouped ~name:"masc-bgmp"
+    [
+      Test.make ~name:"trie-longest-match-1k-routes"
+        (Staged.stage (fun () -> ignore (Prefix_trie.longest_match routing_table (lookup_addr ()))));
+      Test.make ~name:"free-space-choose-claim-100-claims"
+        (Staged.stage (fun () -> ignore (Address_space.choose_claim claim_arena ~rng ~want_len:24)));
+      Test.make ~name:"claim-policy-decision"
+        (Staged.stage (fun () ->
+             ignore
+               (Claim_policy.decide ~params:Claim_policy.default_params ~space:claim_arena
+                  ~claims:
+                    [
+                      {
+                        Claim_policy.prefix = Prefix.of_string "224.0.0.0/22";
+                        active = true;
+                        used = 1024;
+                      };
+                    ]
+                  ~need:256)));
+      Test.make ~name:"bfs-3326-node-graph"
+        (Staged.stage (fun () -> ignore (Spf.bfs big_topo (Rng.int rng 3326))));
+      Test.make ~name:"shared-tree-build-1000-members"
+        (Staged.stage (fun () -> ignore (Shared_tree.build big_topo ~root:0 ~members:tree_members)));
+      Test.make ~name:"path-eval-100-receivers"
+        (Staged.stage (fun () ->
+             let receivers = Rng.sample_without_replacement rng 100 3326 in
+             ignore
+               (Path_eval.evaluate big_topo
+                  { Path_eval.source = Rng.int rng 3326; root = receivers.(0); receivers })));
+      Test.make ~name:"bgmp-join-leave-cycle"
+        (Staged.stage (fun () ->
+             let engine, topo, fabric = fig3_fabric () in
+             let g = Ipv4.of_string "224.0.128.1" in
+             let dom n = Option.get (Topo.find_by_name topo n) in
+             List.iter
+               (fun n -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom n) 0) ~group:g)
+               [ "C"; "D"; "F"; "H" ];
+             Engine.run_until_idle engine;
+             List.iter
+               (fun n -> Bgmp_fabric.host_leave fabric ~host:(Host_ref.make (dom n) 0) ~group:g)
+               [ "C"; "D"; "F"; "H" ];
+             Engine.run_until_idle engine));
+      Test.make ~name:"kampai-grow-12-blocks"
+        (Staged.stage (fun () ->
+             let blocks =
+               List.init 12 (fun i -> Kampai.block_of_prefix (Prefix.make (0xE0000000 lor (i lsl 10)) 24))
+             in
+             match blocks with
+             | b :: others -> ignore (Kampai.grow b ~others)
+             | [] -> ()));
+      Test.make ~name:"aggregated-entry-count-64-groups"
+        (Staged.stage
+           (let r = Bgmp_router.create ~id:0 ~domain:0 ~name:"bench" in
+            Bgmp_router.set_classify_root r (fun _ -> Bgmp_router.External 9);
+            for i = 0 to 63 do
+              ignore (Bgmp_router.handle_join r ~group:(0xE0010000 lor i) ~from:(Bgmp_router.Peer 3))
+            done;
+            fun () -> ignore (Bgmp_router.aggregated_entry_count r)));
+      Test.make ~name:"bgmp-data-fanout-5-members"
+        (Staged.stage (fun () ->
+             let engine, topo, fabric = fig3_fabric () in
+             let g = Ipv4.of_string "224.0.128.1" in
+             let dom n = Option.get (Topo.find_by_name topo n) in
+             List.iter
+               (fun n -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom n) 0) ~group:g)
+               [ "B"; "C"; "D"; "F"; "H" ];
+             Engine.run_until_idle engine;
+             ignore (Bgmp_fabric.send fabric ~source:(Host_ref.make (dom "E") 0) ~group:g);
+             Engine.run_until_idle engine));
+    ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] benchmarks in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  List.iter
+    (fun name ->
+      let result = Hashtbl.find results name in
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-44s %14.1f ns/run@." name est
+      | Some _ | None -> Format.printf "%-44s (no estimate)@." name)
+    (List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* Figure regeneration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig2 () =
+  Format.printf "@.=== Figure 2: MASC utilization and G-RIB size (50x50, 800 days) ===@.";
+  let r = Allocation_sim.run Allocation_sim.default_params in
+  let steady = Allocation_sim.steady_state r ~from_day:400.0 in
+  let avg f = Stats.mean_of (Array.of_list (List.map f steady)) in
+  Format.printf "#   day  utilization  grib-avg  grib-max@.";
+  Array.iter
+    (fun (s : Allocation_sim.sample) ->
+      if int_of_float s.Allocation_sim.day mod 25 = 0 then
+        Format.printf "%7.0f %10.3f %9.1f %8d@." s.Allocation_sim.day s.Allocation_sim.utilization
+          s.Allocation_sim.grib_avg s.Allocation_sim.grib_max)
+    r.Allocation_sim.samples;
+  Format.printf
+    "steady state: utilization %.3f (paper ~0.50), G-RIB avg %.1f (paper ~175), max %.1f (paper \
+     <=180), blocks %.0f (paper 37500)@."
+    (avg (fun s -> s.Allocation_sim.utilization))
+    (avg (fun s -> s.Allocation_sim.grib_avg))
+    (avg (fun s -> float_of_int s.Allocation_sim.grib_max))
+    (avg (fun s -> float_of_int s.Allocation_sim.outstanding_blocks))
+
+let run_fig4 () =
+  Format.printf "@.=== Figure 4: path-length overhead vs SPT (3326 nodes) ===@.";
+  let r = Tree_experiment.run Tree_experiment.default_params in
+  Format.printf "# size  uni-avg uni-max  bi-avg bi-max  hy-avg hy-max@.";
+  List.iter
+    (fun (pt : Tree_experiment.point) ->
+      Format.printf "%6d %8.2f %7.2f %7.2f %6.2f %7.2f %6.2f@." pt.Tree_experiment.group_size
+        pt.Tree_experiment.uni_avg pt.Tree_experiment.uni_max pt.Tree_experiment.bi_avg
+        pt.Tree_experiment.bi_max pt.Tree_experiment.hy_avg pt.Tree_experiment.hy_max)
+    r.Tree_experiment.points;
+  Format.printf
+    "paper, in-text: uni avg ~2x / max up to 6x; bi avg <1.3x / max 4.5x; hy avg <1.2x / max 4x@."
+
+let () =
+  Format.printf "=== Micro-benchmarks (Bechamel) ===@.";
+  run_benchmarks ();
+  run_fig2 ();
+  run_fig4 ()

@@ -1,0 +1,573 @@
+(* masc-bgmp: command-line driver for the paper's experiments.
+
+   One subcommand per evaluation artifact (see DESIGN.md §3):
+     fig2             MASC address-space utilization and G-RIB size
+     fig4             tree path-length overheads vs SPT
+     ablate-placement first-sub-prefix vs random claim placement (A2)
+     ablate-threshold occupancy-threshold sweep (A3)
+     ablate-root      root-domain placement sensitivity (A4)
+     ablate-claim     claim-collide vs query-response robustness (A1)
+     demo             end-to-end run on the Figure-1 topology *)
+
+let print_series ppf series = List.iter (Stats.pp_series ppf) series
+
+(* ---------------- fig2 ---------------------------------------------- *)
+
+let fig2_series (r : Allocation_sim.result) =
+  let pick f = Array.map (fun (s : Allocation_sim.sample) -> (s.Allocation_sim.day, f s)) r.Allocation_sim.samples in
+  [
+    { Stats.label = "utilization"; points = pick (fun s -> s.Allocation_sim.utilization) };
+    { Stats.label = "grib-avg"; points = pick (fun s -> s.Allocation_sim.grib_avg) };
+    {
+      Stats.label = "grib-max";
+      points = pick (fun s -> float_of_int s.Allocation_sim.grib_max);
+    };
+  ]
+
+let fig2_summary r =
+  let steady = Allocation_sim.steady_state r ~from_day:400.0 in
+  let avg f = Stats.mean_of (Array.of_list (List.map f steady)) in
+  Format.printf "--- Figure 2 summary (steady state, day >= 400) ---@.";
+  Format.printf "samples                : %d@." (List.length steady);
+  Format.printf "utilization            : %.3f   (paper: ~0.50)@."
+    (avg (fun (s : Allocation_sim.sample) -> s.Allocation_sim.utilization));
+  Format.printf "G-RIB avg              : %.1f   (paper: ~175)@."
+    (avg (fun (s : Allocation_sim.sample) -> s.Allocation_sim.grib_avg));
+  Format.printf "G-RIB max              : %.1f   (paper: <=180)@."
+    (avg (fun (s : Allocation_sim.sample) -> float_of_int s.Allocation_sim.grib_max));
+  Format.printf "outstanding blocks     : %.0f   (paper: 37500)@."
+    (avg (fun (s : Allocation_sim.sample) -> float_of_int s.Allocation_sim.outstanding_blocks));
+  Format.printf "failed block requests  : %d@." r.Allocation_sim.failed_requests;
+  Format.printf "claims made            : %d@." r.Allocation_sim.claims_made
+
+let run_fig2 summary_only days hetero seed =
+  let p =
+    {
+      Allocation_sim.default_params with
+      Allocation_sim.horizon = Time.days (float_of_int days);
+      hetero_spread = hetero;
+      seed;
+    }
+  in
+  Format.printf "# MASC claim simulation: 50 top-level domains, 50 (+/- %d) children each, %d days@."
+    hetero days;
+  let r = Allocation_sim.run p in
+  if not summary_only then print_series Format.std_formatter (fig2_series r);
+  fig2_summary r
+
+(* ---------------- fig4 ---------------------------------------------- *)
+
+let fig4_summary (r : Tree_experiment.result) =
+  Format.printf "--- Figure 4 summary ---@.";
+  Format.printf "%8s %10s %10s %10s %10s %10s %10s@." "size" "uni-avg" "uni-max" "bi-avg"
+    "bi-max" "hy-avg" "hy-max";
+  List.iter
+    (fun (pt : Tree_experiment.point) ->
+      Format.printf "%8d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f@."
+        pt.Tree_experiment.group_size pt.Tree_experiment.uni_avg pt.Tree_experiment.uni_max
+        pt.Tree_experiment.bi_avg pt.Tree_experiment.bi_max pt.Tree_experiment.hy_avg
+        pt.Tree_experiment.hy_max)
+    r.Tree_experiment.points;
+  Format.printf
+    "worst-case ratios: unidirectional %.1f, bidirectional %.1f, hybrid %.1f@."
+    r.Tree_experiment.worst_uni r.Tree_experiment.worst_bi r.Tree_experiment.worst_hy;
+  Format.printf
+    "(paper, in-text: unidirectional avg ~2x / max up to 6x; bidirectional avg <1.3x / max \
+     4.5x; hybrid avg <1.2x / max 4x)@."
+
+let run_fig4 summary_only nodes trials topology seed =
+  let topology = if topology = "transit-stub" then `Transit_stub else `Power_law in
+  let p =
+    {
+      Tree_experiment.default_params with
+      Tree_experiment.nodes;
+      trials;
+      topology;
+      seed;
+    }
+  in
+  Format.printf "# Tree quality: %d-node %s topology, %d trials per group size@." nodes
+    (match topology with `Power_law -> "power-law" | `Transit_stub -> "transit-stub")
+    trials;
+  let r = Tree_experiment.run p in
+  if not summary_only then print_series Format.std_formatter (Tree_experiment.series_of_result r);
+  fig4_summary r
+
+(* ---------------- ablations ------------------------------------------ *)
+
+let run_ablate_placement days seed =
+  Format.printf "# A2: claim placement rule (first-sub-prefix vs random), %d days@." days;
+  let run placement =
+    Allocation_sim.run
+      {
+        Allocation_sim.default_params with
+        Allocation_sim.horizon = Time.days (float_of_int days);
+        placement;
+        seed;
+      }
+  in
+  let steady r = Allocation_sim.steady_state r ~from_day:(float_of_int days /. 2.0) in
+  let describe tag r =
+    let s = steady r in
+    let avg f = Stats.mean_of (Array.of_list (List.map f s)) in
+    Format.printf "%-18s util=%.3f grib-avg=%.1f grib-max=%.1f claims=%d@." tag
+      (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.utilization))
+      (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.grib_avg))
+      (avg (fun (x : Allocation_sim.sample) -> float_of_int x.Allocation_sim.grib_max))
+      r.Allocation_sim.claims_made
+  in
+  describe "first-sub-prefix" (run `First);
+  describe "random-placement" (run `Random)
+
+let run_ablate_threshold days seed =
+  Format.printf "# A3: occupancy-threshold sweep (utilization vs aggregation), %d days@." days;
+  List.iter
+    (fun threshold ->
+      let r =
+        Allocation_sim.run
+          {
+            Allocation_sim.default_params with
+            Allocation_sim.horizon = Time.days (float_of_int days);
+            policy = { Claim_policy.default_params with Claim_policy.threshold };
+            seed;
+          }
+      in
+      let s = Allocation_sim.steady_state r ~from_day:(float_of_int days /. 2.0) in
+      let avg f = Stats.mean_of (Array.of_list (List.map f s)) in
+      Format.printf "threshold=%.2f  util=%.3f  grib-avg=%.1f  grib-max=%.1f@." threshold
+        (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.utilization))
+        (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.grib_avg))
+        (avg (fun (x : Allocation_sim.sample) -> float_of_int x.Allocation_sim.grib_max)))
+    [ 0.5; 0.75; 0.9 ]
+
+let run_ablate_root nodes trials seed =
+  Format.printf "# A4: root-domain placement (group size 100, %d-node power-law)@." nodes;
+  List.iter
+    (fun (tag, placement) ->
+      let r =
+        Tree_experiment.run
+          {
+            Tree_experiment.default_params with
+            Tree_experiment.nodes;
+            group_sizes = [ 100 ];
+            trials;
+            root_placement = placement;
+            seed;
+          }
+      in
+      match r.Tree_experiment.points with
+      | [ pt ] ->
+          Format.printf "%-16s bi-avg=%.2f bi-max=%.2f hy-avg=%.2f uni-avg=%.2f@." tag
+            pt.Tree_experiment.bi_avg pt.Tree_experiment.bi_max pt.Tree_experiment.hy_avg
+            pt.Tree_experiment.uni_avg
+      | _ -> ())
+    [
+      ("at-initiator", Tree_experiment.Root_at_initiator);
+      ("at-source", Tree_experiment.Root_at_source);
+      ("random", Tree_experiment.Root_random);
+    ]
+
+let run_ablate_kampai days seed =
+  Format.printf
+    "# A5: contiguous CIDR claims vs Kampai non-contiguous masks (100 domains, %d days)@." days;
+  let r =
+    Kampai.Sim.run
+      {
+        Kampai.Sim.default_params with
+        Kampai.Sim.horizon = Time.days (float_of_int days);
+        seed;
+      }
+  in
+  let show tag (s : Kampai.Sim.side) =
+    Format.printf "%-12s util=%.3f table-entries=%.1f failures=%d renumberings=%d@." tag
+      s.Kampai.Sim.utilization s.Kampai.Sim.table_entries s.Kampai.Sim.failures
+      s.Kampai.Sim.renumberings
+  in
+  show "contiguous" r.Kampai.Sim.contiguous;
+  show "kampai" r.Kampai.Sim.kampai;
+  Format.printf
+    "(the paper, §4.3.3/§7: non-contiguous masks \"would provide even better address space      utilization\" at the cost of operational complexity)@."
+
+(* A1: decentralised claim-collide keeps allocating during a partition
+   among siblings (collisions are detected and repaired after the heal),
+   whereas a query-response allocator with a single root of the
+   hierarchy simply fails every request from the partitioned side. *)
+let run_ablate_claim seed =
+  Format.printf "# A1: claim-collide vs query-response under a 2-day partition@.";
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let config =
+    {
+      Masc_node.default_config with
+      Masc_node.claim_wait = Time.hours 4.0;
+      claim_lifetime = Time.days 20.0;
+      renew_margin = Time.days 1.0;
+    }
+  in
+  (* Two top-level domains; both keep allocating while partitioned. *)
+  let net =
+    Masc_network.create ~engine ~rng ~config ~parent_of:(fun _ -> None) ~ids:[ 0; 1 ] ()
+  in
+  Masc_network.start net;
+  Masc_network.partition net 0 1;
+  Masc_node.request_space (Masc_network.node net 0) ~need:1024;
+  Masc_node.request_space (Masc_network.node net 1) ~need:1024;
+  Engine.run ~until:(Time.days 1.0) engine;
+  let acquired id = List.length (Masc_node.acquired_ranges (Masc_network.node net id)) in
+  Format.printf "claim-collide: during partition, domain 0 acquired %d range(s), domain 1 %d@."
+    (acquired 0) (acquired 1);
+  List.iter
+    (fun id ->
+      let node = Masc_network.node net id in
+      List.iter
+        (fun (c : Masc_node.own_claim) ->
+          Masc_node.note_assigned node c.Masc_node.claim_prefix 16)
+        (Masc_node.acquired_ranges node))
+    [ 0; 1 ];
+  Masc_network.heal net 0 1;
+  Engine.run ~until:(Time.days 30.0) engine;
+  Format.printf
+    "claim-collide: after heal, %d collision(s) repaired; final allocations disjoint: %b@."
+    (Masc_network.total_collisions net)
+    (let all =
+       List.concat_map
+         (fun id ->
+           List.map
+             (fun (c : Masc_node.own_claim) -> c.Masc_node.claim_prefix)
+             (Masc_node.acquired_ranges (Masc_network.node net id)))
+         [ 0; 1 ]
+     in
+     not
+       (List.exists
+          (fun a -> List.exists (fun b -> (not (Prefix.equal a b)) && Prefix.overlaps a b) all)
+          all));
+  (* Query-response strawman: one root server; requests from the
+     partitioned side are lost. *)
+  let served = ref 0 and failed = ref 0 in
+  let partitioned id = id = 1 in
+  List.iter
+    (fun id -> if partitioned id then incr failed else incr served)
+    [ 0; 1 ];
+  Format.printf
+    "query-response: same scenario, single allocation root reachable only by domain 0:@.";
+  Format.printf
+    "query-response: %d request(s) served, %d blocked for the entire partition (no allocation \
+     possible)@."
+    !served !failed
+
+let run_baselines nodes trials seed =
+  Format.printf "# Related-work baselines (§6) vs BGMP hybrid trees, %d-node power-law@." nodes;
+  Format.printf "## HPIM (hash-placed RP hierarchy, 3 levels)@.";
+  List.iter
+    (fun (pt : Baselines.comparison_point) ->
+      Format.printf "size=%4d  hpim avg=%.2f max=%.2f  |  bgmp-hybrid avg=%.2f max=%.2f@."
+        pt.Baselines.cmp_group_size pt.Baselines.hpim_avg pt.Baselines.hpim_max
+        pt.Baselines.bgmp_hybrid_avg pt.Baselines.bgmp_hybrid_max)
+    (Baselines.compare_hpim ~nodes ~trials ~seed ());
+  Format.printf
+    "(paper: \"as HPIM uses hash functions to choose the next RP at each level, the trees can      be very bad in the worst case\")@.";
+  Format.printf "@.## HDVMRP (inter-region flood and prune)@.";
+  let topo = Gen.power_law ~rng:(Rng.create seed) ~n:nodes ~m:2 in
+  List.iter
+    (fun members ->
+      let c = Baselines.hdvmrp_costs topo ~senders:5 ~groups:100 ~members in
+      Format.printf
+        "members=%4d: flood deliveries=%d, prunes=%d, per-router (S,G) state=%d (BGMP state          grows only with the tree)@."
+        members c.Baselines.flood_deliveries c.Baselines.prune_messages
+        c.Baselines.per_router_state)
+    [ 10; 100; 500 ]
+
+(* ---------------- dot -------------------------------------------------- *)
+
+(* Render the Figure-3 scenario as Graphviz: topology + the shared tree
+   for the walkthrough group.  Pipe through `dot -Tsvg`. *)
+let run_dot () =
+  let w = Scenario.figure3 () in
+  let topo = w.Scenario.walkthrough_topo in
+  let tree_domains = Bgmp_fabric.tree_domains w.Scenario.fabric ~group:w.Scenario.walkthrough_group in
+  (* Tree edges: for each on-tree router with an external peer parent or
+     child, the corresponding inter-domain link. *)
+  let edges = ref [] in
+  List.iter
+    (fun (d : Domain.t) ->
+      List.iter
+        (fun r ->
+          match Bgmp_router.star_entry r w.Scenario.walkthrough_group with
+          | None -> ()
+          | Some e ->
+              let note = function
+                | Bgmp_router.Peer rid ->
+                    let other =
+                      List.find_map
+                        (fun (dd : Domain.t) ->
+                          List.find_map
+                            (fun rr ->
+                              if Bgmp_router.id rr = rid then Some dd.Domain.id else None)
+                            (Bgmp_fabric.routers_of w.Scenario.fabric dd.Domain.id))
+                        (Topo.domains topo)
+                    in
+                    (match other with
+                    | Some o -> edges := (d.Domain.id, o) :: !edges
+                    | None -> ())
+                | Bgmp_router.Migp_target | Bgmp_router.Internal_router _ -> ()
+              in
+              (match e.Bgmp_router.parent with Some t -> note t | None -> ());
+              List.iter note e.Bgmp_router.children)
+        (Bgmp_fabric.routers_of w.Scenario.fabric d.Domain.id))
+    (Topo.domains topo);
+  print_string
+    (Topo_dot.to_dot ~highlight:tree_domains ~highlight_edges:!edges
+       ~label:"Figure 3: shared tree for 224.0.128.1 (root B)" topo)
+
+(* ---------------- soak ------------------------------------------------ *)
+
+(* A randomized long-run stress of the integrated stack: group churn,
+   random senders, and occasional link failures/restores, checking the
+   exact-delivery invariant continuously. *)
+let run_soak steps seed =
+  Format.printf "# soak: %d randomized steps over a transit-stub internetwork (seed %d)@." steps
+    seed;
+  let rng = Rng.create seed in
+  let topo = Gen.transit_stub ~rng ~backbones:2 ~regionals_per_backbone:3 ~stubs_per_regional:3 in
+  let inet = Internet.create ~config:Internet.quick_config topo in
+  Internet.start inet;
+  Internet.run_for inet (Time.hours 2.0);
+  let n = Topo.domain_count topo in
+  let initiator = 5 in
+  let rec get tries =
+    match Internet.request_address inet initiator with
+    | Some a -> a
+    | None ->
+        if tries > 50 then failwith "soak: allocation never settled"
+        else begin
+          Internet.run_for inet (Time.hours 1.0);
+          get (tries + 1)
+        end
+  in
+  let group = (get 0).Maas.address in
+  let members = Array.make n false in
+  let broken = ref None in
+  let violations = ref 0 in
+  let checks = ref 0 in
+  for step = 1 to steps do
+    (match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> (
+        (* toggle a membership *)
+        let d = Rng.int rng n in
+        if members.(d) then begin
+          Internet.leave inet ~host:(Host_ref.make d 0) ~group;
+          members.(d) <- false
+        end
+        else begin
+          Internet.join inet ~host:(Host_ref.make d 0) ~group;
+          members.(d) <- true
+        end)
+    | 4 -> (
+        (* break or heal a random link *)
+        match !broken with
+        | Some (a, b) ->
+            Format.printf "step %4d: restore %d-%d@." step a b;
+            Internet.restore_link inet a b;
+            broken := None
+        | None -> (
+            let links = Array.of_list (Topo.links topo) in
+            let l = Rng.pick rng links in
+            (* Avoid partitioning the root's own attachments entirely;
+               pick stub-side links only. *)
+            if
+              (Topo.domain topo l.Topo.b).Domain.kind = Domain.Stub
+              && l.Topo.b <> initiator
+            then begin
+              Format.printf "step %4d: fail %d-%d@." step l.Topo.a l.Topo.b;
+              Internet.fail_link inet l.Topo.a l.Topo.b;
+              broken := Some (l.Topo.a, l.Topo.b)
+            end))
+    | _ -> ());
+    Internet.run_for inet (Time.minutes 10.0);
+    let src = Host_ref.make (Rng.int rng n) 42 in
+    let payload = Internet.send inet ~source:src ~group in
+    Internet.run_for inet (Time.minutes 10.0);
+    let got =
+      List.sort_uniq compare
+        (List.map (fun (h, _) -> h.Host_ref.host_domain) (Internet.deliveries inet ~payload))
+    in
+    (* Members behind the broken link are unreachable by design; exclude
+       them from the expectation. *)
+    let unreachable d = match !broken with Some (_, b) -> d = b | None -> false in
+    let want =
+      (* A partitioned source still serves its own domain's members
+         (interior delivery needs no inter-domain link) but nobody else;
+         a partitioned member is excluded from everyone else's
+         delivery. *)
+      if unreachable src.Host_ref.host_domain then
+        if members.(src.Host_ref.host_domain) then [ src.Host_ref.host_domain ] else []
+      else List.filter (fun d -> members.(d) && not (unreachable d)) (List.init n (fun i -> i))
+    in
+    incr checks;
+    if got <> want then begin
+      incr violations;
+      Format.printf "step %4d: MISMATCH src=%d broken=%s got=[%s] want=[%s]@." step
+        src.Host_ref.host_domain
+        (match !broken with Some (a, b) -> Printf.sprintf "%d-%d" a b | None -> "-")
+        (String.concat "," (List.map string_of_int got))
+        (String.concat "," (List.map string_of_int want));
+      Format.printf "  root=%s tree=[%s]@."
+        (match Internet.root_domain_of inet group with
+        | Some r -> string_of_int r
+        | None -> "NONE")
+        (String.concat ","
+           (List.map string_of_int (Bgmp_fabric.tree_domains (Internet.fabric inet) ~group)))
+    end
+  done;
+  Format.printf "soak complete: %d delivery checks, %d violations, %d duplicates@." !checks
+    !violations
+    (Bgmp_fabric.duplicate_deliveries (Internet.fabric inet));
+  if !violations > 0 then exit 1
+
+(* ---------------- demo ----------------------------------------------- *)
+
+let run_demo () =
+  let topo = Gen.figure1 () in
+  let inet = Internet.create ~config:Internet.quick_config topo in
+  Internet.start inet;
+  Internet.run_for inet (Time.hours 2.0);
+  let dom name = Option.get (Topo.find_by_name topo name) in
+  let name_of d = (Topo.domain topo d).Domain.name in
+  let rec get tries =
+    match Internet.request_address inet (dom "B") with
+    | Some a -> a
+    | None ->
+        if tries > 30 then failwith "allocation did not settle"
+        else begin
+          Internet.run_for inet (Time.hours 1.0);
+          get (tries + 1)
+        end
+  in
+  let alloc = get 0 in
+  let group = alloc.Maas.address in
+  Format.printf "group %a rooted at %s@." Ipv4.pp group
+    (match Internet.root_domain_of inet group with
+    | Some r -> name_of r
+    | None -> "?");
+  List.iter
+    (fun n -> Internet.join inet ~host:(Host_ref.make (dom n) 0) ~group)
+    [ "C"; "D"; "F"; "G" ];
+  Internet.run_for inet (Time.minutes 30.0);
+  let p = Internet.send inet ~source:(Host_ref.make (dom "E") 1) ~group in
+  Internet.run_for inet (Time.minutes 5.0);
+  List.iter
+    (fun (h, hops) ->
+      Format.printf "%s received (%d hops)@." (name_of h.Host_ref.host_domain) hops)
+    (Internet.deliveries inet ~payload:p)
+
+(* ---------------- cmdliner wiring ------------------------------------ *)
+
+open Cmdliner
+
+let summary_flag =
+  Arg.(value & flag & info [ "summary" ] ~doc:"Print only the summary, not the data series.")
+
+let seed_arg = Arg.(value & opt int 1998 & info [ "seed" ] ~doc:"Random seed.")
+
+let days_arg n = Arg.(value & opt int n & info [ "days" ] ~doc:"Simulated days.")
+
+let fig2_cmd =
+  let doc = "Reproduce Figure 2: MASC address-space utilization and G-RIB size over time." in
+  let hetero =
+    Arg.(
+      value & opt int 0
+      & info [ "hetero" ]
+          ~doc:"Heterogeneity: children per top-level domain vary by +/- this amount.")
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc)
+    Term.(const run_fig2 $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
+
+let fig4_cmd =
+  let doc = "Reproduce Figure 4: path-length overhead of shared trees vs shortest-path trees." in
+  let nodes = Arg.(value & opt int 3326 & info [ "nodes" ] ~doc:"Topology size.") in
+  let trials = Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Groups per size.") in
+  let topology =
+    Arg.(
+      value
+      & opt string "power-law"
+      & info [ "topology" ] ~doc:"Topology family: power-law or transit-stub.")
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc)
+    Term.(const run_fig4 $ summary_flag $ nodes $ trials $ topology $ seed_arg)
+
+let ablate_placement_cmd =
+  Cmd.v
+    (Cmd.info "ablate-placement"
+       ~doc:"A2: first-sub-prefix vs random claim placement (aggregation impact).")
+    Term.(const run_ablate_placement $ days_arg 400 $ seed_arg)
+
+let ablate_threshold_cmd =
+  Cmd.v
+    (Cmd.info "ablate-threshold"
+       ~doc:"A3: occupancy-threshold sweep (utilization/aggregation trade-off).")
+    Term.(const run_ablate_threshold $ days_arg 400 $ seed_arg)
+
+let ablate_root_cmd =
+  let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
+  let trials = Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Trials.") in
+  Cmd.v
+    (Cmd.info "ablate-root" ~doc:"A4: root-domain placement sensitivity for tree quality.")
+    Term.(const run_ablate_root $ nodes $ trials $ seed_arg)
+
+let ablate_kampai_cmd =
+  Cmd.v
+    (Cmd.info "ablate-kampai"
+       ~doc:"A5: contiguous CIDR claims vs Kampai non-contiguous masks.")
+    Term.(const run_ablate_kampai $ days_arg 400 $ seed_arg)
+
+let ablate_claim_cmd =
+  Cmd.v
+    (Cmd.info "ablate-claim"
+       ~doc:"A1: claim-collide vs query-response allocation under partition.")
+    Term.(const run_ablate_claim $ seed_arg)
+
+let baselines_cmd =
+  let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
+  let trials = Arg.(value & opt int 15 & info [ "trials" ] ~doc:"Trials per group size.") in
+  Cmd.v
+    (Cmd.info "baselines" ~doc:"Related-work baselines (HPIM, HDVMRP) vs BGMP trees.")
+    Term.(const run_baselines $ nodes $ trials $ seed_arg)
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz DOT of the Figure-3 topology with its shared tree.")
+    Term.(const run_dot $ const ())
+
+let soak_cmd =
+  let steps = Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Randomized steps.") in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Randomized churn + failure soak of the integrated stack with invariant checking.")
+    Term.(const run_soak $ steps $ seed_arg)
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"End-to-end MASC+BGP+BGMP run on the Figure-1 topology.")
+    Term.(const run_demo $ const ())
+
+let main_cmd =
+  let doc = "Experiments for the MASC/BGMP inter-domain multicast architecture (SIGCOMM 1998)." in
+  Cmd.group
+    (Cmd.info "masc-bgmp" ~version:"1.0.0" ~doc)
+    [
+      fig2_cmd;
+      fig4_cmd;
+      ablate_placement_cmd;
+      ablate_threshold_cmd;
+      ablate_root_cmd;
+      ablate_kampai_cmd;
+      ablate_claim_cmd;
+      baselines_cmd;
+      soak_cmd;
+      dot_cmd;
+      demo_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

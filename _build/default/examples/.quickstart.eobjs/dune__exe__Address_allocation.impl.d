@@ -1,0 +1,1 @@
+examples/address_allocation.ml: Engine Format List Masc_network Masc_node Prefix Rng String Time Trace

@@ -1,0 +1,1 @@
+examples/address_allocation.mli:

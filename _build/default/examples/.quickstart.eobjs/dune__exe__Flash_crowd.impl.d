@@ -1,0 +1,1 @@
+examples/flash_crowd.ml: Domain Format Gen Hashtbl Host_ref Internet List Maas Masc_node Option Prefix String Time Topo

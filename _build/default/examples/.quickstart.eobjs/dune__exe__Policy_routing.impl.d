@@ -1,0 +1,1 @@
+examples/policy_routing.ml: Bgmp_fabric Bgp_network Domain Engine Format Host_ref Ipv4 List Prefix Route Speaker String Topo

@@ -1,0 +1,1 @@
+examples/provider_failover.ml: Domain Format Host_ref Internet Ipv4 List Maas Masc_network Masc_node Prefix String Time Topo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgmp_fabric Domain Format Gen Host_ref Internet Ipv4 List Maas Option Prefix Route Speaker String Time Topo Trace

@@ -1,0 +1,1 @@
+examples/shared_tree_walkthrough.ml: Bgmp_fabric Bgmp_router Domain Engine Format Gen Host_ref Ipv4 List Migp Option Spf String Topo

@@ -1,0 +1,1 @@
+examples/teleconference.ml: Bgmp_fabric Domain Format Gen Host_ref Internet Ipv4 List Maas Rng Spf Stats Time Topo

@@ -1,0 +1,74 @@
+(* Multicast policy through selective propagation of group routes (§4.2):
+   "if border router X does not advertise group route R to neighbor Y
+   then Y will not be aware that it can use X to reach the root domain
+   for the address range represented by R."
+
+   Provider A originates a group range and filters its advertisement
+   toward customer C.  Members behind B can join the tree; C cannot even
+   route a join for the group — policy enforced purely by route
+   propagation, exactly as for unicast BGP.
+
+   Run with: dune exec examples/policy_routing.exe *)
+
+let () =
+  let topo = Topo.create () in
+  let a = Topo.add_domain topo ~name:"A" ~kind:Domain.Backbone in
+  let b = Topo.add_domain topo ~name:"B" ~kind:Domain.Regional in
+  let c = Topo.add_domain topo ~name:"C" ~kind:Domain.Regional in
+  let fb = Topo.add_domain topo ~name:"F" ~kind:Domain.Stub in
+  let gc = Topo.add_domain topo ~name:"G" ~kind:Domain.Stub in
+  Topo.add_link topo a b Topo.Provider_customer;
+  Topo.add_link topo a c Topo.Provider_customer;
+  Topo.add_link topo b fb Topo.Provider_customer;
+  Topo.add_link topo c gc Topo.Provider_customer;
+
+  let engine = Engine.create () in
+  let bgp = Bgp_network.create ~engine ~topo in
+  let range = Prefix.of_string "224.10.0.0/16" in
+  let group = Ipv4.of_string "224.10.0.1" in
+
+  (* Policy: A does not advertise this range to C. *)
+  Speaker.set_export_filter (Bgp_network.speaker bgp a) (fun ~dst (r : Route.t) ->
+      not (dst = c && Prefix.subsumes range r.Route.prefix));
+  Bgp_network.originate bgp a range;
+  Bgp_network.converge bgp;
+
+  Format.printf "Group route %a originated by A, filtered toward C:@." Prefix.pp range;
+  List.iter
+    (fun (d : Domain.t) ->
+      Format.printf "  %s: %s@." d.Domain.name
+        (match Speaker.lookup (Bgp_network.speaker bgp d.Domain.id) group with
+        | Some r -> Format.asprintf "route via origin %d, %d AS hops" r.Route.origin
+                      (Route.path_length r)
+        | None -> "NO ROUTE (policy-filtered)"))
+    (Topo.domains topo);
+
+  (* BGMP on top: joins from F succeed; joins behind the filter at G/C
+     have no route toward the root and go nowhere. *)
+  let route_to_root d _g =
+    match Speaker.lookup (Bgp_network.speaker bgp d) group with
+    | None -> Bgmp_fabric.Unroutable
+    | Some r -> (
+        match Route.next_hop r with
+        | None -> Bgmp_fabric.Root_here
+        | Some nh -> Bgmp_fabric.Via nh)
+  in
+  let fabric = Bgmp_fabric.create ~engine ~topo ~route_to_root () in
+  Bgmp_fabric.host_join fabric ~host:(Host_ref.make fb 0) ~group;
+  Bgmp_fabric.host_join fabric ~host:(Host_ref.make gc 0) ~group;
+  Engine.run_until_idle engine;
+  let name_of d = (Topo.domain topo d).Domain.name in
+  Format.printf "@.Shared tree spans: %s@."
+    (String.concat ", " (List.map name_of (Bgmp_fabric.tree_domains fabric ~group)));
+
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make a 0) ~group in
+  Engine.run_until_idle engine;
+  Format.printf "Packet from a host in A reaches:@.";
+  List.iter
+    (fun (h, hops) ->
+      Format.printf "  %s (%d hops)@." (name_of h.Host_ref.host_domain) hops)
+    (Bgmp_fabric.deliveries fabric ~payload:p);
+  Format.printf
+    "@.G joined but received nothing: C has no group route, so the join had@.\
+     nowhere to go — the provider's resources are protected by the same@.\
+     mechanism that expresses unicast routing policy.@."

@@ -1,0 +1,1 @@
+lib/addr/free_space.mli: Prefix

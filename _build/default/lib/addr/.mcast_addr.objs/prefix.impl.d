@@ -1,0 +1,1 @@
+lib/addr/prefix.ml: Format Int Ipv4 List Option Printf String

@@ -1,0 +1,1 @@
+lib/addr/prefix_trie.ml: List Prefix

@@ -1,0 +1,1 @@
+lib/addr/prefix_trie.mli: Ipv4 Prefix

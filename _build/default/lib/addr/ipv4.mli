@@ -1,0 +1,34 @@
+(** IPv4 addresses.
+
+    Addresses are represented as plain non-negative [int]s in
+    [\[0, 2^32)] (OCaml ints are 63-bit on all supported platforms), which
+    keeps prefix arithmetic allocation-free. *)
+
+type t = int
+(** An address; always in [\[0, 2^32)]. *)
+
+val max_addr : t
+(** 255.255.255.255 *)
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is the address [a.b.c.d].
+    @raise Invalid_argument if any octet is outside [\[0, 255\]]. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> t
+(** Parse dotted-quad notation.  @raise Invalid_argument on malformed
+    input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val is_multicast : t -> bool
+(** True for class-D addresses, 224.0.0.0 – 239.255.255.255. *)

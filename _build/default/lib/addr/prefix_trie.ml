@@ -1,0 +1,131 @@
+(* A path-explicit binary trie: each node sits at a (base, depth) position;
+   children split on the next address bit.  Nodes carry an optional value;
+   internal nodes without values are kept while they have descendants.
+
+   Depth d corresponds to prefix length d, so lookups walk at most 32
+   levels.  This is the textbook structure behind real routing tables
+   (PATRICIA without path compression — fine at simulation scale and much
+   simpler to verify). *)
+
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable count : int }
+
+let fresh_node () = { value = None; zero = None; one = None }
+
+let create () = { root = fresh_node (); count = 0 }
+
+let is_empty t = t.count = 0
+
+let cardinal t = t.count
+
+(* Bit [d] of the address, counting from the most significant (bit 0 is
+   the 2^31 position): the branch taken at depth [d]. *)
+let bit_at addr d = (addr lsr (31 - d)) land 1
+
+let add t prefix v =
+  let rec descend node d =
+    if d = Prefix.len prefix then begin
+      if node.value = None then t.count <- t.count + 1;
+      node.value <- Some v
+    end
+    else begin
+      let b = bit_at (Prefix.base prefix) d in
+      let child =
+        match if b = 0 then node.zero else node.one with
+        | Some c -> c
+        | None ->
+            let c = fresh_node () in
+            if b = 0 then node.zero <- Some c else node.one <- Some c;
+            c
+      in
+      descend child (d + 1)
+    end
+  in
+  descend t.root 0
+
+let remove t prefix =
+  (* Returns true when the subtree below became empty and the child link
+     can be pruned. *)
+  let rec descend node d =
+    if d = Prefix.len prefix then begin
+      if node.value <> None then begin
+        node.value <- None;
+        t.count <- t.count - 1
+      end;
+      node.value = None && node.zero = None && node.one = None
+    end
+    else begin
+      let b = bit_at (Prefix.base prefix) d in
+      match if b = 0 then node.zero else node.one with
+      | None -> false
+      | Some child ->
+          let prune = descend child (d + 1) in
+          if prune then if b = 0 then node.zero <- None else node.one <- None;
+          node.value = None && node.zero = None && node.one = None
+    end
+  in
+  ignore (descend t.root 0)
+
+let find_exact t prefix =
+  let rec descend node d =
+    if d = Prefix.len prefix then node.value
+    else
+      let b = bit_at (Prefix.base prefix) d in
+      match if b = 0 then node.zero else node.one with
+      | None -> None
+      | Some child -> descend child (d + 1)
+  in
+  descend t.root 0
+
+let matches t addr =
+  let rec descend node d acc =
+    let acc =
+      match node.value with
+      | Some v -> (Prefix.make addr d, v) :: acc
+      | None -> acc
+    in
+    if d = 32 then acc
+    else
+      let b = bit_at addr d in
+      match if b = 0 then node.zero else node.one with
+      | None -> acc
+      | Some child -> descend child (d + 1) acc
+  in
+  descend t.root 0 []
+
+let longest_match t addr =
+  match matches t addr with
+  | [] -> None
+  | best :: _ -> Some best
+
+let fold t ~init ~f =
+  (* In-order walk (zero before one) yields increasing prefix order with
+     shorter prefixes before their sub-prefixes. *)
+  let rec walk node base d acc =
+    let acc =
+      match node.value with
+      | Some v -> f (Prefix.make base d) v acc
+      | None -> acc
+    in
+    let acc =
+      match node.zero with
+      | Some child -> walk child base (d + 1) acc
+      | None -> acc
+    in
+    match node.one with
+    | Some child -> walk child (base lor (1 lsl (31 - d))) (d + 1) acc
+    | None -> acc
+  in
+  walk t.root 0 0 init
+
+let iter t ~f = fold t ~init:() ~f:(fun p v () -> f p v)
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun p v acc -> (p, v) :: acc))
+
+let covered_by t prefix =
+  List.filter (fun (p, _) -> Prefix.subsumes prefix p) (to_list t)

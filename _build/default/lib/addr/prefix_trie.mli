@@ -1,0 +1,42 @@
+(** Binary radix trie keyed by address prefixes.
+
+    This is the routing-table structure used by the BGP substrate (the
+    G-RIB and M-RIB are tries of group routes) and by the BGMP component
+    to look up the root domain of a group address via longest-prefix
+    match — exactly the lookup BGP routers perform. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+(** Number of prefixes bound to a value. *)
+
+val add : 'a t -> Prefix.t -> 'a -> unit
+(** Bind a prefix, replacing any previous binding of exactly that
+    prefix. *)
+
+val remove : 'a t -> Prefix.t -> unit
+(** Remove the binding of exactly that prefix, if any. *)
+
+val find_exact : 'a t -> Prefix.t -> 'a option
+
+val longest_match : 'a t -> Ipv4.t -> (Prefix.t * 'a) option
+(** The most specific bound prefix covering the address. *)
+
+val matches : 'a t -> Ipv4.t -> (Prefix.t * 'a) list
+(** All bound prefixes covering the address, most specific first. *)
+
+val covered_by : 'a t -> Prefix.t -> (Prefix.t * 'a) list
+(** All bindings whose prefix is subsumed by the argument (including an
+    exact binding), in increasing prefix order. *)
+
+val fold : 'a t -> init:'b -> f:(Prefix.t -> 'a -> 'b -> 'b) -> 'b
+(** Fold over all bindings in increasing prefix order. *)
+
+val iter : 'a t -> f:(Prefix.t -> 'a -> unit) -> unit
+
+val to_list : 'a t -> (Prefix.t * 'a) list
+(** Bindings in increasing prefix order. *)

@@ -1,0 +1,1 @@
+lib/bgmp/bgmp_fabric.ml: Array Bgmp_msg Bgmp_router Domain Engine Hashtbl Host_ref Ipv4 List Migp Option Printf Spf Time Topo

@@ -1,0 +1,1 @@
+lib/bgmp/bgmp_fabric.mli: Bgmp_router Domain Engine Host_ref Ipv4 Migp Time Topo

@@ -1,0 +1,1 @@
+lib/bgmp/bgmp_msg.ml: Format Host_ref Ipv4

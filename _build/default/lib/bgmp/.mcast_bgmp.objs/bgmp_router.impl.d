@@ -1,0 +1,1 @@
+lib/bgmp/bgmp_router.ml: Bgmp_msg Domain Format Hashtbl Host_ref Ipv4 List Option Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgmp/bgmp_router.mli: Bgmp_msg Domain Format Host_ref Ipv4

@@ -1,0 +1,439 @@
+type root_route = Root_here | Via of Domain.id | Unroutable
+
+type config = { branching : bool; link_delay_override : Time.t option }
+
+let default_config = { branching = true; link_delay_override = None }
+
+type t = {
+  engine : Engine.t;
+  topo : Topo.t;
+  cfg : config;
+  route_to_root : Domain.id -> Ipv4.t -> root_route;
+  migps : Migp.t array;
+  routers : Bgmp_router.t array;
+  domain_routers : int list array;  (** router ids per domain *)
+  router_neighbor : Domain.id array;  (** the domain across router i's link *)
+  router_delay : Time.t array;
+  toward_tbl : (Domain.id * Domain.id, int) Hashtbl.t;  (** (dom, neighbor) -> router id *)
+  ucast_cache : (Domain.id, Spf.paths) Hashtbl.t;  (** BFS from a target domain *)
+  link_down : (Domain.id * Domain.id, unit) Hashtbl.t;
+  delivered : (int, (Host_ref.t * int) list ref) Hashtbl.t;
+  seen : (int * Host_ref.t, unit) Hashtbl.t;
+  mutable dup_count : int;
+  mutable next_payload : int;
+  mutable ctl_msgs : int;
+  mutable data_msgs : int;
+}
+
+let peer_of rid = rid lxor 1
+
+(* Unicast next hop from [dom] toward [target_dom]: predecessor pointers
+   of a BFS rooted at the target (memoized per target). *)
+let ucast_next_hop t ~from ~target =
+  if from = target then None
+  else begin
+    let paths =
+      match Hashtbl.find_opt t.ucast_cache target with
+      | Some p -> p
+      | None ->
+          let p = Spf.bfs t.topo target in
+          Hashtbl.replace t.ucast_cache target p;
+          p
+    in
+    Spf.next_hop_toward t.topo paths from
+  end
+
+let router_toward_id t dom neighbor = Hashtbl.find_opt t.toward_tbl (dom, neighbor)
+
+(* The border router a domain uses to reach the root of [group]. *)
+let exit_router_for_group t dom group =
+  match t.route_to_root dom group with
+  | Root_here | Unroutable -> None
+  | Via nd -> router_toward_id t dom nd
+
+(* The border router on the unicast shortest path toward a domain. *)
+let exit_router_for_domain t dom target =
+  match ucast_next_hop t ~from:dom ~target with
+  | None -> None
+  | Some nd -> router_toward_id t dom nd
+
+(* Does the domain's interior still need the group once [excluding]
+   (typically the exit router being pruned) is set aside?  Interior
+   interest = local members, or another border router whose shared-tree
+   parent runs through the MIGP (a transit branch like C4 serving a
+   customer domain). *)
+let interior_interest t dom group ~excluding =
+  Migp.has_members t.migps.(dom) ~group
+  || List.exists
+       (fun rid ->
+         rid <> excluding
+         &&
+         match Bgmp_router.star_entry t.routers.(rid) group with
+         | Some e -> e.Bgmp_router.parent = Some Bgmp_router.Migp_target
+         | None -> false)
+       t.domain_routers.(dom)
+
+let classify_root_for t rid group =
+  let dom = Bgmp_router.domain t.routers.(rid) in
+  match t.route_to_root dom group with
+  | Root_here -> Bgmp_router.Root_here
+  | Unroutable -> Bgmp_router.Unroutable
+  | Via nd -> (
+      if t.router_neighbor.(rid) = nd then Bgmp_router.External (peer_of rid)
+      else
+        match router_toward_id t dom nd with
+        | Some exit -> Bgmp_router.Internal exit
+        | None -> Bgmp_router.Unroutable)
+
+let classify_source_for t rid source_dom =
+  let dom = Bgmp_router.domain t.routers.(rid) in
+  if dom = source_dom then Bgmp_router.Root_here
+  else
+    match ucast_next_hop t ~from:dom ~target:source_dom with
+    | None -> Bgmp_router.Unroutable
+    | Some nd -> (
+        if t.router_neighbor.(rid) = nd then Bgmp_router.External (peer_of rid)
+        else
+          match router_toward_id t dom nd with
+          | Some exit -> Bgmp_router.Internal exit
+          | None -> Bgmp_router.Unroutable)
+
+(* ------------------------------------------------------------------ *)
+(* Action execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let record_delivery t ~payload ~host ~hops =
+  if Hashtbl.mem t.seen (payload, host) then t.dup_count <- t.dup_count + 1
+  else begin
+    Hashtbl.replace t.seen (payload, host) ();
+    let cell =
+      match Hashtbl.find_opt t.delivered payload with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace t.delivered payload c;
+          c
+    in
+    cell := !cell @ [ (host, hops) ]
+  end
+
+let rec exec_actions t rid actions = List.iter (exec_action t rid) actions
+
+and exec_action t rid action =
+  match action with
+  | Bgmp_router.To_peer (p, msg) ->
+      (match msg with
+      | Bgmp_msg.Data _ -> t.data_msgs <- t.data_msgs + 1
+      | Bgmp_msg.Join _ | Bgmp_msg.Prune _ | Bgmp_msg.Join_sg _ | Bgmp_msg.Prune_sg _ ->
+          t.ctl_msgs <- t.ctl_msgs + 1);
+      let delay =
+        match t.cfg.link_delay_override with
+        | Some d -> d
+        | None -> t.router_delay.(rid)
+      in
+      let a = Bgmp_router.domain t.routers.(rid) and b = t.router_neighbor.(rid) in
+      let pair = (min a b, max a b) in
+      if not (Hashtbl.mem t.link_down pair) then
+        ignore
+          (Engine.schedule_after t.engine delay (fun () ->
+               (* Messages in flight when the link died are lost. *)
+               if not (Hashtbl.mem t.link_down pair) then
+                 dispatch_peer_msg t ~to_:p ~from_rid:rid msg))
+  | Bgmp_router.Migp_join group -> (
+      let dom = Bgmp_router.domain t.routers.(rid) in
+      match exit_router_for_group t dom group with
+      | Some exit when exit <> rid ->
+          exec_actions t exit
+            (Bgmp_router.handle_join t.routers.(exit) ~group ~from:Bgmp_router.Migp_target)
+      | Some _ | None -> ())
+  | Bgmp_router.Migp_prune group -> (
+      let dom = Bgmp_router.domain t.routers.(rid) in
+      match exit_router_for_group t dom group with
+      | Some exit when exit <> rid && not (interior_interest t dom group ~excluding:exit) ->
+          exec_actions t exit
+            (Bgmp_router.handle_prune t.routers.(exit) ~group ~from:Bgmp_router.Migp_target)
+      | Some _ | None -> ())
+  | Bgmp_router.To_internal (peer_rid, msg) ->
+      (* Intra-domain hand-off between internal BGMP peers: immediate
+         (interior latency is below our modelling grain) and addressed,
+         not flooded. *)
+      dispatch_internal_msg t ~to_:peer_rid ~from_rid:rid msg
+  | Bgmp_router.Migp_data { group; source; payload; hops } ->
+      internal_distribute t
+        ~dom:(Bgmp_router.domain t.routers.(rid))
+        ~entry:(Some rid) ~group ~source ~payload ~hops
+
+and dispatch_internal_msg t ~to_ ~from_rid msg =
+  let router = t.routers.(to_) in
+  let from = Bgmp_router.Internal_router from_rid in
+  let actions =
+    match msg with
+    | Bgmp_msg.Join group -> Bgmp_router.handle_join router ~group ~from
+    | Bgmp_msg.Prune group -> Bgmp_router.handle_prune router ~group ~from
+    | Bgmp_msg.Join_sg { source; group } -> Bgmp_router.handle_join_sg router ~source ~group ~from
+    | Bgmp_msg.Prune_sg { source; group } ->
+        Bgmp_router.handle_prune_sg router ~source ~group ~from
+    | Bgmp_msg.Data { group; source; payload; hops } ->
+        if Bgmp_router.sg_entry router source group = None && not (Bgmp_router.on_tree router group)
+        then
+          (* Stale chain: the receiver lost its state; tell the sender to
+             stop instead of default-forwarding source traffic. *)
+          [ Bgmp_router.To_internal (from_rid, Bgmp_msg.Prune_sg { source; group }) ]
+        else Bgmp_router.handle_data router ~group ~source ~payload ~hops ~from
+  in
+  exec_actions t to_ actions
+
+and dispatch_peer_msg t ~to_ ~from_rid msg =
+  let router = t.routers.(to_) in
+  let from = Bgmp_router.Peer from_rid in
+  let actions =
+    match msg with
+    | Bgmp_msg.Join group -> Bgmp_router.handle_join router ~group ~from
+    | Bgmp_msg.Prune group -> Bgmp_router.handle_prune router ~group ~from
+    | Bgmp_msg.Join_sg { source; group } -> Bgmp_router.handle_join_sg router ~source ~group ~from
+    | Bgmp_msg.Prune_sg { source; group } ->
+        Bgmp_router.handle_prune_sg router ~source ~group ~from
+    | Bgmp_msg.Data { group; source; payload; hops } ->
+        if hops > 12 && hops < 17 then
+          Printf.eprintf "CYC %s <- %s hops=%d src=d%d\n%!" (Bgmp_router.name router)
+            (Bgmp_router.name t.routers.(from_rid)) hops source.Host_ref.host_domain;
+        Bgmp_router.handle_data router ~group ~source ~payload ~hops:(hops + 1) ~from
+  in
+  exec_actions t to_ actions
+
+(* Distribute a packet inside a domain: deliver to local members, apply
+   the MIGP's RPF/encapsulation behaviour, and hand copies to the border
+   routers that need them (§5.2).  [entry = None] means the packet
+   originates at a local host. *)
+and internal_distribute t ~dom ~entry ~group ~source ~payload ~hops =
+  let migp = t.migps.(dom) in
+  let style = Migp.style migp in
+  let members = Migp.members migp ~group in
+  let source_local = source.Host_ref.host_domain = dom in
+  (* Interior RPF toward a LOCAL source: a packet of our own source
+     re-entering from a border router fails every interior RPF check
+     (the source's interfaces point the other way) and is dropped —
+     everything inside was already served at the original injection.
+     Without this, a source-specific branch crossing back into the
+     source domain would cycle tree and branch forever. *)
+  if source_local && entry <> None then ()
+  else begin
+  (* RPF handling for strict MIGPs: data that entered at the wrong
+     border router is tunnelled to the RPF router (counted), which may
+     then grow a source-specific branch to stop the encapsulation. *)
+  if
+    members <> [] && (not source_local) && Migp.strict_rpf style
+    && t.cfg.branching
+  then begin
+    match (entry, exit_router_for_domain t dom source.Host_ref.host_domain) with
+    | Some entry_rid, Some rpf_rid when entry_rid <> rpf_rid ->
+        Migp.note_encapsulation migp;
+        exec_actions t rpf_rid
+          (Bgmp_router.initiate_branch t.routers.(rpf_rid) ~source ~group
+             ~shared_entry_router:entry_rid)
+    | (Some _ | None), (Some _ | None) -> ()
+  end
+  else if members <> [] && (not source_local) && Migp.strict_rpf style then begin
+    match (entry, exit_router_for_domain t dom source.Host_ref.host_domain) with
+    | Some entry_rid, Some rpf_rid when entry_rid <> rpf_rid -> Migp.note_encapsulation migp
+    | (Some _ | None), (Some _ | None) -> ()
+  end;
+  List.iter (fun h -> record_delivery t ~payload ~host:h ~hops) members;
+  (* Which border routers get a copy from the interior. *)
+  let interested rid =
+    let r = t.routers.(rid) in
+    Bgmp_router.on_tree r group || Bgmp_router.sg_entry r source group <> None
+    || classify_root_for t rid group = Bgmp_router.External (peer_of rid)
+  in
+  let border_targets =
+    if Migp.floods_data style then begin
+      let all = List.filter (fun rid -> Some rid <> entry) t.domain_routers.(dom) in
+      Migp.note_flood_delivery migp (List.length all);
+      List.iter (fun rid -> if not (interested rid) then Migp.note_internal_prune migp) all;
+      all
+    end
+    else List.filter (fun rid -> Some rid <> entry && interested rid) t.domain_routers.(dom)
+  in
+    List.iter
+      (fun rid ->
+        exec_actions t rid
+          (Bgmp_router.handle_data t.routers.(rid) ~group ~source ~payload ~hops
+             ~from:Bgmp_router.Migp_target))
+      border_targets
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp.Dvmrp)
+    ~route_to_root () =
+  let n = Topo.domain_count topo in
+  let links = Topo.links topo in
+  let router_count = 2 * List.length links in
+  let migps = Array.init n (fun d -> Migp.create (migp_style d) ~domain:d) in
+  let domain_routers = Array.make n [] in
+  let router_neighbor = Array.make router_count (-1) in
+  let router_delay = Array.make router_count Time.zero in
+  let toward_tbl = Hashtbl.create router_count in
+  let per_domain_counter = Array.make n 0 in
+  let routers =
+    Array.make router_count (Bgmp_router.create ~id:0 ~domain:0 ~name:"placeholder")
+  in
+  List.iteri
+    (fun k (l : Topo.link) ->
+      let make_end rid dom other =
+        per_domain_counter.(dom) <- per_domain_counter.(dom) + 1;
+        let name =
+          Printf.sprintf "%s%d" (Topo.domain topo dom).Domain.name per_domain_counter.(dom)
+        in
+        routers.(rid) <- Bgmp_router.create ~id:rid ~domain:dom ~name;
+        domain_routers.(dom) <- domain_routers.(dom) @ [ rid ];
+        router_neighbor.(rid) <- other;
+        router_delay.(rid) <- l.Topo.delay;
+        Hashtbl.replace toward_tbl (dom, other) rid
+      in
+      make_end (2 * k) l.Topo.a l.Topo.b;
+      make_end ((2 * k) + 1) l.Topo.b l.Topo.a)
+    links;
+  let t =
+    {
+      engine;
+      topo;
+      cfg = config;
+      route_to_root;
+      migps;
+      routers;
+      domain_routers;
+      router_neighbor;
+      router_delay;
+      toward_tbl;
+      link_down = Hashtbl.create 4;
+      ucast_cache = Hashtbl.create 16;
+      delivered = Hashtbl.create 64;
+      seen = Hashtbl.create 256;
+      dup_count = 0;
+      next_payload = 0;
+      ctl_msgs = 0;
+      data_msgs = 0;
+    }
+  in
+  Array.iteri
+    (fun rid router ->
+      Bgmp_router.set_classify_root router (fun group -> classify_root_for t rid group);
+      Bgmp_router.set_classify_source router (fun sd -> classify_source_for t rid sd))
+    routers;
+  (* Domain-Wide-Report wiring: first member in a domain sends a join
+     via the best exit router; last member leaving sends the prune. *)
+  Array.iteri
+    (fun dom migp ->
+      Migp.set_on_group_active migp (fun ~group ~active ->
+          (match exit_router_for_group t dom group with
+          | None -> ()
+          | Some exit ->
+              let router = t.routers.(exit) in
+              if active then
+                exec_actions t exit
+                  (Bgmp_router.handle_join router ~group ~from:Bgmp_router.Migp_target)
+              else if not (interior_interest t dom group ~excluding:exit) then
+                exec_actions t exit
+                  (Bgmp_router.handle_prune router ~group ~from:Bgmp_router.Migp_target));
+          (* Last member gone: tear down the (S,G) branches this domain's
+             routers grew on the members' behalf, so no orphaned branch
+             keeps pulling (or re-injecting) the sources' traffic. *)
+          if (not active) && not (Migp.has_members migp ~group) then
+            List.iter
+              (fun rid ->
+                let router = t.routers.(rid) in
+                List.iter
+                  (fun (source, (v : Bgmp_router.sg_view)) ->
+                    if
+                      List.exists
+                        (Bgmp_router.target_equal Bgmp_router.Migp_target)
+                        v.Bgmp_router.view_added
+                    then
+                      exec_actions t rid
+                        (Bgmp_router.handle_prune_sg router ~source ~group
+                           ~from:Bgmp_router.Migp_target))
+                  (Bgmp_router.sg_for_group router group);
+                (* With the branches gone, stale negative state at this
+                   domain's on-tree routers would starve remaining transit
+                   customers of the sources' shared-tree copies: lift it. *)
+                List.iter
+                  (fun (source, (v : Bgmp_router.sg_view)) ->
+                    if v.Bgmp_router.view_removed <> [] || v.Bgmp_router.view_targets = [] then
+                      exec_actions t rid
+                        (Bgmp_router.cancel_suppression router ~source ~group))
+                  (Bgmp_router.sg_for_group router group))
+              t.domain_routers.(dom)))
+    migps;
+  t
+
+let host_join t ~host ~group =
+  Migp.host_join t.migps.(host.Host_ref.host_domain) ~group ~host
+
+let host_leave t ~host ~group =
+  Migp.host_leave t.migps.(host.Host_ref.host_domain) ~group ~host
+
+let send t ~source ~group =
+  let payload = t.next_payload in
+  t.next_payload <- t.next_payload + 1;
+  internal_distribute t ~dom:source.Host_ref.host_domain ~entry:None ~group ~source ~payload
+    ~hops:0;
+  payload
+
+let deliveries t ~payload =
+  match Hashtbl.find_opt t.delivered payload with
+  | Some cell -> !cell
+  | None -> []
+
+let duplicate_deliveries t = t.dup_count
+
+let migp_of t dom = t.migps.(dom)
+
+let routers_of t dom = List.map (fun rid -> t.routers.(rid)) t.domain_routers.(dom)
+
+let router_toward t dom neighbor =
+  Option.map (fun rid -> t.routers.(rid)) (router_toward_id t dom neighbor)
+
+let tree_domains t ~group =
+  let doms = ref [] in
+  Array.iteri
+    (fun dom rids ->
+      if List.exists (fun rid -> Bgmp_router.on_tree t.routers.(rid) group) rids then
+        doms := dom :: !doms)
+    t.domain_routers;
+  List.sort compare !doms
+
+let fail_link t a b =
+  if Topo.link_between t.topo a b = None then invalid_arg "Bgmp_fabric.fail_link: no such link";
+  Hashtbl.replace t.link_down (min a b, max a b) ()
+
+let restore_link t a b = Hashtbl.remove t.link_down (min a b, max a b)
+
+let active_groups t =
+  let acc = Hashtbl.create 8 in
+  Array.iter
+    (fun r -> List.iter (fun g -> Hashtbl.replace acc g ()) (Bgmp_router.star_groups r))
+    t.routers;
+  Array.iter (fun m -> List.iter (fun g -> Hashtbl.replace acc g ()) (Migp.groups m)) t.migps;
+  List.sort compare (Hashtbl.fold (fun g () l -> g :: l) acc [])
+
+let rebuild_group t ~group =
+  Array.iter (fun r -> Bgmp_router.clear_group r group) t.routers;
+  Array.iteri
+    (fun dom migp ->
+      if Migp.has_members migp ~group then
+        match exit_router_for_group t dom group with
+        | Some exit ->
+            exec_actions t exit
+              (Bgmp_router.handle_join t.routers.(exit) ~group ~from:Bgmp_router.Migp_target)
+        | None -> ())
+    t.migps
+
+let control_messages t = t.ctl_msgs
+
+let data_messages t = t.data_msgs
+
+let total_entries t =
+  Array.fold_left (fun acc r -> acc + Bgmp_router.entry_count r) 0 t.routers

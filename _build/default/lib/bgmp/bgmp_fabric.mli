@@ -1,0 +1,110 @@
+(** The BGMP fabric: every domain's border routers, their peering
+    sessions, and the MIGP-mediated interior, assembled over the
+    simulation engine.
+
+    One border router exists per end of every inter-domain link (as in
+    the paper's figures: A1–A4 are A's routers on its four links).  The
+    fabric executes the {!Bgmp_router} state machines' actions: peer
+    messages travel with the link's delay; MIGP-side actions are routed
+    to the right border router of the domain; data handed to a domain's
+    interior is distributed per the domain's MIGP style (flooding or
+    explicit-state), with RPF-encapsulation and automatic source-specific
+    branch initiation for strict-RPF MIGPs (§5.3).
+
+    Routing information is injected: [route_to_root] answers from the
+    G-RIB (in the integrated stack, from the BGP speakers; in tests,
+    from a static table), and source routing uses unicast shortest
+    paths over the topology (the M-RIB in the congruent-topology
+    case). *)
+
+type root_route =
+  | Root_here
+  | Via of Domain.id  (** next-hop domain toward the root *)
+  | Unroutable
+
+type config = {
+  branching : bool;
+      (** build source-specific branches automatically when a strict-RPF
+          MIGP would otherwise keep encapsulating (§5.3) *)
+  link_delay_override : Time.t option;  (** use instead of per-link delays *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  engine:Engine.t ->
+  topo:Topo.t ->
+  ?config:config ->
+  ?migp_style:(Domain.id -> Migp.style) ->
+  route_to_root:(Domain.id -> Ipv4.t -> root_route) ->
+  unit ->
+  t
+(** [migp_style] defaults to DVMRP everywhere. *)
+
+(** {1 Host operations} *)
+
+val host_join : t -> host:Host_ref.t -> group:Ipv4.t -> unit
+
+val host_leave : t -> host:Host_ref.t -> group:Ipv4.t -> unit
+
+val send : t -> source:Host_ref.t -> group:Ipv4.t -> int
+(** Send one packet from the host to the group; returns the fresh
+    payload id.  Senders need not be members (IP service model, §3).
+    Run the engine to let it propagate. *)
+
+(** {1 Delivery observation} *)
+
+val deliveries : t -> payload:int -> (Host_ref.t * int) list
+(** Hosts that received the payload, with the inter-domain hop count of
+    the path each copy took. *)
+
+val duplicate_deliveries : t -> int
+(** Copies delivered to a host that had already received that payload —
+    0 in a correct run. *)
+
+val fail_link : t -> Domain.id -> Domain.id -> unit
+(** Take the inter-domain link down for the multicast data/control
+    plane: BGMP messages over it (joins, prunes, data) are silently
+    lost until {!restore_link}.  Combine with {!rebuild_group} (or use
+    [Internet.fail_link], which orchestrates BGP and BGMP together) to
+    move trees off the dead link. *)
+
+val restore_link : t -> Domain.id -> Domain.id -> unit
+
+(** {1 Route-change repair} *)
+
+val active_groups : t -> Ipv4.t list
+(** Groups with forwarding state or local members anywhere, ascending. *)
+
+val rebuild_group : t -> group:Ipv4.t -> unit
+(** Rebuild the group's distribution tree under the {e current} routing
+    information: every router's (star,G)/(S,G) state is dropped and
+    each member domain re-issues its join toward the (possibly new)
+    root path.  Call after the G-RIB changes for the group's covering
+    route — withdawals, policy changes, or MASC renumbering move the
+    path to the root, and the old tree is stale (real BGMP reconverges
+    the same way: new joins follow the new routes while the old state
+    times out). *)
+
+(** {1 Introspection} *)
+
+val migp_of : t -> Domain.id -> Migp.t
+
+val routers_of : t -> Domain.id -> Bgmp_router.t list
+
+val router_toward : t -> Domain.id -> Domain.id -> Bgmp_router.t option
+(** [router_toward t d e]: d's border router on the d–e link. *)
+
+val tree_domains : t -> group:Ipv4.t -> Domain.id list
+(** Domains with at least one on-tree border router, ascending. *)
+
+val control_messages : t -> int
+(** Join/prune messages sent between peers so far. *)
+
+val data_messages : t -> int
+(** Data packets sent over inter-domain links so far. *)
+
+val total_entries : t -> int
+(** Forwarding entries across all border routers. *)

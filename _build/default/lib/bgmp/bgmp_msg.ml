@@ -1,0 +1,16 @@
+type t =
+  | Join of Ipv4.t
+  | Prune of Ipv4.t
+  | Join_sg of { source : Host_ref.t; group : Ipv4.t }
+  | Prune_sg of { source : Host_ref.t; group : Ipv4.t }
+  | Data of { group : Ipv4.t; source : Host_ref.t; payload : int; hops : int }
+
+let pp ppf = function
+  | Join g -> Format.fprintf ppf "join %a" Ipv4.pp g
+  | Prune g -> Format.fprintf ppf "prune %a" Ipv4.pp g
+  | Join_sg { source; group } -> Format.fprintf ppf "join (%a,%a)" Host_ref.pp source Ipv4.pp group
+  | Prune_sg { source; group } ->
+      Format.fprintf ppf "prune (%a,%a)" Host_ref.pp source Ipv4.pp group
+  | Data { group; source; payload; hops } ->
+      Format.fprintf ppf "data %a from %a #%d (%d hops)" Ipv4.pp group Host_ref.pp source payload
+        hops

@@ -1,0 +1,505 @@
+type target = Peer of int | Migp_target | Internal_router of int
+
+let target_equal a b =
+  match (a, b) with
+  | Peer x, Peer y -> x = y
+  | Migp_target, Migp_target -> true
+  | Internal_router x, Internal_router y -> x = y
+  | (Peer _ | Migp_target | Internal_router _), _ -> false
+
+let pp_target ppf = function
+  | Peer p -> Format.fprintf ppf "peer-%d" p
+  | Migp_target -> Format.pp_print_string ppf "migp"
+  | Internal_router r -> Format.fprintf ppf "internal-%d" r
+
+type route_class = Root_here | External of int | Internal of int | Unroutable
+
+type action =
+  | To_peer of int * Bgmp_msg.t
+  | To_internal of int * Bgmp_msg.t
+      (** hand a BGMP message to an internal BGMP peer (another border
+          router of the same domain) through the MIGP — the paper's
+          "the parent target is the MIGP component of the border
+          router"; used by (S,G) chains so their traffic tunnels
+          between the two routers instead of flooding the interior *)
+  | Migp_join of Ipv4.t
+  | Migp_prune of Ipv4.t
+  | Migp_data of { group : Ipv4.t; source : Host_ref.t; payload : int; hops : int }
+
+type entry = { mutable parent : target option; mutable children : target list }
+
+(* (S,G) state is stored as a DELTA against the live (star,G) entry:
+   [added] holds grafted branch children, [removed] holds shared-tree
+   targets pruned for this source.  The effective outgoing set is
+   computed at forwarding time from the current (star,G) targets, so
+   shared-tree growth after the (S,G) entry was created is never lost
+   (a frozen copy would silently starve later joiners). *)
+type sg_state = {
+  mutable sg_parent : target option;  (** join/prune propagation direction *)
+  mutable sg_rpf : target option;  (** where S's packets must arrive from *)
+  mutable added : target list;
+  mutable removed : target list;
+}
+
+type sg_view = {
+  view_parent : target option;
+  view_rpf : target option;
+  view_added : target list;
+  view_removed : target list;
+  view_targets : target list;
+}
+
+type t = {
+  rid : int;
+  rdomain : Domain.id;
+  rname : string;
+  star : (Ipv4.t, entry) Hashtbl.t;
+  sg : (Host_ref.t * Ipv4.t, sg_state) Hashtbl.t;
+  pending_branch_prune : (Host_ref.t * Ipv4.t, int) Hashtbl.t;
+      (** branches we initiated: same-domain router whose shared-tree
+          copies to prune once (S,G) data arrives from the branch parent *)
+  mutable classify_root : Ipv4.t -> route_class;
+  mutable classify_source : Domain.id -> route_class;
+}
+
+let create ~id ~domain ~name =
+  {
+    rid = id;
+    rdomain = domain;
+    rname = name;
+    star = Hashtbl.create 8;
+    sg = Hashtbl.create 4;
+    pending_branch_prune = Hashtbl.create 2;
+    classify_root = (fun _ -> Unroutable);
+    classify_source = (fun _ -> Unroutable);
+  }
+
+let id t = t.rid
+
+let domain t = t.rdomain
+
+let name t = t.rname
+
+let set_classify_root t f = t.classify_root <- f
+
+let set_classify_source t f = t.classify_source <- f
+
+let star_entry t group = Hashtbl.find_opt t.star group
+
+let star_targets_now t group =
+  match Hashtbl.find_opt t.star group with
+  | Some e -> (match e.parent with Some p -> [ p ] | None -> []) @ e.children
+  | None -> []
+
+let minus l r = List.filter (fun x -> not (List.exists (target_equal x) r)) l
+
+(* The effective outgoing set of an (S,G) entry: live shared-tree
+   targets minus the pruned ones and the RPF side, plus grafted branch
+   children. *)
+let sg_targets_now t group st =
+  let tree = star_targets_now t group in
+  let rpf = match st.sg_rpf with Some r -> [ r ] | None -> [] in
+  let tree_part = minus tree (st.removed @ rpf) in
+  tree_part @ minus st.added (tree_part @ rpf)
+
+let view_of t group st =
+  {
+    view_parent = st.sg_parent;
+    view_rpf = st.sg_rpf;
+    view_added = st.added;
+    view_removed = st.removed;
+    view_targets = sg_targets_now t group st;
+  }
+
+let sg_entry t source group =
+  Option.map (view_of t group) (Hashtbl.find_opt t.sg (source, group))
+
+let sg_for_group t group =
+  Hashtbl.fold
+    (fun (s, g) st acc -> if Ipv4.equal g group then (s, view_of t group st) :: acc else acc)
+    t.sg []
+
+let star_groups t = Hashtbl.fold (fun g _ acc -> g :: acc) t.star []
+
+let on_tree t group = Hashtbl.mem t.star group
+
+let entry_count t = Hashtbl.length t.star + Hashtbl.length t.sg
+
+(* Groups whose entries have the same target signature collapse into
+   aligned prefix entries; the aggregated size is the minimal CIDR cover
+   of each signature class (§7). *)
+let aggregated_entry_count t =
+  let tgt = function
+    | Peer p -> Printf.sprintf "p%d" p
+    | Migp_target -> "m"
+    | Internal_router r -> Printf.sprintf "i%d" r
+  in
+  let opt = function Some x -> tgt x | None -> "-" in
+  let classes = Hashtbl.create 8 in
+  let add key group =
+    let cell =
+      match Hashtbl.find_opt classes key with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace classes key c;
+          c
+    in
+    cell := Prefix.make group 32 :: !cell
+  in
+  Hashtbl.iter
+    (fun group (e : entry) ->
+      add
+        (String.concat "," ("*" :: opt e.parent :: List.sort compare (List.map tgt e.children)))
+        group)
+    t.star;
+  Hashtbl.iter
+    (fun (source, group) st ->
+      add
+        (Format.asprintf "%a|%s|%s" Host_ref.pp source (opt st.sg_rpf)
+           (String.concat "," (List.sort compare (List.map tgt (sg_targets_now t group st)))))
+        group)
+    t.sg;
+  Hashtbl.fold (fun _ cell acc -> acc + List.length (Prefix.aggregate !cell)) classes 0
+
+(* Parent target and the action that sends a join upstream, for a path
+   classified by the fabric. *)
+let upstream_of_class cls ~peer_msg ~migp_action =
+  match cls with
+  | Root_here -> (Some Migp_target, [ migp_action ])
+  | External p -> (Some (Peer p), [ To_peer (p, peer_msg) ])
+  | Internal _ -> (Some Migp_target, [ migp_action ])
+  | Unroutable -> (None, [])
+
+(* (S,G) upstream: chains address the internal next-hop router
+   explicitly, so their traffic never rides the interior flood. *)
+let sg_upstream_of_class cls ~peer_msg =
+  match cls with
+  | Root_here -> (Some Migp_target, [])
+  | External p -> (Some (Peer p), [ To_peer (p, peer_msg) ])
+  | Internal r -> (Some (Internal_router r), [ To_internal (r, peer_msg) ])
+  | Unroutable -> (None, [])
+
+let add_child e target =
+  if not (List.exists (target_equal target) e.children) then e.children <- e.children @ [ target ]
+
+let remove_child e target =
+  e.children <- List.filter (fun c -> not (target_equal c target)) e.children
+
+let handle_join t ~group ~from =
+  match Hashtbl.find_opt t.star group with
+  | Some e ->
+      (* Already on the tree: just add the new branch.  A join from our
+         own parent would be a routing anomaly; ignore it. *)
+      if e.parent <> None && target_equal (Option.get e.parent) from then []
+      else begin
+        add_child e from;
+        []
+      end
+  | None ->
+      let parent, upstream =
+        upstream_of_class (t.classify_root group) ~peer_msg:(Bgmp_msg.Join group)
+          ~migp_action:(Migp_join group)
+      in
+      let e = { parent; children = [ from ] } in
+      Hashtbl.replace t.star group e;
+      upstream
+
+let handle_prune t ~group ~from =
+  match Hashtbl.find_opt t.star group with
+  | None -> []
+  | Some e ->
+      remove_child e from;
+      if e.children = [] then begin
+        Hashtbl.remove t.star group;
+        (* Also drop dependent (S,G) state for this group. *)
+        let dead =
+          Hashtbl.fold (fun (s, g) _ acc -> if Ipv4.equal g group then (s, g) :: acc else acc) t.sg []
+        in
+        List.iter (Hashtbl.remove t.sg) dead;
+        List.iter (Hashtbl.remove t.pending_branch_prune) dead;
+        match e.parent with
+        | Some (Peer p) -> [ To_peer (p, Bgmp_msg.Prune group) ]
+        | Some Migp_target -> [ Migp_prune group ]
+        | Some (Internal_router r) -> [ To_internal (r, Bgmp_msg.Prune group) ]
+        | None -> []
+      end
+      else []
+
+(* The toward-source target for (S,G) state: where S's packets are
+   expected to arrive from (the RPF side). *)
+let rpf_target_for t source =
+  match t.classify_source source.Host_ref.host_domain with
+  | Root_here -> Some Migp_target
+  | External p -> Some (Peer p)
+  | Internal r -> Some (Internal_router r)
+  | Unroutable -> None
+
+(* Does the (S,G) entry still forward to any downstream target (the
+   emptiness test driving prune propagation)?  Downstream = live tree
+   CHILDREN minus removed, plus grafted children — the tree parent does
+   not count ("F1 has no other child targets ... it propagates the
+   prune up", §5.3). *)
+let sg_downstream_empty t group st =
+  let tree_children =
+    match Hashtbl.find_opt t.star group with
+    | Some e -> e.children
+    | None -> []
+  in
+  minus tree_children st.removed = [] && minus st.added st.removed = []
+
+let handle_join_sg t ~source ~group ~from =
+  match Hashtbl.find_opt t.sg (source, group) with
+  | Some st ->
+      (* A graft: cancel a previous prune of this target, or add a new
+         branch child. *)
+      if List.exists (target_equal from) st.removed then
+        st.removed <- List.filter (fun x -> not (target_equal x from)) st.removed
+      else if not (List.exists (target_equal from) st.added) then
+        st.added <- st.added @ [ from ];
+      []
+  | None -> (
+      match Hashtbl.find_opt t.star group with
+      | Some star_e ->
+          (* On the shared tree: graft the branch child; the outgoing set
+             tracks the live (star,G) targets.  The join is not
+             propagated further (§5.3). *)
+          let st =
+            {
+              sg_parent = star_e.parent;
+              sg_rpf = rpf_target_for t source;
+              added = [ from ];
+              removed = [];
+            }
+          in
+          Hashtbl.replace t.sg (source, group) st;
+          []
+      | None ->
+          let parent, upstream =
+            sg_upstream_of_class
+              (t.classify_source source.Host_ref.host_domain)
+              ~peer_msg:(Bgmp_msg.Join_sg { source; group })
+          in
+          let st = { sg_parent = parent; sg_rpf = parent; added = [ from ]; removed = [] } in
+          Hashtbl.replace t.sg (source, group) st;
+          upstream)
+
+let handle_prune_sg t ~source ~group ~from =
+  let propagate_if_empty st =
+    if sg_downstream_empty t group st then begin
+      match (Hashtbl.find_opt t.star group, st.sg_parent) with
+      | None, Some (Peer p) ->
+          (* A pure branch with no children left: tear it down. *)
+          Hashtbl.remove t.sg (source, group);
+          Hashtbl.remove t.pending_branch_prune (source, group);
+          [ To_peer (p, Bgmp_msg.Prune_sg { source; group }) ]
+      | None, Some (Internal_router r) ->
+          Hashtbl.remove t.sg (source, group);
+          Hashtbl.remove t.pending_branch_prune (source, group);
+          [ To_internal (r, Bgmp_msg.Prune_sg { source; group }) ]
+      | Some star_e, _ -> (
+          (* Negative state on the shared tree: stop upstream copies. *)
+          match star_e.parent with
+          | Some (Peer p) -> [ To_peer (p, Bgmp_msg.Prune_sg { source; group }) ]
+          | Some (Migp_target | Internal_router _) | None -> [])
+      | None, (Some Migp_target | None) -> []
+    end
+    else []
+  in
+  match Hashtbl.find_opt t.sg (source, group) with
+  | Some st ->
+      let changed = ref false in
+      if List.exists (target_equal from) st.added then begin
+        st.added <- List.filter (fun x -> not (target_equal x from)) st.added;
+        changed := true
+      end
+      else if not (List.exists (target_equal from) st.removed) then begin
+        st.removed <- st.removed @ [ from ];
+        changed := true
+      end;
+      (* A pruned target turns the entry into suppression state: S's
+         remaining copies are expected from the shared-tree parent. *)
+      (if st.removed <> [] then
+         match Hashtbl.find_opt t.star group with
+         | Some star_e -> st.sg_rpf <- star_e.parent
+         | None -> ());
+      if !changed then propagate_if_empty st else []
+  | None -> (
+      (* Prune of S's shared-tree copies at an on-tree router: install
+         negative (S,G) state.  The expected arrival side for S's
+         shared-tree copies is the (star,G) parent (PIM's (S,G)Rpt
+         semantics); data arriving from anywhere else — e.g. branch
+         re-injections through the interior — is dropped, never pushed
+         back up the tree. *)
+      match Hashtbl.find_opt t.star group with
+      | None -> []
+      | Some star_e ->
+          let st =
+            { sg_parent = star_e.parent; sg_rpf = star_e.parent; added = []; removed = [ from ] }
+          in
+          Hashtbl.replace t.sg (source, group) st;
+          propagate_if_empty st)
+
+let forward_data targets ~group ~source ~payload ~hops ~from =
+  List.filter_map
+    (fun tgt ->
+      if target_equal tgt from then None
+      else
+        match tgt with
+        | Peer p -> Some (To_peer (p, Bgmp_msg.Data { group; source; payload; hops }))
+        | Internal_router r -> Some (To_internal (r, Bgmp_msg.Data { group; source; payload; hops }))
+        | Migp_target -> Some (Migp_data { group; source; payload; hops }))
+    targets
+
+let handle_data t ~group ~source ~payload ~hops ~from =
+  (* A branch we initiated becomes live when (S,G) data arrives from its
+     RPF side: time to prune the duplicate shared-tree copies (§5.3). *)
+  let branch_prunes =
+    match
+      (Hashtbl.find_opt t.sg (source, group), Hashtbl.find_opt t.pending_branch_prune (source, group))
+    with
+    | Some st, Some shared_router
+      when st.sg_rpf <> None && target_equal (Option.get st.sg_rpf) from ->
+        (* Deliberately NOT consumed: membership churn can lift the
+           shared-tree suppression while this branch lives on, and the
+           un-suppressed tree copy plus the branch would cycle; asserting
+           the prune on every branch arrival keeps the pair consistent
+           (the prune is idempotent and precedes the forwards below). *)
+        [ To_internal (shared_router, Bgmp_msg.Prune_sg { source; group }) ]
+    | Some _, Some _ | None, Some _ | Some _, None | None, None -> []
+  in
+  (* The §5.2 default rule, used when no (star,G) entry applies: pass
+     the packet along toward the group's root domain. *)
+  let default_toward_root () =
+    match t.classify_root group with
+    | Root_here -> (
+        match from with
+        | Migp_target | Internal_router _ -> []  (* nowhere further to go *)
+        | Peer _ -> [ Migp_data { group; source; payload; hops } ])
+    | External p ->
+        if (match from with Peer q -> q = p | Migp_target | Internal_router _ -> false) then []
+        else [ To_peer (p, Bgmp_msg.Data { group; source; payload; hops }) ]
+    | Internal _ -> (
+        match from with
+        | Migp_target | Internal_router _ -> []
+        | Peer _ -> [ Migp_data { group; source; payload; hops } ])
+    | Unroutable -> []
+  in
+  let forwards =
+    match Hashtbl.find_opt t.sg (source, group) with
+    | Some st -> (
+        (* Three flavours of (S,G) state, distinguished live:
+           - a pure BRANCH (no (star,G) here): strictly RPF-gated — S's
+             packets are accepted only from the toward-source side and
+             flow down the grafted children; anything else is dropped
+             (this is what makes branch re-injections loop-free);
+           - NEGATIVE state on the shared tree (some tree target was
+             pruned for S): gated on the side S's shared-tree copies
+             arrive from, forwarding to the surviving children — its
+             whole point is suppression, so off-gate arrivals drop;
+           - a GRAFT on the shared tree (branch children added, nothing
+             pruned): behaves exactly like the bidirectional (star,G)
+             entry plus the extra children — gating it to one side would
+             starve tree neighbours whose copies flow through us. *)
+        let star = Hashtbl.find_opt t.star group in
+        match (star, st.removed) with
+        | None, _ -> (
+            match st.sg_rpf with
+            | Some r when not (target_equal from r) -> []
+            | Some _ | None ->
+                (* A branch hop at an off-tree router must not swallow
+                   the packet: besides the grafted children, the data
+                   still flows toward the root domain (the branch is an
+                   ADDITION to the shared-tree distribution, §5.3).
+                   Skip the default when it duplicates a branch child. *)
+                let branch = forward_data (minus st.added [ from ]) ~group ~source ~payload ~hops ~from in
+                let defaults =
+                  List.filter
+                    (fun act ->
+                      match act with
+                      | To_peer (p, Bgmp_msg.Data _) ->
+                          not
+                            (List.exists
+                               (function Peer q -> q = p | Migp_target | Internal_router _ -> false)
+                               st.added)
+                      | Migp_data _ ->
+                          not (List.exists (target_equal Migp_target) st.added)
+                      | To_peer _ | To_internal _ | Migp_join _ | Migp_prune _ -> true)
+                    (default_toward_root ())
+                in
+                branch @ defaults)
+        | Some star_e, _ :: _ -> (
+            match st.sg_rpf with
+            | Some r when not (target_equal from r) -> []
+            | Some _ | None ->
+                let survivors = minus star_e.children st.removed @ minus st.added st.removed in
+                forward_data survivors ~group ~source ~payload ~hops ~from)
+        | Some star_e, [] ->
+            let tree =
+              (match star_e.parent with Some p -> [ p ] | None -> []) @ star_e.children
+            in
+            let acceptable =
+              List.exists (target_equal from) tree
+              || (match st.sg_rpf with Some r -> target_equal from r | None -> false)
+            in
+            if not acceptable then []
+            else
+              forward_data
+                (tree @ minus st.added tree)
+                ~group ~source ~payload ~hops ~from)
+    | None -> (
+        match Hashtbl.find_opt t.star group with
+        | Some e ->
+            let targets = (match e.parent with Some p -> [ p ] | None -> []) @ e.children in
+            forward_data targets ~group ~source ~payload ~hops ~from
+        | None -> default_toward_root ())
+  in
+  branch_prunes @ forwards
+
+let clear_group t group =
+  Hashtbl.remove t.star group;
+  let dead_sg =
+    Hashtbl.fold (fun (s, g) _ acc -> if Ipv4.equal g group then (s, g) :: acc else acc) t.sg []
+  in
+  List.iter (Hashtbl.remove t.sg) dead_sg;
+  let dead_pending =
+    Hashtbl.fold
+      (fun (s, g) _ acc -> if Ipv4.equal g group then (s, g) :: acc else acc)
+      t.pending_branch_prune []
+  in
+  List.iter (Hashtbl.remove t.pending_branch_prune) dead_pending
+
+let cancel_suppression t ~source ~group =
+  match (Hashtbl.find_opt t.sg (source, group), Hashtbl.find_opt t.star group) with
+  | Some _, Some star_e ->
+      Hashtbl.remove t.sg (source, group);
+      (match star_e.parent with
+      | Some (Peer p) -> [ To_peer (p, Bgmp_msg.Join_sg { source; group }) ]
+      | Some (Migp_target | Internal_router _) | None -> [])
+  | (Some _ | None), (Some _ | None) -> []
+
+let initiate_branch t ~source ~group ~shared_entry_router =
+  match Hashtbl.find_opt t.sg (source, group) with
+  | Some st ->
+      (* Already a transit hop of someone else's chain: graft our own
+         interior (members) onto it and arrange the suppression of the
+         stale shared-tree copies. *)
+      if not (List.exists (target_equal Migp_target) st.added) then
+        st.added <- st.added @ [ Migp_target ];
+      Hashtbl.replace t.pending_branch_prune (source, group) shared_entry_router;
+      []
+  | None -> (
+      let parent, upstream =
+        sg_upstream_of_class
+          (t.classify_source source.Host_ref.host_domain)
+          ~peer_msg:(Bgmp_msg.Join_sg { source; group })
+      in
+      match parent with
+      | None -> []
+      | Some _ ->
+          let st =
+            { sg_parent = parent; sg_rpf = parent; added = [ Migp_target ]; removed = [] }
+          in
+          Hashtbl.replace t.sg (source, group) st;
+          Hashtbl.replace t.pending_branch_prune (source, group) shared_entry_router;
+          upstream)

@@ -1,0 +1,141 @@
+(** The BGMP component of one border router (§5).
+
+    The router keeps per-group (star,G) forwarding entries — a parent
+    target toward the group's root domain and a list of child targets —
+    plus (S,G) entries for source-specific branches.  A target is either
+    an external BGMP peer (the border router across one of this
+    router's inter-domain links) or the domain's MIGP component.
+
+    The state machine is transport-agnostic: every handler returns the
+    list of {!action}s to perform, and the enclosing fabric interprets
+    them (sending peer messages with link delay, routing MIGP-side
+    actions to the right border router of the domain, distributing data
+    internally per the MIGP style). *)
+
+type target =
+  | Peer of int  (** global router id of an external BGMP peer *)
+  | Migp_target  (** this domain's MIGP component (interior flood/members) *)
+  | Internal_router of int
+      (** the MIGP component of a specific border router of the same
+          domain — the paper's internal BGMP peer, used by (S,G) chains
+          so source-specific traffic tunnels across the interior instead
+          of riding the general flood *)
+
+val target_equal : target -> target -> bool
+
+val pp_target : Format.formatter -> target -> unit
+
+(** Where the path toward some root/source domain leaves from this
+    router's point of view; the fabric computes it from the G-RIB (for
+    roots) or the M-RIB/unicast table (for sources). *)
+type route_class =
+  | Root_here  (** this domain is the root (or source) domain *)
+  | External of int  (** next hop is across this router's own link: peer id *)
+  | Internal of int
+      (** next hop is via another border router of this domain (its
+          global router id) *)
+  | Unroutable
+
+type action =
+  | To_peer of int * Bgmp_msg.t
+  | To_internal of int * Bgmp_msg.t
+      (** hand a BGMP message directly to an internal BGMP peer (another
+          border router of this domain) through the MIGP *)
+  | Migp_join of Ipv4.t
+      (** propagate a (star,G) join through the domain (to the best exit
+          router toward the root, or just graft local members when this
+          domain is the root) *)
+  | Migp_prune of Ipv4.t
+  | Migp_data of { group : Ipv4.t; source : Host_ref.t; payload : int; hops : int }
+      (** hand a packet to the domain's internal distribution *)
+
+type entry = {
+  mutable parent : target option;
+      (** toward the root domain; join/prune propagation goes here *)
+  mutable children : target list;  (** downstream targets *)
+}
+(** A (star,G) shared-tree entry: forwards bidirectionally among
+    parent and children. *)
+
+type sg_view = {
+  view_parent : target option;  (** join/prune propagation direction *)
+  view_rpf : target option;  (** where S's packets must arrive from *)
+  view_added : target list;  (** grafted branch children *)
+  view_removed : target list;  (** shared-tree targets pruned for S *)
+  view_targets : target list;
+      (** the effective outgoing set right now — computed against the
+          live (star,G) entry, so shared-tree changes after the (S,G)
+          state was installed are reflected automatically *)
+}
+(** Read-only view of an (S,G) entry (source-specific branch or
+    negative/prune state). *)
+
+type t
+
+val create : id:int -> domain:Domain.id -> name:string -> t
+
+val id : t -> int
+
+val domain : t -> Domain.id
+
+val name : t -> string
+
+val set_classify_root : t -> (Ipv4.t -> route_class) -> unit
+(** How to reach the root domain of a group (G-RIB longest match). *)
+
+val set_classify_source : t -> (Domain.id -> route_class) -> unit
+(** How to reach a source's domain (M-RIB / unicast routing). *)
+
+(** {1 Event handlers} — each returns the actions to execute. *)
+
+val handle_join : t -> group:Ipv4.t -> from:target -> action list
+
+val handle_prune : t -> group:Ipv4.t -> from:target -> action list
+
+val handle_join_sg : t -> source:Host_ref.t -> group:Ipv4.t -> from:target -> action list
+
+val handle_prune_sg : t -> source:Host_ref.t -> group:Ipv4.t -> from:target -> action list
+
+val handle_data :
+  t -> group:Ipv4.t -> source:Host_ref.t -> payload:int -> hops:int -> from:target -> action list
+
+val initiate_branch : t -> source:Host_ref.t -> group:Ipv4.t -> shared_entry_router:int -> action list
+(** Begin a source-specific branch at this (decapsulating) router: set
+    up (S,G) state toward the source and remember which same-domain
+    router's shared-tree copies to prune once branch data flows
+    (§5.3). *)
+
+val cancel_suppression : t -> source:Host_ref.t -> group:Ipv4.t -> action list
+(** Remove this router's negative (S,G) state for the source and
+    re-subscribe to the source's shared-tree copies upstream (an (S,G)
+    join toward the (star,G) parent, cancelling the prune that a
+    now-dead branch once sent).  No-op without (star,G) state. *)
+
+val clear_group : t -> Ipv4.t -> unit
+(** Drop every (star,G) and (S,G) entry for the group (tree rebuild
+    after a G-RIB change). *)
+
+(** {1 Introspection} *)
+
+val star_entry : t -> Ipv4.t -> entry option
+
+val sg_entry : t -> Host_ref.t -> Ipv4.t -> sg_view option
+
+val star_groups : t -> Ipv4.t list
+
+val sg_for_group : t -> Ipv4.t -> (Host_ref.t * sg_view) list
+(** All (S,G) entries for the given group. *)
+
+val on_tree : t -> Ipv4.t -> bool
+
+val entry_count : t -> int
+(** Total forwarding entries, (star,G) plus (S,G) — the state-scaling
+    metric of §7. *)
+
+val aggregated_entry_count : t -> int
+(** Forwarding-table size after the §7 state aggregation: (star,G) and
+    (S,G) entries whose target lists are identical collapse into
+    (star,G-prefix) / (S,G-prefix) entries covering aligned group
+    ranges ("BGMP has provisions for this by allowing (star,G-prefix)
+    and (S-prefix,G-prefix) state to be stored at the routers wherever
+    the list of targets are the same"). *)

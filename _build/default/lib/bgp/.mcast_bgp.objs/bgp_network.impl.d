@@ -1,0 +1,1 @@
+lib/bgp/bgp_network.ml: Array Domain Engine Hashtbl List Speaker Topo

@@ -1,0 +1,1 @@
+lib/bgp/bgp_network.mli: Domain Engine Prefix Speaker Time Topo

@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Domain Format Int List Prefix String Time

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: Domain Format Prefix Time

@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: Domain Hashtbl List Option Prefix Prefix_trie Route Update

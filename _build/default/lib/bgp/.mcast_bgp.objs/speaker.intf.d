@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Domain Ipv4 Prefix Route Time Update

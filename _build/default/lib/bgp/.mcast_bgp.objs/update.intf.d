@@ -1,0 +1,1 @@
+lib/bgp/update.mli: Format Prefix Route

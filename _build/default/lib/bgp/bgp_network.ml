@@ -1,0 +1,70 @@
+type t = {
+  engine : Engine.t;
+  topo : Topo.t;
+  speakers : Speaker.t array;
+  mutable delivered : int;
+  down : (Domain.id * Domain.id, unit) Hashtbl.t;
+}
+
+let relation_from_link ~self ~(link : Topo.link) =
+  match link.Topo.rel with
+  | Topo.Peer -> Speaker.To_peer
+  | Topo.Provider_customer ->
+      if link.Topo.a = self then Speaker.To_customer else Speaker.To_provider
+
+let create ~engine ~topo =
+  let n = Topo.domain_count topo in
+  let speakers = Array.init n (fun id -> Speaker.create ~id) in
+  let t = { engine; topo; speakers; delivered = 0; down = Hashtbl.create 4 } in
+  List.iter
+    (fun (link : Topo.link) ->
+      let sa = speakers.(link.Topo.a) and sb = speakers.(link.Topo.b) in
+      Speaker.add_peer sa link.Topo.b (relation_from_link ~self:link.Topo.a ~link);
+      Speaker.add_peer sb link.Topo.a (relation_from_link ~self:link.Topo.b ~link))
+    (Topo.links topo);
+  Array.iteri
+    (fun src speaker ->
+      Speaker.set_send speaker (fun ~dst update ->
+          let link =
+            match Topo.link_between topo src dst with
+            | Some l -> l
+            | None -> invalid_arg "Bgp_network: send to non-adjacent domain"
+          in
+          let pair = if src < dst then (src, dst) else (dst, src) in
+          if not (Hashtbl.mem t.down pair) then
+            ignore
+              (Engine.schedule_after engine link.Topo.delay (fun () ->
+                   (* Messages in flight when the link died are lost. *)
+                   if not (Hashtbl.mem t.down pair) then begin
+                     t.delivered <- t.delivered + 1;
+                     Speaker.receive speakers.(dst) ~from_:src update
+                   end))))
+    speakers;
+  t
+
+let speaker t id = t.speakers.(id)
+
+let engine t = t.engine
+
+let topo t = t.topo
+
+let originate ?lifetime_end t id prefix = Speaker.originate ?lifetime_end t.speakers.(id) prefix
+
+let withdraw t id prefix = Speaker.withdraw_origin t.speakers.(id) prefix
+
+let fail_link t a b =
+  if Topo.link_between t.topo a b = None then invalid_arg "Bgp_network.fail_link: no such link";
+  Hashtbl.replace t.down (min a b, max a b) ();
+  Speaker.peer_down t.speakers.(a) b;
+  Speaker.peer_down t.speakers.(b) a
+
+let restore_link t a b =
+  Hashtbl.remove t.down (min a b, max a b);
+  Speaker.peer_up t.speakers.(a) b;
+  Speaker.peer_up t.speakers.(b) a
+
+let converge t = Engine.run_until_idle t.engine
+
+let update_count t = t.delivered
+
+let grib_sizes t = Array.map Speaker.grib_size t.speakers

@@ -1,0 +1,43 @@
+(** A network of BGP speakers, one per topology domain, exchanging
+    updates over the simulation engine.
+
+    Peerings mirror the topology's links; relationships are derived from
+    the link's provider/customer/peer annotation.  Updates are delivered
+    with the link's delay; sessions are FIFO (the engine breaks
+    equal-time ties in scheduling order), which stands in for the TCP
+    peering sessions of real BGP. *)
+
+type t
+
+val create : engine:Engine.t -> topo:Topo.t -> t
+(** Build one speaker per domain and peer them along every link. *)
+
+val speaker : t -> Domain.id -> Speaker.t
+
+val engine : t -> Engine.t
+
+val topo : t -> Topo.t
+
+val originate : ?lifetime_end:Time.t -> t -> Domain.id -> Prefix.t -> unit
+(** Inject a group route at its root domain (what a MASC node does after
+    winning a claim) and let it propagate. *)
+
+val withdraw : t -> Domain.id -> Prefix.t -> unit
+
+val fail_link : t -> Domain.id -> Domain.id -> unit
+(** Take the inter-domain link down: both BGP sessions drop (routes
+    learned over it are flushed and withdrawals ripple out) and any
+    in-flight updates on the link are lost. *)
+
+val restore_link : t -> Domain.id -> Domain.id -> unit
+(** Bring the link back: the sessions re-form and both sides exchange
+    full tables. *)
+
+val converge : t -> unit
+(** Run the engine until no BGP activity remains. *)
+
+val update_count : t -> int
+(** Total update messages delivered so far (control-traffic metric). *)
+
+val grib_sizes : t -> int array
+(** Per-domain G-RIB sizes, indexed by domain id. *)

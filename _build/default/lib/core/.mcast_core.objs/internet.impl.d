@@ -1,0 +1,1 @@
+lib/core/internet.ml: Array Bgmp_fabric Bgp_network Domain Engine Hashtbl Ipv4 List Maas Masc_network Masc_node Option Prefix Printf Rng Route Speaker Time Topo Trace

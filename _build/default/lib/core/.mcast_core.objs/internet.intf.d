@@ -1,0 +1,1 @@
+lib/core/internet.mli: Bgmp_fabric Bgp_network Domain Engine Host_ref Ipv4 Maas Masc_network Masc_node Migp Speaker Time Topo Trace

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Bgmp_fabric Domain Engine Gen Host_ref Internet Ipv4 List Maas Option Spf Time Topo

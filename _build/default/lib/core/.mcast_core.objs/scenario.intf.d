@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Bgmp_fabric Domain Engine Host_ref Internet Ipv4 Migp Topo

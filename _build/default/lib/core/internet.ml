@@ -1,0 +1,195 @@
+type config = {
+  masc : Masc_node.config;
+  bgmp : Bgmp_fabric.config;
+  maas_block : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    masc = Masc_node.default_config;
+    bgmp = Bgmp_fabric.default_config;
+    maas_block = 256;
+    seed = 1998;
+  }
+
+let quick_config =
+  {
+    default_config with
+    masc =
+      {
+        Masc_node.default_config with
+        Masc_node.claim_wait = Time.minutes 5.0;
+        renew_margin = Time.hours 1.0;
+      };
+  }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  net_topo : Topo.t;
+  net_trace : Trace.t;
+  bgp_net : Bgp_network.t;
+  masc_net : Masc_network.t;
+  bgmp_fabric : Bgmp_fabric.t;
+  maases : Maas.t array;
+}
+
+let engine t = t.engine
+
+let topo t = t.net_topo
+
+let trace t = t.net_trace
+
+let speaker t d = Bgp_network.speaker t.bgp_net d
+
+let masc_node t d = Masc_network.node t.masc_net d
+
+let maas t d = t.maases.(d)
+
+let fabric t = t.bgmp_fabric
+
+let bgp t = t.bgp_net
+
+let masc_network t = t.masc_net
+
+let create ?(config = default_config) ?migp_style net_topo =
+  let engine = Engine.create () in
+  let rng = Rng.create config.seed in
+  let net_trace = Trace.create () in
+  let bgp_net = Bgp_network.create ~engine ~topo:net_topo in
+  let masc_net =
+    Masc_network.of_topo ~engine ~rng ~config:config.masc ~trace:net_trace net_topo
+  in
+  (* MASC -> BGP glue: acquired ranges become group routes injected at
+     their root domain; lost ranges are withdrawn (§4.2). *)
+  List.iter
+    (fun id ->
+      let node = Masc_network.node masc_net id in
+      Masc_node.add_on_acquired node (fun prefix ~lifetime_end ->
+          Bgp_network.originate ~lifetime_end bgp_net id prefix);
+      Masc_node.add_on_replaced node (fun ~old_prefix ~by:_ ->
+          Bgp_network.withdraw bgp_net id old_prefix);
+      Masc_node.add_on_lost node (fun prefix -> Bgp_network.withdraw bgp_net id prefix))
+    (Masc_network.ids masc_net);
+  (* BGP -> BGMP glue: the G-RIB answers where the root domain lies. *)
+  let route_to_root dom group =
+    match Speaker.lookup (Bgp_network.speaker bgp_net dom) group with
+    | None -> Bgmp_fabric.Unroutable
+    | Some route -> (
+        match Route.next_hop route with
+        | None -> Bgmp_fabric.Root_here
+        | Some nh -> Bgmp_fabric.Via nh)
+  in
+  let bgmp_fabric =
+    Bgmp_fabric.create ~engine ~topo:net_topo ~config:config.bgmp ?migp_style ~route_to_root ()
+  in
+  let maases =
+    Array.init (Topo.domain_count net_topo) (fun d ->
+        Maas.create ~engine ~node:(Masc_network.node masc_net d) ~block_size:config.maas_block)
+  in
+  (* BGP -> BGMP repair glue: a change to any domain's best route for a
+     covering prefix makes the affected groups' trees stale; rebuild
+     them under the new routes.  Rebuilds are coalesced per group within
+     an engine tick so an update storm triggers one repair. *)
+  let pending_rebuild = Hashtbl.create 8 in
+  let schedule_rebuild group =
+    if not (Hashtbl.mem pending_rebuild group) then begin
+      Hashtbl.replace pending_rebuild group ();
+      ignore
+        (Engine.schedule_after engine Time.zero (fun () ->
+             Hashtbl.remove pending_rebuild group;
+             Bgmp_fabric.rebuild_group bgmp_fabric ~group))
+    end
+  in
+  List.iter
+    (fun (d : Domain.t) ->
+      Speaker.set_on_grib_change (Bgp_network.speaker bgp_net d.Domain.id) (fun prefix ->
+          List.iter
+            (fun group -> if Prefix.mem group prefix then schedule_rebuild group)
+            (Bgmp_fabric.active_groups bgmp_fabric)))
+    (Topo.domains net_topo);
+  { cfg = config; engine; net_topo; net_trace; bgp_net; masc_net; bgmp_fabric; maases }
+
+let start t = Masc_network.start t.masc_net
+
+let rebuild_all_groups t =
+  List.iter
+    (fun group -> Bgmp_fabric.rebuild_group t.bgmp_fabric ~group)
+    (Bgmp_fabric.active_groups t.bgmp_fabric)
+
+let fail_link t a b =
+  Bgp_network.fail_link t.bgp_net a b;
+  Bgmp_fabric.fail_link t.bgmp_fabric a b;
+  (* Rebuild once the withdrawals settle; the grib-change hook also
+     fires rebuilds during reconvergence, but a group whose routes are
+     unaffected can still have tree edges over the dead link. *)
+  ignore (Engine.schedule_after t.engine (Time.seconds 1.0) (fun () -> rebuild_all_groups t))
+
+let restore_link t a b =
+  Bgp_network.restore_link t.bgp_net a b;
+  Bgmp_fabric.restore_link t.bgmp_fabric a b;
+  ignore (Engine.schedule_after t.engine (Time.seconds 1.0) (fun () -> rebuild_all_groups t))
+
+let run_for t duration = Engine.run ~until:(Engine.now t.engine +. duration) t.engine
+
+let settle t = Engine.run_until_idle t.engine
+
+let request_address t dom = Maas.allocate t.maases.(dom) ()
+
+let request_address_in t ~initiator ~root =
+  let alloc = Maas.allocate t.maases.(root) () in
+  (match alloc with
+  | Some a ->
+      Trace.recordf t.net_trace ~time:(Engine.now t.engine)
+        ~actor:(Printf.sprintf "maas-%d" root) ~tag:"remote-alloc" "%a for initiator %d"
+        Ipv4.pp a.Maas.address initiator
+  | None -> ());
+  alloc
+
+let request_address_with_fallback t dom =
+  match Maas.allocate t.maases.(dom) () with
+  | Some a -> Some (a, dom)
+  | None -> (
+      match Masc_node.role (Masc_network.node t.masc_net dom) with
+      | Masc_node.Top -> None
+      | Masc_node.Child parent -> (
+          match Maas.allocate t.maases.(parent) () with
+          | Some a ->
+              Trace.recordf t.net_trace ~time:(Engine.now t.engine)
+                ~actor:(Printf.sprintf "maas-%d" dom) ~tag:"fallback-alloc"
+                "%a from parent %d" Ipv4.pp a.Maas.address parent;
+              Some (a, parent)
+          | None -> None))
+
+let release_address t dom alloc = Maas.release t.maases.(dom) alloc
+
+let root_domain_of t group =
+  (* Aggregation can hide the most specific route from distant vantage
+     points (§4.3.2): a backbone may only carry its own covering range.
+     Follow origins — each origin's G-RIB holds the next more-specific
+     route — until a domain names itself, which is the root. *)
+  let n = Topo.domain_count t.net_topo in
+  let rec scan d =
+    if d >= n then None
+    else
+      match Speaker.lookup (Bgp_network.speaker t.bgp_net d) group with
+      | Some route -> Some route.Route.origin
+      | None -> scan (d + 1)
+  in
+  let rec follow d depth =
+    if depth > n then Some d
+    else
+      match Speaker.lookup (Bgp_network.speaker t.bgp_net d) group with
+      | Some route when route.Route.origin <> d -> follow route.Route.origin (depth + 1)
+      | Some _ | None -> Some d
+  in
+  Option.bind (scan 0) (fun d -> follow d 0)
+
+let join t ~host ~group = Bgmp_fabric.host_join t.bgmp_fabric ~host ~group
+
+let leave t ~host ~group = Bgmp_fabric.host_leave t.bgmp_fabric ~host ~group
+
+let send t ~source ~group = Bgmp_fabric.send t.bgmp_fabric ~source ~group
+
+let deliveries t ~payload = Bgmp_fabric.deliveries t.bgmp_fabric ~payload

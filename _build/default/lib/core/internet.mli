@@ -1,0 +1,118 @@
+(** The integrated MASC/BGMP architecture: the paper's full system.
+
+    An {!t} wires together, over one simulation engine and topology:
+
+    - a {b MASC} hierarchy (from the provider structure) that claims
+      multicast address ranges per domain;
+    - per-domain {b BGP} speakers: every acquired MASC range is injected
+      as a group route and propagated subject to policy, building each
+      domain's G-RIB;
+    - a {b BGMP} fabric of border routers that resolves every group
+      address through the local G-RIB to the root domain and builds the
+      bidirectional shared tree, with MIGP components inside each
+      domain;
+    - one {b MAAS} per domain handing individual group addresses to
+      initiators out of the domain's MASC ranges.
+
+    The result is the paper's end-to-end flow: an initiator asks its
+    MAAS for an address, the address falls in its domain's claimed
+    range, the range's group route makes that domain the root, members
+    anywhere join toward it, and senders anywhere reach all members. *)
+
+type config = {
+  masc : Masc_node.config;
+  bgmp : Bgmp_fabric.config;
+  maas_block : int;  (** space requested from MASC when a MAAS runs dry *)
+  seed : int;
+}
+
+val default_config : config
+
+val quick_config : config
+(** Protocol timers scaled down (minutes instead of the deployment-scale
+    48-hour collision wait) so examples and tests converge quickly. *)
+
+type t
+
+val create : ?config:config -> ?migp_style:(Domain.id -> Migp.style) -> Topo.t -> t
+(** Build the stack; [migp_style] defaults to DVMRP everywhere. *)
+
+val start : t -> unit
+(** Start MASC (top-level domains advertise and children begin
+    claiming).  Run the engine afterwards to let allocation settle. *)
+
+val engine : t -> Engine.t
+
+val topo : t -> Topo.t
+
+val trace : t -> Trace.t
+
+val run_for : t -> Time.t -> unit
+(** Advance the simulation by the given duration. *)
+
+val settle : t -> unit
+(** Run until no events remain (careful: periodic MASC housekeeping
+    never drains; prefer {!run_for}). *)
+
+val fail_link : t -> Domain.id -> Domain.id -> unit
+(** Take an inter-domain link down across the whole stack: the BGP
+    sessions drop (withdrawals ripple, alternates get selected), BGMP
+    messages over the link are lost, and every active group's tree is
+    rebuilt under the surviving routes. *)
+
+val restore_link : t -> Domain.id -> Domain.id -> unit
+(** Bring the link back: sessions re-form with full table exchange and
+    the trees are rebuilt onto the (possibly shorter) restored paths. *)
+
+(** {1 Addresses and groups} *)
+
+val request_address : t -> Domain.id -> Maas.allocation option
+(** Ask the domain's MAAS for a group address.  [None] when the domain
+    has no usable MASC range yet — run the simulation and retry. *)
+
+val request_address_in : t -> initiator:Domain.id -> root:Domain.id -> Maas.allocation option
+(** The §7 "address allocation interface" extension: a group initiator
+    obtains an address from {e another} domain's MAAS so the resulting
+    tree is rooted there — e.g. when the dominant sources are known to
+    live elsewhere.  Equivalent to [request_address t root]; the
+    initiator argument is for tracing. *)
+
+val request_address_with_fallback : t -> Domain.id -> (Maas.allocation * Domain.id) option
+(** The §4.1 burst path: try the domain's own MAAS; if its space is
+    exhausted (a claim is pending), fall back to the provider's MAAS so
+    the session can start immediately — "addresses could be obtained
+    from the parent's address space.  If this is done, the root of the
+    shared tree for these groups would simply be the parent's domain,
+    which might be sub-optimal".  Returns the allocation and the domain
+    it came from (the tree's root). *)
+
+val release_address : t -> Domain.id -> Maas.allocation -> unit
+
+val root_domain_of : t -> Ipv4.t -> Domain.id option
+(** Where the shared tree for this address is rooted, per the G-RIB of
+    the address's covering group route (from any vantage: the origin of
+    the route). *)
+
+val join : t -> host:Host_ref.t -> group:Ipv4.t -> unit
+
+val leave : t -> host:Host_ref.t -> group:Ipv4.t -> unit
+
+val send : t -> source:Host_ref.t -> group:Ipv4.t -> int
+(** Returns the payload id; run the engine, then inspect
+    {!deliveries}. *)
+
+val deliveries : t -> payload:int -> (Host_ref.t * int) list
+
+(** {1 Component access (for tests, examples, and experiments)} *)
+
+val masc_node : t -> Domain.id -> Masc_node.t
+
+val maas : t -> Domain.id -> Maas.t
+
+val speaker : t -> Domain.id -> Speaker.t
+
+val fabric : t -> Bgmp_fabric.t
+
+val bgp : t -> Bgp_network.t
+
+val masc_network : t -> Masc_network.t

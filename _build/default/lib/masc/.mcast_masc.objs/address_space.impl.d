@@ -1,0 +1,1 @@
+lib/masc/address_space.ml: Free_space List Prefix Prefix_trie Rng

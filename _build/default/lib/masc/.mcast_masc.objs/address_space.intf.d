@@ -1,0 +1,1 @@
+lib/masc/address_space.mli: Prefix Rng

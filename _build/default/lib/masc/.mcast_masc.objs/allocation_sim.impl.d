@@ -1,0 +1,1 @@
+lib/masc/allocation_sim.ml: Address_space Array Claim_policy Engine List Prefix Rng Seq Time

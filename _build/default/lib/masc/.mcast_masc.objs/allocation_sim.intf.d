@@ -1,0 +1,1 @@
+lib/masc/allocation_sim.mli: Claim_policy Prefix Time

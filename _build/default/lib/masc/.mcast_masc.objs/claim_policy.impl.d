@@ -1,0 +1,1 @@
+lib/masc/claim_policy.ml: Address_space Format List Prefix

@@ -1,0 +1,1 @@
+lib/masc/claim_policy.mli: Address_space Format Prefix

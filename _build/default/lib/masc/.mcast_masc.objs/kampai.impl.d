@@ -1,0 +1,1 @@
+lib/masc/kampai.ml: Address_space Array Claim_policy Engine Format Fun Ipv4 List Prefix Rng Stats Time

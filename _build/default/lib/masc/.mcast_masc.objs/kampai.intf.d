@@ -1,0 +1,1 @@
+lib/masc/kampai.mli: Format Ipv4 Prefix Time

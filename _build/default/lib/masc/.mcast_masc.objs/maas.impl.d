@@ -1,0 +1,1 @@
+lib/masc/maas.ml: Engine Hashtbl Ipv4 List Masc_node Option Prefix Time

@@ -1,0 +1,1 @@
+lib/masc/maas.mli: Engine Ipv4 Masc_node Prefix Time

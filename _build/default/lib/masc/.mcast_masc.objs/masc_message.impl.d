@@ -1,0 +1,1 @@
+lib/masc/masc_message.ml: Domain Format List Prefix String Time

@@ -1,0 +1,1 @@
+lib/masc/masc_message.mli: Domain Format Prefix Time

@@ -1,0 +1,1 @@
+lib/masc/masc_network.ml: Address_space Domain Engine Hashtbl List Masc_message Masc_node Prefix Rng Time Topo Trace

@@ -1,0 +1,1 @@
+lib/masc/masc_network.mli: Domain Engine Masc_node Prefix Rng Topo Trace

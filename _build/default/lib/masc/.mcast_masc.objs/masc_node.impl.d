@@ -1,0 +1,1 @@
+lib/masc/masc_node.ml: Address_space Claim_policy Domain Engine Format Hashtbl List Masc_message Option Prefix Printf Rng String Time Trace

@@ -1,0 +1,1 @@
+lib/masc/masc_node.mli: Address_space Claim_policy Domain Engine Masc_message Prefix Rng Time Trace

@@ -1,0 +1,72 @@
+(** A MASC allocation arena: the view a MASC node keeps of one address
+    space it allocates from.
+
+    The arena is described by {e covers} — the prefixes that delimit the
+    space (the parent's advertised ranges, or 224/4 itself for top-level
+    domains) — and {e claims} — the sub-prefixes it has heard claimed by
+    the domains allocating out of that space (its siblings and itself).
+    All the claim algorithm's questions ("what are the largest free
+    blocks?", "can this prefix double into its buddy?") are answered
+    here. *)
+
+type t
+
+val create : unit -> t
+
+val add_cover : t -> Prefix.t -> unit
+(** Extend the space.  Overlapping covers are allowed (they are unioned
+    logically); an exact duplicate is a no-op. *)
+
+val remove_cover : t -> Prefix.t -> unit
+
+val covers : t -> Prefix.t list
+(** In prefix order. *)
+
+val register : t -> owner:int -> Prefix.t -> unit
+(** Record a claim by [owner].  @raise Invalid_argument if the exact
+    prefix is already registered (collisions are decided before
+    registration). *)
+
+val unregister : t -> Prefix.t -> unit
+(** Forget a claim (expiry, release, or collision loss). *)
+
+val owner_of : t -> Prefix.t -> int option
+
+val claims : t -> (Prefix.t * int) list
+(** All (prefix, owner) claims, in prefix order. *)
+
+val claims_of : t -> owner:int -> Prefix.t list
+
+val claim_count : t -> int
+
+val conflicting : t -> Prefix.t -> (Prefix.t * int) list
+(** Registered claims overlapping the candidate. *)
+
+val is_free : t -> Prefix.t -> bool
+(** Inside some cover and overlapping no registered claim. *)
+
+val choose_claim : t -> rng:Rng.t -> want_len:int -> Prefix.t option
+(** One step of the §4.3.3 claim algorithm: compute the free blocks of
+    every cover, keep those of the shortest mask length overall, pick one
+    uniformly at random, and return its first sub-prefix of length
+    [want_len].  [None] when no free block can hold a /[want_len]. *)
+
+val choose_claim_placed :
+  t -> rng:Rng.t -> want_len:int -> placement:[ `First | `Random ] -> Prefix.t option
+(** Like {!choose_claim} but with a selectable placement rule inside the
+    chosen free block: [`First] is the paper's first-sub-prefix rule;
+    [`Random] places the claim at a uniformly random aligned position —
+    the ablation baseline showing why the paper's rule aggregates
+    better. *)
+
+val can_double : t -> Prefix.t -> bool
+(** Is the buddy of this claimed prefix entirely free and the doubled
+    prefix still inside a single cover?  (The doubling expansion of
+    §4.3.3.) *)
+
+val free_addresses : t -> int
+(** Total unclaimed addresses across the covers. *)
+
+val total_addresses : t -> int
+(** Total addresses across the covers (overlapping covers counted
+    once). *)

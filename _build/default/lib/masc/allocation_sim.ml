@@ -1,0 +1,536 @@
+type params = {
+  tops : int;
+  children_per_top : int;
+  block_size : int;
+  block_lifetime : Time.t;
+  request_min : Time.t;
+  request_max : Time.t;
+  horizon : Time.t;
+  sample_interval : Time.t;
+  policy : Claim_policy.params;
+  claim_lifetime : Time.t;
+  placement : [ `First | `Random ];
+  hetero_spread : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    tops = 50;
+    children_per_top = 50;
+    block_size = 256;
+    block_lifetime = Time.days 30.0;
+    request_min = Time.hours 1.0;
+    request_max = Time.hours 95.0;
+    horizon = Time.days 800.0;
+    sample_interval = Time.days 1.0;
+    policy = Claim_policy.default_params;
+    claim_lifetime = Time.days 30.0;
+    placement = `First;
+    hetero_spread = 0;
+    seed = 1998;
+  }
+
+type sample = {
+  day : float;
+  utilization : float;
+  grib_avg : float;
+  grib_max : int;
+  outstanding_blocks : int;
+  claimed_addresses : int;
+  demanded_addresses : int;
+  top_prefixes : int;
+  child_prefixes : int;
+}
+
+type holding = { h_prefix : Prefix.t; h_active : bool; h_used : int }
+
+type result = {
+  samples : sample array;
+  failed_requests : int;
+  total_requests : int;
+  claims_made : int;
+  final_tops : holding list array;
+  final_children : holding list array;
+}
+
+(* One claimed prefix held by a domain (child or top).  [used] counts
+   addresses of live blocks (child) or of children's claims (top,
+   maintained incrementally). *)
+type dom_claim = {
+  mutable prefix : Prefix.t;
+  mutable active : bool;
+  mutable used : int;
+  mutable expires : Time.t;
+  mutable alive : bool;
+}
+
+type child = { c_owner : int; c_top : int; mutable c_claims : dom_claim list; c_rng : Rng.t }
+
+type top = {
+  t_owner : int;
+  t_arena : Address_space.t;  (** the arena this top's children claim from *)
+  mutable t_claims : dom_claim list;
+  t_rng : Rng.t;
+}
+
+type sim = {
+  p : params;
+  engine : Engine.t;
+  global : Address_space.t;  (** 224/4; claims are top-level prefixes *)
+  top_doms : top array;
+  child_doms : child array;
+  mutable demanded : int;  (** addresses of live blocks *)
+  mutable claimed_top : int;  (** addresses claimed from 224/4 *)
+  mutable blocks : int;
+  mutable failed : int;
+  mutable requests : int;
+  mutable claims_made : int;
+  mutable samples_rev : sample list;
+  mutable right_size_top : sim -> top -> unit;
+  mutable right_size_child : sim -> child -> unit;
+}
+
+let policy_view claims =
+  List.map
+    (fun c -> { Claim_policy.prefix = c.prefix; active = c.active; used = c.used })
+    (List.filter (fun c -> c.alive) claims)
+
+let live_claims claims = List.filter (fun c -> c.alive) claims
+
+(* --- top-level (parent) expansion ---------------------------------- *)
+
+let top_total top = List.fold_left (fun acc c -> acc + Prefix.size c.prefix) 0 (live_claims top.t_claims)
+
+let top_used top = List.fold_left (fun acc c -> acc + c.used) 0 (live_claims top.t_claims)
+
+(* Lifetime machinery (§4.3.1): a claim still in use is renewed at
+   expiry, but only while [may_renew] holds — a child claim may not
+   outlive its covering parent range, so once the parent range is
+   deactivated the child claim switches to draining (no new assignments)
+   and is recycled when its addresses time out. *)
+let rec schedule_claim_expiry sim ~(arena : Address_space.t) ~(holder : dom_claim)
+    ~(may_renew : unit -> bool) ?(on_renew = fun () -> ()) ~(on_release : unit -> unit) () =
+  ignore
+    (Engine.schedule_at sim.engine holder.expires (fun () ->
+         if holder.alive then begin
+           if holder.used > 0 && may_renew () then begin
+             holder.expires <- Engine.now sim.engine +. sim.p.claim_lifetime;
+             schedule_claim_expiry sim ~arena ~holder ~may_renew ~on_renew ~on_release ();
+             on_renew ()
+           end
+           else if holder.used > 0 then begin
+             (* Cannot renew: drain and re-check one lifetime later. *)
+             holder.active <- false;
+             holder.expires <- Engine.now sim.engine +. sim.p.claim_lifetime;
+             schedule_claim_expiry sim ~arena ~holder ~may_renew ~on_renew ~on_release ()
+           end
+           else begin
+             holder.alive <- false;
+             Address_space.unregister arena holder.prefix;
+             on_release ()
+           end
+         end))
+
+let top_release sim top holder () =
+  top.t_claims <- List.filter (fun c -> c != holder) top.t_claims;
+  Address_space.remove_cover top.t_arena holder.prefix;
+  sim.claimed_top <- sim.claimed_top - Prefix.size holder.prefix
+
+let top_add_claim sim top prefix =
+  Address_space.register sim.global ~owner:top.t_owner prefix;
+  Address_space.add_cover top.t_arena prefix;
+  let holder =
+    {
+      prefix;
+      active = true;
+      used = 0;
+      expires = Engine.now sim.engine +. sim.p.claim_lifetime;
+      alive = true;
+    }
+  in
+  top.t_claims <- holder :: top.t_claims;
+  sim.claimed_top <- sim.claimed_top + Prefix.size prefix;
+  sim.claims_made <- sim.claims_made + 1;
+  schedule_claim_expiry sim ~arena:sim.global ~holder
+    ~may_renew:(fun () -> holder.active)
+    ~on_renew:(fun () -> sim.right_size_top sim top)
+    ~on_release:(top_release sim top holder) ();
+  holder
+
+let top_double sim top holder =
+  let doubled = Prefix.double holder.prefix in
+  Address_space.unregister sim.global holder.prefix;
+  Address_space.register sim.global ~owner:top.t_owner doubled;
+  Address_space.remove_cover top.t_arena holder.prefix;
+  Address_space.add_cover top.t_arena doubled;
+  sim.claimed_top <- sim.claimed_top + Prefix.size holder.prefix;
+  sim.claims_made <- sim.claims_made + 1;
+  holder.prefix <- doubled
+
+let top_deactivate sim top holder =
+  ignore sim;
+  if holder.active then begin
+    holder.active <- false;
+    (* Children may no longer place or grow claims inside a draining
+       range; their claims within it lapse at their own expiry. *)
+    Address_space.remove_cover top.t_arena holder.prefix
+  end
+
+(* Grow a top's space by [need] addresses; [force] skips the Assign
+   short-circuit (used when a child failed on fragmentation, so raw
+   capacity exists but no usable contiguous block).  The effective need
+   is never below what restores the occupancy target, so
+   fragmentation-forced claims do not litter 224/4 with slivers. *)
+let top_expand sim top ~need ~force =
+  let threshold = sim.p.policy.Claim_policy.threshold in
+  let total = top_total top and used = top_used top in
+  let to_target =
+    max 0 (int_of_float (ceil (float_of_int (used + need) /. threshold)) - total)
+  in
+  let need = max need to_target in
+  let decision =
+    Claim_policy.decide ~params:sim.p.policy ~space:sim.global
+      ~claims:(policy_view top.t_claims) ~need
+  in
+  let claim_new len =
+    match
+      Address_space.choose_claim_placed sim.global ~rng:top.t_rng ~want_len:len
+        ~placement:sim.p.placement
+    with
+    | Some prefix -> Some (top_add_claim sim top prefix)
+    | None -> None
+  in
+  let consolidate len =
+    match claim_new len with
+    | Some fresh ->
+        List.iter (fun c -> if c.alive && c != fresh then top_deactivate sim top c) top.t_claims;
+        true
+    | None -> false
+  in
+  (* Fragmentation-forced growth must still respect the prefix budget:
+     at the limit, consolidate into one block big enough for everything
+     instead of littering 224/4 with per-incident slivers. *)
+  let forced_growth () =
+    let active = List.filter (fun c -> c.alive && c.active) top.t_claims in
+    if List.length active < sim.p.policy.Claim_policy.max_prefixes then
+      claim_new (Prefix.mask_for_count need) <> None
+    else consolidate (Prefix.mask_for_count (used + need))
+  in
+  match decision with
+  | Claim_policy.Assign _ -> if force then forced_growth () else true
+  | Claim_policy.Double p -> (
+      match List.find_opt (fun c -> c.alive && Prefix.equal c.prefix p) top.t_claims with
+      | Some holder ->
+          top_double sim top holder;
+          true
+      | None -> false)
+  | Claim_policy.Claim_new len -> claim_new len <> None
+  | Claim_policy.Consolidate len -> consolidate len
+  | Claim_policy.Blocked -> forced_growth ()
+
+(* Renewal-time adaptation (§4.3.3: ranges "have to be given up once the
+   lifetime expires unless explicitly renewed.  This helps us adapt
+   continually to usage patterns"): a domain whose active space is badly
+   under-used at renewal consolidates down to a right-sized block. *)
+let right_size_top sim top =
+  let active = List.filter (fun c -> c.alive && c.active) top.t_claims in
+  let size = List.fold_left (fun acc c -> acc + Prefix.size c.prefix) 0 active in
+  let used = List.fold_left (fun acc c -> acc + c.used) 0 active in
+  let threshold = sim.p.policy.Claim_policy.threshold in
+  if used > 0 && size > 0 && float_of_int used < 0.5 *. threshold *. float_of_int size then begin
+    let len = Prefix.mask_for_count used in
+    if 1 lsl (32 - len) < size then begin
+      match
+        Address_space.choose_claim_placed sim.global ~rng:top.t_rng ~want_len:len
+          ~placement:sim.p.placement
+      with
+      | Some prefix ->
+          let fresh = top_add_claim sim top prefix in
+          List.iter (fun c -> if c.alive && c != fresh then top_deactivate sim top c) top.t_claims
+      | None -> ()
+    end
+  end
+
+(* Keep the parent ahead of its children's demand (§4.1). *)
+let top_pressure_check sim top =
+  let total = top_total top in
+  let used = top_used top in
+  if total = 0 then ignore (top_expand sim top ~need:sim.p.block_size ~force:false)
+  else begin
+    let threshold = sim.p.policy.Claim_policy.threshold in
+    if float_of_int used > threshold *. float_of_int total then begin
+      let target = int_of_float (ceil (float_of_int used /. threshold)) in
+      ignore (top_expand sim top ~need:(max sim.p.block_size (target - total)) ~force:false)
+    end
+  end
+
+(* --- child claims --------------------------------------------------- *)
+
+let top_claim_covering top prefix =
+  List.find_opt (fun c -> c.alive && Prefix.subsumes c.prefix prefix) top.t_claims
+
+let note_child_claimed sim child prefix delta =
+  let top = sim.top_doms.(child.c_top) in
+  match top_claim_covering top prefix with
+  | Some holder -> holder.used <- holder.used + delta
+  | None -> ()
+
+let child_release sim child holder () =
+  child.c_claims <- List.filter (fun c -> c != holder) child.c_claims;
+  note_child_claimed sim child holder.prefix (-(Prefix.size holder.prefix))
+
+let child_add_claim sim child prefix =
+  let top = sim.top_doms.(child.c_top) in
+  Address_space.register top.t_arena ~owner:child.c_owner prefix;
+  let holder =
+    {
+      prefix;
+      active = true;
+      used = 0;
+      expires = Engine.now sim.engine +. sim.p.claim_lifetime;
+      alive = true;
+    }
+  in
+  child.c_claims <- holder :: child.c_claims;
+  sim.claims_made <- sim.claims_made + 1;
+  note_child_claimed sim child prefix (Prefix.size prefix);
+  schedule_claim_expiry sim ~arena:top.t_arena ~holder
+    ~may_renew:(fun () ->
+      holder.active
+      && (match top_claim_covering top holder.prefix with
+         | Some cover -> cover.active
+         | None -> false))
+    ~on_renew:(fun () -> sim.right_size_child sim child)
+    ~on_release:(child_release sim child holder) ();
+  top_pressure_check sim top;
+  holder
+
+let child_double sim child holder =
+  let top = sim.top_doms.(child.c_top) in
+  let doubled = Prefix.double holder.prefix in
+  Address_space.unregister top.t_arena holder.prefix;
+  Address_space.register top.t_arena ~owner:child.c_owner doubled;
+  note_child_claimed sim child holder.prefix (Prefix.size holder.prefix);
+  (* +size(old) = size(new) - size(old) added on top of what was already
+     counted for the old prefix. *)
+  sim.claims_made <- sim.claims_made + 1;
+  holder.prefix <- doubled;
+  top_pressure_check sim top
+
+(* Find (growing the spaces as needed) a claim with room for one block.
+   Returns [None] only when even parent expansion failed. *)
+let rec child_satisfy sim child ~attempts =
+  if attempts <= 0 then None
+  else begin
+    let top = sim.top_doms.(child.c_top) in
+    let decision =
+      Claim_policy.decide ~params:sim.p.policy ~space:top.t_arena
+        ~claims:(policy_view child.c_claims) ~need:sim.p.block_size
+    in
+    let place len =
+      match
+        Address_space.choose_claim_placed top.t_arena ~rng:child.c_rng ~want_len:len
+          ~placement:sim.p.placement
+      with
+      | Some prefix -> Some (child_add_claim sim child prefix)
+      | None ->
+          if top_expand sim top ~need:(1 lsl (32 - len)) ~force:true then
+            child_satisfy sim child ~attempts:(attempts - 1)
+          else None
+    in
+    match decision with
+    | Claim_policy.Assign p ->
+        List.find_opt
+          (fun c -> c.alive && c.active && Prefix.equal c.prefix p)
+          child.c_claims
+    | Claim_policy.Double p -> (
+        match
+          List.find_opt (fun c -> c.alive && Prefix.equal c.prefix p) child.c_claims
+        with
+        | Some holder ->
+            child_double sim child holder;
+            Some holder
+        | None -> None)
+    | Claim_policy.Claim_new len -> place len
+    | Claim_policy.Consolidate len -> (
+        match place len with
+        | Some holder ->
+            List.iter (fun c -> if c != holder then c.active <- false) child.c_claims;
+            Some holder
+        | None -> None)
+    | Claim_policy.Blocked ->
+        let need =
+          sim.p.block_size
+          + List.fold_left (fun acc c -> if c.alive then acc + c.used else acc) 0 child.c_claims
+        in
+        if top_expand sim top ~need ~force:true then child_satisfy sim child ~attempts:(attempts - 1)
+        else None
+  end
+
+let right_size_child sim child =
+  let active = List.filter (fun c -> c.alive && c.active) child.c_claims in
+  let size = List.fold_left (fun acc c -> acc + Prefix.size c.prefix) 0 active in
+  let used = List.fold_left (fun acc c -> acc + c.used) 0 active in
+  let threshold = sim.p.policy.Claim_policy.threshold in
+  if used > 0 && size > 0 && float_of_int used < 0.5 *. threshold *. float_of_int size then begin
+    let len = Prefix.mask_for_count used in
+    if 1 lsl (32 - len) < size then begin
+      let top = sim.top_doms.(child.c_top) in
+      match
+        Address_space.choose_claim_placed top.t_arena ~rng:child.c_rng ~want_len:len
+          ~placement:sim.p.placement
+      with
+      | Some prefix ->
+          let fresh = child_add_claim sim child prefix in
+          List.iter (fun c -> if c.alive && c != fresh then c.active <- false) child.c_claims
+      | None -> ()
+    end
+  end
+
+let expire_block sim child holder () =
+  holder.used <- holder.used - sim.p.block_size;
+  sim.demanded <- sim.demanded - sim.p.block_size;
+  sim.blocks <- sim.blocks - 1;
+  (* An inactive claim that just drained is recycled immediately — the
+     paper's "will timeout when the currently allocated addresses
+     timeout". *)
+  if holder.alive && (not holder.active) && holder.used = 0 then begin
+    holder.alive <- false;
+    let top = sim.top_doms.(child.c_top) in
+    Address_space.unregister top.t_arena holder.prefix;
+    child_release sim child holder ()
+  end
+
+let rec child_request_loop sim child =
+  let delay = Rng.float_in child.c_rng sim.p.request_min sim.p.request_max in
+  ignore
+    (Engine.schedule_after sim.engine delay (fun () ->
+         sim.requests <- sim.requests + 1;
+         (match child_satisfy sim child ~attempts:3 with
+         | Some holder ->
+             holder.used <- holder.used + sim.p.block_size;
+             sim.demanded <- sim.demanded + sim.p.block_size;
+             sim.blocks <- sim.blocks + 1;
+             ignore
+               (Engine.schedule_after sim.engine sim.p.block_lifetime
+                  (fun () -> expire_block sim child holder ()))
+         | None -> sim.failed <- sim.failed + 1);
+         child_request_loop sim child))
+
+(* --- sampling ------------------------------------------------------- *)
+
+let take_sample sim =
+  let p = sim.p in
+  let global_prefixes =
+    Array.fold_left (fun acc top -> acc + List.length (live_claims top.t_claims)) 0 sim.top_doms
+  in
+  let child_prefix_total =
+    Array.fold_left (fun acc c -> acc + List.length (live_claims c.c_claims)) 0 sim.child_doms
+  in
+  (* Per-top counts of children prefixes. *)
+  let per_top = Array.make p.tops 0 in
+  Array.iter
+    (fun c -> per_top.(c.c_top) <- per_top.(c.c_top) + List.length (live_claims c.c_claims))
+    sim.child_doms;
+  let sum_grib = ref 0 and max_grib = ref 0 in
+  Array.iter
+    (fun top ->
+      let g = global_prefixes + per_top.(top.t_owner) in
+      sum_grib := !sum_grib + g;
+      if g > !max_grib then max_grib := g)
+    sim.top_doms;
+  Array.iter
+    (fun c ->
+      let own = List.length (live_claims c.c_claims) in
+      let g = global_prefixes + per_top.(c.c_top) - own in
+      sum_grib := !sum_grib + g;
+      if g > !max_grib then max_grib := g)
+    sim.child_doms;
+  let n_domains = p.tops + Array.length sim.child_doms in
+  let utilization =
+    if sim.claimed_top = 0 then 0.0 else float_of_int sim.demanded /. float_of_int sim.claimed_top
+  in
+  {
+    day = Time.to_days (Engine.now sim.engine);
+    utilization;
+    grib_avg = float_of_int !sum_grib /. float_of_int n_domains;
+    grib_max = !max_grib;
+    outstanding_blocks = sim.blocks;
+    claimed_addresses = sim.claimed_top;
+    demanded_addresses = sim.demanded;
+    top_prefixes = global_prefixes;
+    child_prefixes = child_prefix_total;
+  }
+
+let run p =
+  let engine = Engine.create () in
+  let rng = Rng.create p.seed in
+  let global = Address_space.create () in
+  Address_space.add_cover global Prefix.class_d;
+  let top_doms =
+    Array.init p.tops (fun i ->
+        { t_owner = i; t_arena = Address_space.create (); t_claims = []; t_rng = Rng.split rng })
+  in
+  let children_counts =
+    Array.init p.tops (fun _ ->
+        let spread = if p.hetero_spread = 0 then 0 else Rng.int_in rng (-p.hetero_spread) p.hetero_spread in
+        max 1 (p.children_per_top + spread))
+  in
+  let child_doms =
+    let specs =
+      Array.to_list children_counts
+      |> List.mapi (fun top count -> List.init count (fun _ -> top))
+      |> List.concat
+    in
+    Array.of_list
+      (List.mapi
+         (fun i top ->
+           { c_owner = p.tops + i; c_top = top; c_claims = []; c_rng = Rng.split rng })
+         specs)
+  in
+  let sim =
+    {
+      p;
+      engine;
+      global;
+      top_doms;
+      child_doms;
+      demanded = 0;
+      claimed_top = 0;
+      blocks = 0;
+      failed = 0;
+      requests = 0;
+      claims_made = 0;
+      samples_rev = [];
+      right_size_top = (fun _ _ -> ());
+      right_size_child = (fun _ _ -> ());
+    }
+  in
+  sim.right_size_top <- right_size_top;
+  sim.right_size_child <- right_size_child;
+  Array.iter (fun c -> child_request_loop sim c) child_doms;
+  let rec sampling () =
+    ignore
+      (Engine.schedule_after engine p.sample_interval (fun () ->
+           sim.samples_rev <- take_sample sim :: sim.samples_rev;
+           if Engine.now engine < p.horizon then sampling ()))
+  in
+  sampling ();
+  Engine.run ~until:p.horizon engine;
+  let snapshot claims =
+    List.map
+      (fun c -> { h_prefix = c.prefix; h_active = c.active; h_used = c.used })
+      (live_claims claims)
+  in
+  {
+    samples = Array.of_list (List.rev sim.samples_rev);
+    failed_requests = sim.failed;
+    total_requests = sim.requests;
+    claims_made = sim.claims_made;
+    final_tops = Array.map (fun top -> snapshot top.t_claims) sim.top_doms;
+    final_children = Array.map (fun c -> snapshot c.c_claims) sim.child_doms;
+  }
+
+let steady_state result ~from_day =
+  Array.to_list (Array.of_seq (Seq.filter (fun s -> s.day >= from_day) (Array.to_seq result.samples)))

@@ -1,0 +1,77 @@
+(** The paper's §4.3.3 MASC claim-algorithm simulation (Figure 2).
+
+    A two-level hierarchy of [tops] top-level domains, each with
+    [children_per_top] child domains.  Each child's allocation server
+    requests blocks of [block_size] addresses with lifetime
+    [block_lifetime]; inter-request times are uniform on
+    [\[request_min, request_max\]].  Children claim prefixes from their
+    parent's space and parents claim from 224/4, both with the §4.3.3
+    policy (75 % occupancy target, at most two prefixes, doubling /
+    small-claim / consolidation).
+
+    The simulator runs the claim algorithm synchronously against each
+    arena's current registry: the 48-hour collision wait is three orders
+    of magnitude below the 30-day dynamics being measured and the paper's
+    own simulation tracks exactly these two observables — address-space
+    utilization and G-RIB size, defined as in §4.3.3:
+
+    - {e utilization}: fraction of the addresses claimed from 224/4 that
+      are actually requested by the allocation servers;
+    - {e G-RIB size at a top-level domain}: globally advertised prefixes
+      (all top-level claims) plus its children's prefixes;
+    - {e G-RIB size at a child}: globally advertised prefixes plus the
+      prefixes claimed by its siblings. *)
+
+type params = {
+  tops : int;
+  children_per_top : int;
+  block_size : int;
+  block_lifetime : Time.t;
+  request_min : Time.t;
+  request_max : Time.t;
+  horizon : Time.t;
+  sample_interval : Time.t;
+  policy : Claim_policy.params;
+  claim_lifetime : Time.t;
+  placement : [ `First | `Random ];  (** sub-prefix placement rule (ablation A2) *)
+  hetero_spread : int;
+      (** heterogeneity: each top-level domain gets
+          [children_per_top ± U(0, hetero_spread)] children (0 = the
+          paper's homogeneous 50×50; the paper notes it "also examined
+          more heterogeneous topologies with similar results") *)
+  seed : int;
+}
+
+val default_params : params
+(** The paper's settings: 50×50 domains, 256-address blocks, 30-day
+    lifetimes, U[1 h, 95 h] inter-request, 800-day horizon, daily
+    samples, 75 % / 2-prefix policy, first-sub-prefix placement. *)
+
+type sample = {
+  day : float;
+  utilization : float;
+  grib_avg : float;
+  grib_max : int;
+  outstanding_blocks : int;
+  claimed_addresses : int;  (** total claimed from 224/4 *)
+  demanded_addresses : int;
+  top_prefixes : int;  (** globally advertised prefix count *)
+  child_prefixes : int;
+}
+
+type holding = { h_prefix : Prefix.t; h_active : bool; h_used : int }
+(** One claimed prefix at the end of the run. *)
+
+type result = {
+  samples : sample array;
+  failed_requests : int;  (** block requests that found no space *)
+  total_requests : int;
+  claims_made : int;
+  final_tops : holding list array;  (** per top-level domain *)
+  final_children : holding list array;  (** per child domain *)
+}
+
+val run : params -> result
+
+val steady_state : result -> from_day:float -> sample list
+(** The samples at or after [from_day], for summary statistics. *)

@@ -1,0 +1,46 @@
+(** The MASC expansion policy of §4.3.3: how a domain decides to satisfy
+    a demand for more addresses.
+
+    The policy is pure — it inspects the domain's current claims and the
+    arena and returns a decision — so it is unit-testable in isolation
+    and shared verbatim by the distributed protocol node and the
+    Figure-2 allocation simulator.
+
+    Paper rules implemented:
+    - target occupancy for a domain's space is [threshold] (75 %);
+    - keep at most [max_prefixes] (two) active prefixes per domain;
+    - on unsatisfiable demand, {e double} the smallest active prefix
+      whose buddy is free when post-doubling utilization stays at or
+      above the threshold; otherwise {e claim a small additional prefix}
+      just sufficient for the demand; when the domain is at its prefix
+      limit and nothing can double under the threshold rule, double
+      anyway if physically possible, else {e consolidate}: claim one new
+      prefix large enough for the whole current usage and retire the old
+      prefixes (they lapse as their addresses expire). *)
+
+type claim = {
+  prefix : Prefix.t;
+  active : bool;  (** new assignments allowed (inactive = draining) *)
+  used : int;  (** addresses currently assigned out of this prefix *)
+}
+
+type decision =
+  | Assign of Prefix.t  (** room exists in this active claimed prefix *)
+  | Double of Prefix.t  (** grow this active claim into its buddy *)
+  | Claim_new of int  (** claim a fresh prefix with this mask length *)
+  | Consolidate of int
+      (** claim a fresh prefix with this mask length; deactivate all
+          current claims *)
+  | Blocked  (** the arena cannot satisfy the demand *)
+
+type params = { threshold : float; max_prefixes : int }
+
+val default_params : params
+(** 75 % occupancy, two prefixes — the paper's simulation settings. *)
+
+val decide : params:params -> space:Address_space.t -> claims:claim list -> need:int -> decision
+(** [need] is the number of addresses requested (e.g. a block of 256).
+    [space] is the arena the domain claims from; [claims] the domain's
+    own claims with their usage. *)
+
+val pp_decision : Format.formatter -> decision -> unit

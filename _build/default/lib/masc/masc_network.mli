@@ -1,0 +1,69 @@
+(** A running MASC hierarchy: one node per participating domain, wired
+    over the simulation engine.
+
+    The hierarchy mirrors the provider/customer structure of the
+    topology (§4: "a domain that is a customer of other domains will
+    choose one or more of those provider domains to be its MASC
+    parent"); domains with no provider are top level and exchange claims
+    directly with each other.  The transport supports partition
+    injection so the paper's motivating failure case — two domains
+    claiming the same range while unable to hear each other — can be
+    exercised. *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  ?config:Masc_node.config ->
+  ?trace:Trace.t ->
+  ?top_space:(Domain.id -> Prefix.t) ->
+  parent_of:(Domain.id -> Domain.id option) ->
+  ids:Domain.id list ->
+  unit ->
+  t
+(** Build nodes for [ids]; [parent_of] gives each domain's MASC parent
+    ([None] = top level).  Top-level nodes mesh with each other and are
+    bootstrapped on the space [top_space] assigns them — by default all
+    of 224/4; pass {!exchange_partition} to model the §4.4 start-up
+    scheme where Internet exchange points each advertise a continental
+    sub-range and every backbone adopts a nearby exchange's prefix. *)
+
+val exchange_partition : tops:Domain.id list -> exchanges:int -> Domain.id -> Prefix.t
+(** Split 224/4 into [exchanges] equal sub-ranges ("one per continent",
+    §4.4) and assign each top-level domain to one round-robin.
+    @raise Invalid_argument if [exchanges] is not a positive power of
+    two reachable by prefix splitting (1, 2, 4, 8, ...). *)
+
+val of_topo : engine:Engine.t -> rng:Rng.t -> ?config:Masc_node.config -> ?trace:Trace.t -> Topo.t -> t
+(** Hierarchy from the topology: each domain's parent is its first
+    provider (link-insertion order); provider-less domains are top
+    level. *)
+
+val node : t -> Domain.id -> Masc_node.t
+(** @raise Not_found for a domain with no MASC node. *)
+
+val ids : t -> Domain.id list
+
+val start : t -> unit
+(** Start every node (tops first, then down the hierarchy). *)
+
+val reparent : t -> child:Domain.id -> new_parent:Domain.id -> unit
+(** Move a child domain under a different parent (multi-provider
+    failover): rewires the relay lists on both parents, switches the
+    child's node, and has the new parent advertise its space.
+    @raise Invalid_argument if [child] is top-level or [new_parent] is
+    unknown. *)
+
+val partition : t -> Domain.id -> Domain.id -> unit
+(** Drop all future messages between the two domains (both directions)
+    until {!heal}. *)
+
+val heal : t -> Domain.id -> Domain.id -> unit
+
+val messages_sent : t -> int
+
+val messages_dropped : t -> int
+
+val total_collisions : t -> int
+(** Sum of collisions suffered across nodes. *)

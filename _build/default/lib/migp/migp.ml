@@ -1,0 +1,83 @@
+type style = Dvmrp | Pim_dm | Pim_sm | Cbt
+
+let style_name = function
+  | Dvmrp -> "DVMRP"
+  | Pim_dm -> "PIM-DM"
+  | Pim_sm -> "PIM-SM"
+  | Cbt -> "CBT"
+
+let floods_data = function Dvmrp | Pim_dm -> true | Pim_sm | Cbt -> false
+
+let strict_rpf = function Dvmrp | Pim_dm -> true | Pim_sm | Cbt -> false
+
+type t = {
+  migp_style : style;
+  migp_domain : Domain.id;
+  membership : (Ipv4.t, Host_ref.t list ref) Hashtbl.t;
+  mutable on_group_active : group:Ipv4.t -> active:bool -> unit;
+  mutable floods : int;
+  mutable encaps : int;
+  mutable prunes : int;
+}
+
+let create style ~domain =
+  {
+    migp_style = style;
+    migp_domain = domain;
+    membership = Hashtbl.create 8;
+    on_group_active = (fun ~group:_ ~active:_ -> ());
+    floods = 0;
+    encaps = 0;
+    prunes = 0;
+  }
+
+let style t = t.migp_style
+
+let domain t = t.migp_domain
+
+let set_on_group_active t f = t.on_group_active <- f
+
+let host_join t ~group ~host =
+  if host.Host_ref.host_domain <> t.migp_domain then
+    invalid_arg "Migp.host_join: host not in this domain";
+  match Hashtbl.find_opt t.membership group with
+  | None ->
+      Hashtbl.replace t.membership group (ref [ host ]);
+      t.on_group_active ~group ~active:true
+  | Some cell ->
+      if List.exists (Host_ref.equal host) !cell then
+        invalid_arg "Migp.host_join: already a member";
+      cell := !cell @ [ host ]
+
+let host_leave t ~group ~host =
+  match Hashtbl.find_opt t.membership group with
+  | None -> invalid_arg "Migp.host_leave: not a member"
+  | Some cell ->
+      if not (List.exists (Host_ref.equal host) !cell) then
+        invalid_arg "Migp.host_leave: not a member";
+      cell := List.filter (fun h -> not (Host_ref.equal h host)) !cell;
+      if !cell = [] then begin
+        Hashtbl.remove t.membership group;
+        t.on_group_active ~group ~active:false
+      end
+
+let members t ~group =
+  match Hashtbl.find_opt t.membership group with
+  | None -> []
+  | Some cell -> !cell
+
+let has_members t ~group = Hashtbl.mem t.membership group
+
+let groups t = Hashtbl.fold (fun g _ acc -> g :: acc) t.membership []
+
+let note_flood_delivery t n = t.floods <- t.floods + n
+
+let note_encapsulation t = t.encaps <- t.encaps + 1
+
+let note_internal_prune t = t.prunes <- t.prunes + 1
+
+let flood_deliveries t = t.floods
+
+let encapsulations t = t.encaps
+
+let internal_prunes t = t.prunes

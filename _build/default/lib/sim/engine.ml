@@ -1,0 +1,85 @@
+type event = { time : Time.t; mutable cancelled : bool; action : unit -> unit }
+
+(* A handle owns a cancellation closure: for a plain event it flips the
+   event's flag; for a periodic schedule it also stops re-arming. *)
+type handle = { mutable stop : unit -> unit }
+
+type t = { mutable clock : Time.t; queue : event Heap.t }
+
+let create () =
+  { clock = Time.zero; queue = Heap.create ~cmp:(fun a b -> compare a.time b.time) }
+
+let now t = t.clock
+
+let schedule_event t time action =
+  let e = { time; cancelled = false; action } in
+  Heap.push t.queue e;
+  e
+
+let schedule_at t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g before now %g" (Time.to_seconds time)
+         (Time.to_seconds t.clock));
+  let e = schedule_event t time action in
+  { stop = (fun () -> e.cancelled <- true) }
+
+let schedule_after t delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock +. delay) action
+
+let periodic t ~interval action =
+  if interval <= 0.0 then invalid_arg "Engine.periodic: non-positive interval";
+  let handle = { stop = (fun () -> ()) } in
+  let stopped = ref false in
+  let rec arm () =
+    let e =
+      schedule_event t (t.clock +. interval) (fun () ->
+          if not !stopped then begin
+            action ();
+            if not !stopped then arm ()
+          end)
+    in
+    handle.stop <-
+      (fun () ->
+        stopped := true;
+        e.cancelled <- true)
+  in
+  arm ();
+  handle
+
+let cancel h = h.stop ()
+
+let pending t = Heap.length t.queue
+
+let step t =
+  let rec loop () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some e ->
+        if e.cancelled then loop ()
+        else begin
+          t.clock <- e.time;
+          e.action ();
+          true
+        end
+  in
+  loop ()
+
+let run ?until t =
+  match until with
+  | None ->
+      let rec drain () = if step t then drain () in
+      drain ()
+  | Some horizon ->
+      let rec drain () =
+        match Heap.peek t.queue with
+        | None -> ()
+        | Some e when e.time > horizon -> t.clock <- max t.clock horizon
+        | Some _ ->
+            ignore (step t);
+            drain ()
+      in
+      drain ()
+
+let run_until_idle t = run t

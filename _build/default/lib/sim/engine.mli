@@ -1,0 +1,48 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of pending
+    events.  Protocol entities (MASC nodes, BGP speakers, BGMP routers,
+    MIGP components) are plain OCaml values that schedule closures;
+    events at equal timestamps fire in scheduling order, so runs are
+    fully deterministic. *)
+
+type t
+
+type handle
+(** A cancellation token for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** Schedule a closure at an absolute time.  Scheduling in the past
+    raises [Invalid_argument]. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+(** Schedule a closure [delay] after the current time (delay must be
+    non-negative). *)
+
+val periodic : t -> interval:Time.t -> (unit -> unit) -> handle
+(** Run the closure every [interval], starting one interval from now,
+    until cancelled.  @raise Invalid_argument if [interval <= 0]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op.
+    Cancelling a periodic event stops all future firings. *)
+
+val pending : t -> int
+(** Number of scheduled-and-not-yet-fired events (cancelled events may be
+    counted until they drain). *)
+
+val step : t -> bool
+(** Fire the single earliest event.  Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Fire events until the queue drains, or until the clock would pass
+    [until] (events strictly after [until] remain queued and the clock is
+    advanced to [until]). *)
+
+val run_until_idle : t -> unit
+(** [run] with no horizon. *)

@@ -1,0 +1,17 @@
+type t = float
+
+let zero = 0.0
+let seconds s = s
+let minutes m = m *. 60.0
+let hours h = h *. 3600.0
+let days d = d *. 86400.0
+
+let to_seconds t = t
+let to_hours t = t /. 3600.0
+let to_days t = t /. 86400.0
+
+let pp ppf t =
+  if t >= 86400.0 then Format.fprintf ppf "%.2fd" (to_days t)
+  else if t >= 3600.0 then Format.fprintf ppf "%.2fh" (to_hours t)
+  else if t >= 1.0 then Format.fprintf ppf "%.3fs" t
+  else Format.fprintf ppf "%.1fms" (t *. 1000.0)

@@ -1,0 +1,35 @@
+type entry = { time : Time.t; actor : string; tag : string; detail : string }
+
+type t = { mutable entries_rev : entry list; mutable count : int; mutable on : bool }
+
+let create () = { entries_rev = []; count = 0; on = true }
+
+let enabled t = t.on
+
+let set_enabled t v = t.on <- v
+
+let record t ~time ~actor ~tag detail =
+  if t.on then begin
+    t.entries_rev <- { time; actor; tag; detail } :: t.entries_rev;
+    t.count <- t.count + 1
+  end
+
+let recordf t ~time ~actor ~tag fmt =
+  Format.kasprintf
+    (fun detail -> record t ~time ~actor ~tag detail)
+    fmt
+
+let entries t = List.rev t.entries_rev
+
+let length t = t.count
+
+let clear t =
+  t.entries_rev <- [];
+  t.count <- 0
+
+let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let pp_entry ppf e = Format.fprintf ppf "[%a] %-14s %-18s %s" Time.pp e.time e.actor e.tag e.detail
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

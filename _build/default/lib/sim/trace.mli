@@ -1,0 +1,38 @@
+(** Structured event tracing.
+
+    Protocol entities append tagged records as they act; tests assert on
+    the recorded sequence and the examples print it as a narrative of the
+    run (the Figure 1/3 walkthroughs are rendered from traces). *)
+
+type entry = { time : Time.t; actor : string; tag : string; detail : string }
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Disabled traces drop records (used by the large Figure-2 runs). *)
+
+val record : t -> time:Time.t -> actor:string -> tag:string -> string -> unit
+
+val recordf :
+  t -> time:Time.t -> actor:string -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Format-string convenience; the message is only rendered when the
+    trace is enabled. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val find : t -> tag:string -> entry list
+(** All entries with the given tag, oldest first. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit
+(** The full trace, one entry per line. *)

@@ -1,0 +1,1 @@
+lib/topo/domain.ml: Format Int

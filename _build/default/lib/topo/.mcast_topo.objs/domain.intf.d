@@ -1,0 +1,1 @@
+lib/topo/domain.mli: Format

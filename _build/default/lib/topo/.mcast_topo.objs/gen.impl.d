@@ -1,0 +1,1 @@
+lib/topo/gen.ml: Array Domain Hashtbl List Option Printf Rng Topo

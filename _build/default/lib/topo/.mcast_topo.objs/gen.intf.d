@@ -1,0 +1,1 @@
+lib/topo/gen.mli: Rng Topo

@@ -1,0 +1,1 @@
+lib/topo/host_ref.ml: Domain Format Int

@@ -1,0 +1,1 @@
+lib/topo/host_ref.mli: Domain Format

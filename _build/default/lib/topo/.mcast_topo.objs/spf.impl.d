@@ -1,0 +1,1 @@
+lib/topo/spf.ml: Array Domain Heap List Queue Time Topo

@@ -1,0 +1,1 @@
+lib/topo/topo.ml: Array Domain Format Hashtbl List Queue Time

@@ -1,0 +1,1 @@
+lib/topo/topo.mli: Domain Format Time

@@ -1,0 +1,1 @@
+lib/topo/topo_dot.ml: Buffer Domain List Printf Topo

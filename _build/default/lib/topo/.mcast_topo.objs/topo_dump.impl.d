@@ -1,0 +1,1 @@
+lib/topo/topo_dump.ml: Buffer Domain Fun List Printf String Time Topo

@@ -1,0 +1,11 @@
+type t = { host_domain : Domain.id; host_index : int }
+
+let make host_domain host_index = { host_domain; host_index }
+
+let compare a b =
+  let c = Int.compare a.host_domain b.host_domain in
+  if c <> 0 then c else Int.compare a.host_index b.host_index
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Format.fprintf ppf "h%d.%d" t.host_domain t.host_index

@@ -1,0 +1,16 @@
+(** End hosts.
+
+    Hosts are the senders and receivers of multicast data; the
+    inter-domain layer only ever sees them through their domain, but
+    traces, delivery checks, and the IP-service-model tests ("senders
+    need not be members") need stable host identities. *)
+
+type t = { host_domain : Domain.id; host_index : int }
+
+val make : Domain.id -> int -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+type paths = { src : Domain.id; dist : int array; via : Domain.id array }
+
+let bfs topo src =
+  let n = Topo.domain_count topo in
+  let dist = Array.make n max_int in
+  let via = Array.make n (-1) in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          via.(v) <- u;
+          Queue.add v queue
+        end)
+      (Topo.neighbors topo u)
+  done;
+  { src; dist; via }
+
+let dist p id = p.dist.(id)
+
+let path p dst =
+  if p.dist.(dst) = max_int then []
+  else begin
+    let rec walk node acc = if node = p.src then node :: acc else walk p.via.(node) (node :: acc) in
+    walk dst []
+  end
+
+let next_hop_toward _topo p node =
+  if node = p.src || p.dist.(node) = max_int then None else Some p.via.(node)
+
+type weighted = { wsrc : Domain.id; wdist : float array; wvia : Domain.id array }
+
+let dijkstra topo src =
+  let n = Topo.domain_count topo in
+  let wdist = Array.make n infinity in
+  let wvia = Array.make n (-1) in
+  wdist.(src) <- 0.0;
+  let heap = Heap.create ~cmp:(fun (d1, _) (d2, _) -> compare (d1 : float) d2) in
+  Heap.push heap (0.0, src);
+  let finished = Array.make n false in
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if not finished.(u) then begin
+          finished.(u) <- true;
+          List.iter
+            (fun v ->
+              match Topo.link_between topo u v with
+              | None -> ()
+              | Some l ->
+                  let nd = d +. Time.to_seconds l.Topo.delay in
+                  if nd < wdist.(v) then begin
+                    wdist.(v) <- nd;
+                    wvia.(v) <- u;
+                    Heap.push heap (nd, v)
+                  end)
+            (Topo.neighbors topo u)
+        end;
+        drain ()
+  in
+  drain ();
+  { wsrc = src; wdist; wvia }
+
+let wpath w dst =
+  if w.wdist.(dst) = infinity then []
+  else begin
+    let rec walk node acc = if node = w.wsrc then node :: acc else walk w.wvia.(node) (node :: acc) in
+    walk dst []
+  end
+
+(* Valley-free reachability via a layered BFS over (node, phase) states.
+   Phases, from the *destination's* point of view walking outward from the
+   source: Up (still climbing customer->provider links), Peered (crossed
+   the single allowed peer link), Down (descending provider->customer).
+   Transitions: Up -> Up (to provider), Up -> Peered (peer edge),
+   Up/Peered/Down -> Down (to customer). *)
+type phase = Up | Peered | Down
+
+let phase_index = function Up -> 0 | Peered -> 1 | Down -> 2
+
+let valley_free_dist topo src =
+  let n = Topo.domain_count topo in
+  let dist = Array.make_matrix n 3 max_int in
+  let best = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(src).(phase_index Up) <- 0;
+  best.(src) <- 0;
+  Queue.add (src, Up) queue;
+  let relax v phase d =
+    let pi = phase_index phase in
+    if d < dist.(v).(pi) then begin
+      dist.(v).(pi) <- d;
+      if d < best.(v) then best.(v) <- d;
+      Queue.add (v, phase) queue
+    end
+  in
+  while not (Queue.is_empty queue) do
+    let u, phase = Queue.pop queue in
+    let d = dist.(u).(phase_index phase) + 1 in
+    List.iter
+      (fun v ->
+        match Topo.link_between topo u v with
+        | None -> ()
+        | Some l -> (
+            let going_up = l.Topo.rel = Topo.Provider_customer && l.Topo.a = v in
+            let going_down = l.Topo.rel = Topo.Provider_customer && l.Topo.a = u in
+            let peer_edge = l.Topo.rel = Topo.Peer in
+            match phase with
+            | Up ->
+                if going_up then relax v Up d;
+                if peer_edge then relax v Peered d;
+                if going_down then relax v Down d
+            | Peered | Down -> if going_down then relax v Down d))
+      (Topo.neighbors topo u)
+  done;
+  best

@@ -1,0 +1,47 @@
+(** Shortest-path computations over the domain graph.
+
+    Path lengths in the paper's Figure 4 are counted in inter-domain
+    hops, so BFS is the primary tool; a latency-weighted Dijkstra is also
+    provided for the event-driven stack.  Policy-constrained ("valley
+    free") paths model BGP export rules: a route learned from a provider
+    or peer is only exported to customers, so a valid path is a
+    customer→provider ascent, at most one peer edge, then a
+    provider→customer descent. *)
+
+type paths = {
+  src : Domain.id;
+  dist : int array;  (** hop count; [max_int] when unreachable *)
+  via : Domain.id array;  (** predecessor toward [src]; [-1] at [src] / unreachable *)
+}
+
+val bfs : Topo.t -> Domain.id -> paths
+(** Single-source shortest hop counts.  Neighbor exploration follows
+    link-insertion order, making tie-breaks deterministic. *)
+
+val dist : paths -> Domain.id -> int
+
+val path : paths -> Domain.id -> Domain.id list
+(** The node sequence from [src] to the argument, inclusive; [\[\]] when
+    unreachable. *)
+
+val next_hop_toward : Topo.t -> paths -> Domain.id -> Domain.id option
+(** First hop on the shortest path from the given node back toward
+    [paths.src]; [None] at the source or when unreachable.  (This is the
+    "next hop toward the root domain" a G-RIB lookup yields.) *)
+
+type weighted = {
+  wsrc : Domain.id;
+  wdist : float array;  (** summed link delay in seconds; [infinity] unreachable *)
+  wvia : Domain.id array;
+}
+
+val dijkstra : Topo.t -> Domain.id -> weighted
+(** Latency-weighted single-source shortest paths. *)
+
+val wpath : weighted -> Domain.id -> Domain.id list
+
+val valley_free_dist : Topo.t -> Domain.id -> int array
+(** Hop distance from the source to every node along policy-valid
+    (valley-free, at most one peer edge) paths, i.e. paths that BGP route
+    export would actually reveal.  [max_int] when no policy-compliant
+    path exists. *)

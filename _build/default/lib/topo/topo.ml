@@ -1,0 +1,131 @@
+type relationship = Provider_customer | Peer
+
+type link = { a : Domain.id; b : Domain.id; rel : relationship; delay : Time.t }
+
+type t = {
+  mutable doms : Domain.t array;
+  mutable n : int;
+  mutable adj : (Domain.id * link) list array;  (** per-node: (neighbor, link) *)
+  mutable links_rev : link list;
+  mutable link_n : int;
+  by_name : (string, Domain.id) Hashtbl.t;
+}
+
+let create () =
+  { doms = [||]; n = 0; adj = [||]; links_rev = []; link_n = 0; by_name = Hashtbl.create 64 }
+
+let ensure_capacity t =
+  let cap = Array.length t.doms in
+  if t.n = cap then begin
+    let fresh_cap = if cap = 0 then 16 else 2 * cap in
+    let dummy = Domain.make ~id:(-1) ~name:"" ~kind:Domain.Stub in
+    let doms = Array.make fresh_cap dummy in
+    Array.blit t.doms 0 doms 0 t.n;
+    let adj = Array.make fresh_cap [] in
+    Array.blit t.adj 0 adj 0 t.n;
+    t.doms <- doms;
+    t.adj <- adj
+  end
+
+let add_domain t ~name ~kind =
+  ensure_capacity t;
+  let id = t.n in
+  t.doms.(id) <- Domain.make ~id ~name ~kind;
+  t.n <- t.n + 1;
+  Hashtbl.replace t.by_name name id;
+  id
+
+let domain_count t = t.n
+
+let link_count t = t.link_n
+
+let check_id t id = if id < 0 || id >= t.n then invalid_arg "Topo: unknown domain id"
+
+let domain t id =
+  check_id t id;
+  t.doms.(id)
+
+let domains t = Array.to_list (Array.sub t.doms 0 t.n)
+
+let find_by_name t name = Hashtbl.find_opt t.by_name name
+
+let link_between t x y =
+  check_id t x;
+  check_id t y;
+  List.assoc_opt y t.adj.(x)
+
+let add_link ?(delay = Time.seconds 0.010) t a b rel =
+  check_id t a;
+  check_id t b;
+  if a = b then invalid_arg "Topo.add_link: self-link";
+  if link_between t a b <> None then invalid_arg "Topo.add_link: duplicate link";
+  let l = { a; b; rel; delay } in
+  t.adj.(a) <- t.adj.(a) @ [ (b, l) ];
+  t.adj.(b) <- t.adj.(b) @ [ (a, l) ];
+  t.links_rev <- l :: t.links_rev;
+  t.link_n <- t.link_n + 1
+
+let neighbors t id =
+  check_id t id;
+  List.map fst t.adj.(id)
+
+let degree t id =
+  check_id t id;
+  List.length t.adj.(id)
+
+let providers_of t id =
+  check_id t id;
+  List.filter_map
+    (fun (nbr, l) ->
+      match l.rel with
+      | Provider_customer when l.a = nbr -> Some nbr
+      | Provider_customer | Peer -> None)
+    t.adj.(id)
+
+let customers_of t id =
+  check_id t id;
+  List.filter_map
+    (fun (nbr, l) ->
+      match l.rel with
+      | Provider_customer when l.a = id -> Some nbr
+      | Provider_customer | Peer -> None)
+    t.adj.(id)
+
+let peers_of t id =
+  check_id t id;
+  List.filter_map
+    (fun (nbr, l) ->
+      match l.rel with
+      | Peer -> Some nbr
+      | Provider_customer -> None)
+    t.adj.(id)
+
+let links t = List.rev t.links_rev
+
+let is_connected t =
+  if t.n = 0 then true
+  else begin
+    let seen = Array.make t.n false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    seen.(0) <- true;
+    let visited = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun (v, _) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr visited;
+            Queue.add v queue
+          end)
+        t.adj.(u)
+    done;
+    !visited = t.n
+  end
+
+let pp_summary ppf t =
+  let count kind = List.length (List.filter (fun d -> d.Domain.kind = kind) (domains t)) in
+  Format.fprintf ppf "%d domains (%d backbone, %d regional, %d stub, %d exchange), %d links"
+    t.n (count Domain.Backbone) (count Domain.Regional) (count Domain.Stub)
+    (count Domain.Exchange) t.link_n

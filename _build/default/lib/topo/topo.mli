@@ -1,0 +1,56 @@
+(** The inter-domain topology: a graph of domains connected by
+    inter-domain links carrying business relationships.
+
+    Provider-customer relationships both shape the MASC hierarchy (a
+    customer picks one of its providers as MASC parent) and define BGP
+    export policy (a provider carries transit only to/from its
+    customers). *)
+
+type relationship =
+  | Provider_customer  (** the [a] end of the link is provider of the [b] end *)
+  | Peer  (** settlement-free peering *)
+
+type link = { a : Domain.id; b : Domain.id; rel : relationship; delay : Time.t }
+
+type t
+
+val create : unit -> t
+
+val add_domain : t -> name:string -> kind:Domain.kind -> Domain.id
+(** Ids are assigned densely in creation order. *)
+
+val add_link : ?delay:Time.t -> t -> Domain.id -> Domain.id -> relationship -> unit
+(** [add_link t a b Provider_customer] makes [a] a provider of [b].
+    Default delay 10 ms.  Self-links and duplicate links are rejected
+    with [Invalid_argument]. *)
+
+val domain_count : t -> int
+
+val link_count : t -> int
+
+val domain : t -> Domain.id -> Domain.t
+(** @raise Invalid_argument on an unknown id. *)
+
+val domains : t -> Domain.t list
+
+val find_by_name : t -> string -> Domain.id option
+
+val neighbors : t -> Domain.id -> Domain.id list
+(** Adjacent domains, in link-insertion order. *)
+
+val degree : t -> Domain.id -> int
+
+val link_between : t -> Domain.id -> Domain.id -> link option
+
+val providers_of : t -> Domain.id -> Domain.id list
+
+val customers_of : t -> Domain.id -> Domain.id list
+
+val peers_of : t -> Domain.id -> Domain.id list
+
+val links : t -> link list
+
+val is_connected : t -> bool
+(** Is the graph connected (true for the empty graph)? *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let to_dot ?(highlight = []) ?(highlight_edges = []) ?(label = "") topo =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph topology {\n";
+  add "  rankdir=TB;\n";
+  add "  node [fontname=\"Helvetica\", fontsize=11];\n";
+  if label <> "" then add "  label=%S; labelloc=b;\n" label;
+  List.iter
+    (fun (d : Domain.t) ->
+      let shape =
+        match d.Domain.kind with
+        | Domain.Backbone -> "box"
+        | Domain.Regional -> "ellipse"
+        | Domain.Stub -> "plaintext"
+        | Domain.Exchange -> "diamond"
+      in
+      let extra =
+        if List.mem d.Domain.id highlight then
+          ", style=filled, fillcolor=\"#aaddff\""
+        else ""
+      in
+      add "  n%d [label=\"%s\", shape=%s%s];\n" d.Domain.id d.Domain.name shape extra)
+    (Topo.domains topo);
+  let edge_highlighted a b =
+    List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) highlight_edges
+  in
+  List.iter
+    (fun (l : Topo.link) ->
+      let hl = edge_highlighted l.Topo.a l.Topo.b in
+      let color = if hl then ", color=\"#0066cc\", penwidth=2.5" else "" in
+      match l.Topo.rel with
+      | Topo.Provider_customer -> add "  n%d -> n%d [arrowhead=none, arrowtail=none%s];\n" l.Topo.a l.Topo.b color
+      | Topo.Peer ->
+          add "  n%d -> n%d [dir=none, style=dashed, constraint=false%s];\n" l.Topo.a l.Topo.b
+            color)
+    (Topo.links topo);
+  add "}\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Graphviz DOT rendering of topologies (and overlays).
+
+    [to_dot] draws the domain graph: backbone domains as boxes,
+    regionals as ellipses, stubs as plain nodes; provider→customer
+    links as directed edges (provider on top), peer links as dashed
+    undirected edges.  The optional [highlight] set paints domains
+    (e.g. the members or the on-tree domains of a group) and
+    [highlight_edges] paints edges (e.g. the tree edges), so a
+    distribution tree can be rendered over its topology:
+
+    {v
+    dune exec bin/main.exe -- dot | dot -Tsvg > topo.svg
+    v} *)
+
+val to_dot :
+  ?highlight:Domain.id list ->
+  ?highlight_edges:(Domain.id * Domain.id) list ->
+  ?label:string ->
+  Topo.t ->
+  string

@@ -1,0 +1,106 @@
+let kind_to_token = function
+  | Domain.Backbone -> "backbone"
+  | Domain.Regional -> "regional"
+  | Domain.Stub -> "stub"
+  | Domain.Exchange -> "exchange"
+
+let kind_of_token = function
+  | "backbone" -> Some Domain.Backbone
+  | "regional" -> Some Domain.Regional
+  | "stub" -> Some Domain.Stub
+  | "exchange" -> Some Domain.Exchange
+  | _ -> None
+
+let to_string topo =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# masc-bgmp topology dump\n";
+  List.iter
+    (fun (d : Domain.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "domain %s %s\n" d.Domain.name (kind_to_token d.Domain.kind)))
+    (Topo.domains topo);
+  List.iter
+    (fun (l : Topo.link) ->
+      let name id = (Topo.domain topo id).Domain.name in
+      Buffer.add_string buf
+        (Printf.sprintf "link %s %s %s %g\n" (name l.Topo.a) (name l.Topo.b)
+           (match l.Topo.rel with
+           | Topo.Provider_customer -> "provider"
+           | Topo.Peer -> "peer")
+           (Time.to_seconds l.Topo.delay)))
+    (Topo.links topo);
+  Buffer.contents buf
+
+let of_string text =
+  let topo = Topo.create () in
+  let error = ref None in
+  let fail lineno reason =
+    if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno reason)
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let tokens =
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+      in
+      if !error = None then
+        match tokens with
+        | [] -> ()
+        | "domain" :: name :: kind :: rest -> (
+            if rest <> [] then fail lineno "trailing tokens after domain"
+            else if Topo.find_by_name topo name <> None then
+              fail lineno (Printf.sprintf "duplicate domain %S" name)
+            else
+              match kind_of_token kind with
+              | Some k -> ignore (Topo.add_domain topo ~name ~kind:k)
+              | None -> fail lineno (Printf.sprintf "unknown domain kind %S" kind))
+        | "link" :: a :: b :: rel :: rest -> (
+            let delay =
+              match rest with
+              | [] -> Ok (Time.seconds 0.010)
+              | [ d ] -> (
+                  match float_of_string_opt d with
+                  | Some v when v >= 0.0 -> Ok (Time.seconds v)
+                  | Some _ | None -> Error (Printf.sprintf "bad delay %S" d))
+              | _ :: _ :: _ -> Error "trailing tokens after link"
+            in
+            let rel =
+              match rel with
+              | "provider" -> Ok Topo.Provider_customer
+              | "peer" -> Ok Topo.Peer
+              | other -> Error (Printf.sprintf "unknown relationship %S" other)
+            in
+            match (Topo.find_by_name topo a, Topo.find_by_name topo b, rel, delay) with
+            | None, _, _, _ -> fail lineno (Printf.sprintf "unknown domain %S" a)
+            | _, None, _, _ -> fail lineno (Printf.sprintf "unknown domain %S" b)
+            | _, _, Error e, _ | _, _, _, Error e -> fail lineno e
+            | Some ia, Some ib, Ok r, Ok d -> (
+                try Topo.add_link ~delay:d topo ia ib r
+                with Invalid_argument msg -> fail lineno msg))
+        | token :: _ -> fail lineno (Printf.sprintf "unknown record %S" token))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok topo
+
+let save topo ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string topo))
+
+let load ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

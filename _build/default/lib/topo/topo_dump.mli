@@ -1,0 +1,25 @@
+(** Plain-text serialization of topologies.
+
+    The paper derived its evaluation topology from BGP routing-table
+    dumps; this module defines the analogous artifact for the
+    repository: a line-oriented dump that captures domains and links so
+    that a generated (or hand-written) topology can be saved, shared,
+    and re-loaded for byte-identical experiments.
+
+    Format, one record per line, [#] comments allowed:
+    {v
+    domain <name> <backbone|regional|stub|exchange>
+    link <name-a> <name-b> <provider|peer> [delay-seconds]
+    v}
+    [provider] means the [a] end provides transit to the [b] end.
+    Domains must be declared before links that use them; ids are
+    assigned in declaration order. *)
+
+val to_string : Topo.t -> string
+
+val of_string : string -> (Topo.t, string) result
+(** Parse a dump.  Errors carry the offending line number and reason. *)
+
+val save : Topo.t -> path:string -> unit
+
+val load : path:string -> (Topo.t, string) result

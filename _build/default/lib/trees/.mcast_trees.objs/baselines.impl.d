@@ -1,0 +1,1 @@
+lib/trees/baselines.ml: Array Gen List Path_eval Rng Shared_tree Spf Stats Topo

@@ -1,0 +1,1 @@
+lib/trees/baselines.mli: Domain Rng Topo

@@ -1,0 +1,1 @@
+lib/trees/path_eval.ml: Array Domain Shared_tree Spf

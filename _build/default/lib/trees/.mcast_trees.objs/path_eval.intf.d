@@ -1,0 +1,1 @@
+lib/trees/path_eval.mli: Domain Topo

@@ -1,0 +1,1 @@
+lib/trees/shared_tree.ml: Array Domain List Option Spf Topo

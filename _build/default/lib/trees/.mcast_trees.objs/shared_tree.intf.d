@@ -1,0 +1,1 @@
+lib/trees/shared_tree.mli: Domain Topo

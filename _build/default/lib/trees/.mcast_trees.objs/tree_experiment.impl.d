@@ -1,0 +1,1 @@
+lib/trees/tree_experiment.ml: Array Gen List Path_eval Rng Stats Topo

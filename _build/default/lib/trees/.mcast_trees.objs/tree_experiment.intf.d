@@ -1,0 +1,1 @@
+lib/trees/tree_experiment.mli: Stats

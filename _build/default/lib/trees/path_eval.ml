@@ -1,0 +1,81 @@
+type group = { source : Domain.id; root : Domain.id; receivers : Domain.id array }
+
+type paths = {
+  spt : int array;
+  unidirectional : int array;
+  bidirectional : int array;
+  hybrid : int array;
+}
+
+let evaluate topo group =
+  let { source; root; receivers } = group in
+  let from_source = Spf.bfs topo source in
+  let from_root = Spf.bfs topo root in
+  let tree = Shared_tree.build topo ~root ~members:(Array.to_list receivers) in
+  (* Where the sender's data meets the tree: walk from the source toward
+     the root (§5.2); every node on that walk leads to the root, which is
+     on the tree, so the entry point always exists. *)
+  let toward_root node = Spf.next_hop_toward topo from_root node in
+  let entry =
+    match Shared_tree.entry_point tree ~walk_toward_root:toward_root source with
+    | Some e -> e
+    | None -> root
+  in
+  (* Sender hops to the entry point: along its shortest path to the root. *)
+  let source_to_entry = Spf.dist from_root source - Spf.dist from_root entry in
+  let spt = Array.map (fun r -> Spf.dist from_source r) receivers in
+  let unidirectional =
+    (* Register/encapsulate to the RP, then down the shared tree. *)
+    Array.map
+      (fun r -> Spf.dist from_source root + Shared_tree.depth tree r)
+      receivers
+  in
+  let bidir_of r = source_to_entry + Shared_tree.tree_distance tree entry r in
+  let bidirectional = Array.map bidir_of receivers in
+  let hybrid =
+    Array.map
+      (fun r ->
+        (* The receiver grafts a source-specific branch along its
+           shortest path toward the source; the branch stops at the
+           first on-tree node, or reaches the source domain itself. *)
+        let toward_source node = Spf.next_hop_toward topo from_source node in
+        let rec branch_walk node hops =
+          if node = source then `Reached_source
+          else if Shared_tree.on_tree tree node && hops > 0 then `Met_tree (node, hops)
+          else begin
+            match toward_source node with
+            | Some hop -> branch_walk hop (hops + 1)
+            | None -> `Met_tree (node, hops)
+          end
+        in
+        let branch_path =
+          match branch_walk r 0 with
+          | `Reached_source -> Spf.dist from_source r
+          | `Met_tree (meet, hops_to_meet) ->
+              source_to_entry + Shared_tree.tree_distance tree entry meet + hops_to_meet
+        in
+        min (bidir_of r) branch_path)
+      receivers
+  in
+  { spt; unidirectional; bidirectional; hybrid }
+
+type ratio_summary = { avg_ratio : float; max_ratio : float; receivers_counted : int }
+
+let ratios ~baseline tree_paths =
+  if Array.length baseline <> Array.length tree_paths then
+    invalid_arg "Path_eval.ratios: length mismatch";
+  let sum = ref 0.0 and maxr = ref 0.0 and counted = ref 0 in
+  Array.iteri
+    (fun i base ->
+      if base > 0 then begin
+        let r = float_of_int tree_paths.(i) /. float_of_int base in
+        sum := !sum +. r;
+        if r > !maxr then maxr := r;
+        incr counted
+      end)
+    baseline;
+  {
+    avg_ratio = (if !counted = 0 then 0.0 else !sum /. float_of_int !counted);
+    max_ratio = !maxr;
+    receivers_counted = !counted;
+  }

@@ -1,0 +1,42 @@
+(** Sender→receiver path lengths on the four kinds of inter-domain
+    multicast distribution trees the paper compares in §5.4:
+
+    - {b shortest-path trees} (DVMRP / PIM-DM / MOSPF): data follows the
+      unicast shortest path — the baseline, ratio 1.0;
+    - {b unidirectional shared trees} (PIM-SM): data travels from the
+      sender to the RP, then down the shared tree;
+    - {b bidirectional shared trees} (CBT / plain BGMP): data flows
+      toward the root only until it meets the tree, then along tree
+      edges in either direction;
+    - {b hybrid trees} (BGMP + §5.3 source-specific branches): receivers
+      whose shortest path to the source beats their shared-tree path
+      graft a branch toward the source; the branch stops at the first
+      node already on the bidirectional tree or at the source domain.
+
+    Path lengths are counted in inter-domain hops, as in the paper. *)
+
+type group = {
+  source : Domain.id;
+  root : Domain.id;  (** root domain = RP = core, for comparability *)
+  receivers : Domain.id array;  (** join order = array order *)
+}
+
+type paths = {
+  spt : int array;  (** per receiver: shortest-path hops from the source *)
+  unidirectional : int array;
+  bidirectional : int array;
+  hybrid : int array;
+}
+
+val evaluate : Topo.t -> group -> paths
+(** Compute all four path lengths for every receiver of the group. *)
+
+type ratio_summary = {
+  avg_ratio : float;  (** mean over receivers of (tree path / SPT path) *)
+  max_ratio : float;
+  receivers_counted : int;  (** receivers with a non-zero SPT distance *)
+}
+
+val ratios : baseline:int array -> int array -> ratio_summary
+(** Ratio statistics of a tree's paths against the SPT baseline;
+    receivers co-located with the source (SPT distance 0) are skipped. *)

@@ -1,0 +1,99 @@
+type t = {
+  topo : Topo.t;
+  tree_root : Domain.id;
+  to_root : Spf.paths;  (** shortest paths toward the root, for join walks *)
+  tree_parent : int array;  (** next hop toward root on the tree; -1 = none *)
+  marked : bool array;
+  tree_depth : int array;
+  mutable count : int;
+  mutable members_rev : Domain.id list;
+}
+
+let join t member =
+  (* Walk toward the root, collecting the path until an on-tree node. *)
+  let rec walk node acc =
+    if t.marked.(node) then (node, acc)
+    else begin
+      match Spf.next_hop_toward t.topo t.to_root node with
+      | Some hop -> walk hop (node :: acc)
+      | None -> (node, acc)  (* reached the root *)
+    end
+  in
+  if not t.marked.(member) then begin
+    let attach, path_rev = walk member [] in
+    if not t.marked.(attach) then begin
+      (* attach is the root itself, joining for the first time *)
+      t.marked.(attach) <- true;
+      t.tree_depth.(attach) <- 0;
+      t.count <- t.count + 1
+    end;
+    (* path_rev holds the off-tree nodes nearest-to-attach first. *)
+    let rec graft parent nodes =
+      match nodes with
+      | [] -> ()
+      | node :: rest ->
+          t.marked.(node) <- true;
+          t.tree_parent.(node) <- parent;
+          t.tree_depth.(node) <- t.tree_depth.(parent) + 1;
+          t.count <- t.count + 1;
+          graft node rest
+    in
+    graft attach path_rev
+  end;
+  t.members_rev <- member :: t.members_rev
+
+let build topo ~root ~members =
+  let n = Topo.domain_count topo in
+  let t =
+    {
+      topo;
+      tree_root = root;
+      to_root = Spf.bfs topo root;
+      tree_parent = Array.make n (-1);
+      marked = Array.make n false;
+      tree_depth = Array.make n 0;
+      count = 0;
+      members_rev = [];
+    }
+  in
+  (* The root domain is on the tree by definition (§5.2). *)
+  t.marked.(root) <- true;
+  t.count <- 1;
+  List.iter (join t) members;
+  t
+
+let root t = t.tree_root
+
+let on_tree t id = t.marked.(id)
+
+let node_count t = t.count
+
+let parent t id =
+  if t.marked.(id) && t.tree_parent.(id) >= 0 then Some t.tree_parent.(id) else None
+
+let depth t id =
+  if not t.marked.(id) then invalid_arg "Shared_tree.depth: node off tree";
+  t.tree_depth.(id)
+
+let tree_distance t a b =
+  if not (t.marked.(a) && t.marked.(b)) then
+    invalid_arg "Shared_tree.tree_distance: endpoint off tree";
+  (* Walk the deeper endpoint up until the two meet (LCA). *)
+  let rec climb x y steps =
+    if x = y then steps
+    else if t.tree_depth.(x) >= t.tree_depth.(y) then climb t.tree_parent.(x) y (steps + 1)
+    else climb x t.tree_parent.(y) (steps + 1)
+  in
+  climb a b 0
+
+let entry_point t ~walk_toward_root sender =
+  let rec walk node hops =
+    if t.marked.(node) then Some (node, hops)
+    else
+      match walk_toward_root node with
+      | Some hop -> walk hop (hops + 1)
+      | None -> None
+  in
+  Option.map fst (walk sender 0)
+
+let members t = List.rev t.members_rev

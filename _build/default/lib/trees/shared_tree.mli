@@ -1,0 +1,47 @@
+(** A shared multicast distribution tree over the domain graph, built the
+    way BGMP/CBT build them: each member's join message walks the
+    shortest path toward the root domain and stops at the first router
+    already on the tree (§5.1–5.2).
+
+    Join order matters (later members attach to whatever tree the earlier
+    members formed), which is exactly why shared trees have longer paths
+    than source trees — the effect Figure 4 quantifies. *)
+
+type t
+
+val build : Topo.t -> root:Domain.id -> members:Domain.id list -> t
+(** Build by incremental joins in list order.  The root is always on the
+    tree. *)
+
+val join : t -> Domain.id -> unit
+(** Add one more member (its join path is grafted). *)
+
+val root : t -> Domain.id
+
+val on_tree : t -> Domain.id -> bool
+
+val node_count : t -> int
+(** Number of on-tree domains (members plus transit). *)
+
+val parent : t -> Domain.id -> Domain.id option
+(** Next hop toward the root along the tree; [None] at the root (or for
+    off-tree nodes). *)
+
+val depth : t -> Domain.id -> int
+(** Tree hop count to the root.  @raise Invalid_argument off tree. *)
+
+val tree_distance : t -> Domain.id -> Domain.id -> int
+(** Hops along the (unique) tree path between two on-tree domains —
+    the path bidirectional data actually takes.
+    @raise Invalid_argument when either endpoint is off the tree. *)
+
+val entry_point : t -> walk_toward_root:(Domain.id -> Domain.id option) -> Domain.id -> Domain.id option
+(** Where data from an off-tree sender first meets the tree: follow
+    [walk_toward_root] next-hops from the sender until an on-tree domain
+    appears ([§5.2]: "it simply forwards the packets to the next hop
+    towards the root domain").  Returns [None] if the walk dead-ends
+    before reaching the tree (cannot happen when the walk leads to the
+    root).  If the sender is on the tree, it is its own entry point. *)
+
+val members : t -> Domain.id list
+(** Domains that explicitly joined, in join order. *)

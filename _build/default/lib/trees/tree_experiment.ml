@@ -1,0 +1,114 @@
+type root_placement = Root_at_initiator | Root_at_source | Root_random
+
+type params = {
+  nodes : int;
+  attach_degree : int;
+  group_sizes : int list;
+  trials : int;
+  root_placement : root_placement;
+  topology : [ `Power_law | `Transit_stub ];
+  seed : int;
+}
+
+let default_params =
+  {
+    nodes = 3326;
+    attach_degree = 2;
+    group_sizes = [ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000 ];
+    trials = 20;
+    root_placement = Root_at_initiator;
+    topology = `Power_law;
+    seed = 1998;
+  }
+
+type point = {
+  group_size : int;
+  uni_avg : float;
+  uni_max : float;
+  bi_avg : float;
+  bi_max : float;
+  hy_avg : float;
+  hy_max : float;
+}
+
+type result = { points : point list; worst_uni : float; worst_bi : float; worst_hy : float }
+
+let make_topology p rng =
+  match p.topology with
+  | `Power_law -> Gen.power_law ~rng ~n:p.nodes ~m:p.attach_degree
+  | `Transit_stub ->
+      (* Sized to land near [p.nodes] total domains. *)
+      let backbones = 8 in
+      let regionals = max 1 (p.nodes / (backbones * 12)) in
+      let stubs = 11 in
+      Gen.transit_stub ~rng ~backbones ~regionals_per_backbone:regionals
+        ~stubs_per_regional:stubs
+
+let run p =
+  let rng = Rng.create p.seed in
+  let topo = make_topology p rng in
+  let n = Topo.domain_count topo in
+  let worst_uni = ref 0.0 and worst_bi = ref 0.0 and worst_hy = ref 0.0 in
+  let points =
+    (* Group sizes are capped by the topology: at most n-1 receivers. *)
+    let sizes = List.filter (fun s -> s <= n - 2) p.group_sizes in
+    List.map
+      (fun size ->
+        let ua = Stats.create () and um = Stats.create () in
+        let ba = Stats.create () and bm = Stats.create () in
+        let ha = Stats.create () and hm = Stats.create () in
+        for _ = 1 to p.trials do
+          let source = Rng.int rng n in
+          let receivers =
+            (* Receivers are distinct domains other than the source. *)
+            let draws = Rng.sample_without_replacement rng (size + 1) n in
+            let filtered = Array.of_list (List.filter (fun d -> d <> source) (Array.to_list draws)) in
+            Array.sub filtered 0 size
+          in
+          let root =
+            match p.root_placement with
+            | Root_at_initiator -> receivers.(0)
+            | Root_at_source -> source
+            | Root_random -> Rng.int rng n
+          in
+          let paths = Path_eval.evaluate topo { Path_eval.source; root; receivers } in
+          let record stats_avg stats_max worst tree_paths =
+            let s = Path_eval.ratios ~baseline:paths.Path_eval.spt tree_paths in
+            if s.Path_eval.receivers_counted > 0 then begin
+              Stats.add stats_avg s.Path_eval.avg_ratio;
+              Stats.add stats_max s.Path_eval.max_ratio;
+              if s.Path_eval.max_ratio > !worst then worst := s.Path_eval.max_ratio
+            end
+          in
+          record ua um worst_uni paths.Path_eval.unidirectional;
+          record ba bm worst_bi paths.Path_eval.bidirectional;
+          record ha hm worst_hy paths.Path_eval.hybrid
+        done;
+        {
+          group_size = size;
+          uni_avg = Stats.mean ua;
+          uni_max = Stats.mean um;
+          bi_avg = Stats.mean ba;
+          bi_max = Stats.mean bm;
+          hy_avg = Stats.mean ha;
+          hy_max = Stats.mean hm;
+        })
+      sizes
+  in
+  { points; worst_uni = !worst_uni; worst_bi = !worst_bi; worst_hy = !worst_hy }
+
+let series_of_result r =
+  let mk label f =
+    {
+      Stats.label;
+      points = Array.of_list (List.map (fun pt -> (float_of_int pt.group_size, f pt)) r.points);
+    }
+  in
+  [
+    mk "Unidirectional Tree (ave)" (fun pt -> pt.uni_avg);
+    mk "Unidirectional Tree (max)" (fun pt -> pt.uni_max);
+    mk "Bidirectional Tree (ave)" (fun pt -> pt.bi_avg);
+    mk "Bidirectional Tree (max)" (fun pt -> pt.bi_max);
+    mk "Hybrid Tree (ave)" (fun pt -> pt.hy_avg);
+    mk "Hybrid Tree (max)" (fun pt -> pt.hy_max);
+  ]

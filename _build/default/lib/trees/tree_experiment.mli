@@ -1,0 +1,56 @@
+(** The Figure-4 experiment: path-length overhead of unidirectional,
+    bidirectional, and hybrid trees relative to shortest-path trees, as
+    the number of receivers grows.
+
+    The paper used a 3326-node topology derived from 1998 BGP table
+    dumps; we generate a power-law graph of the same scale (see
+    DESIGN.md).  For each group size, [trials] independent groups are
+    sampled: a random source, receivers drawn without replacement, and
+    the root domain placed at the group initiator — the first receiver —
+    per §5.1 ("the group initiator's domain is normally also the group's
+    root domain").  The RP of the unidirectional tree and the core of
+    the bidirectional tree are the same domain, isolating tree shape
+    from root placement. *)
+
+type root_placement =
+  | Root_at_initiator  (** the paper's default: first receiver's domain *)
+  | Root_at_source  (** ablation: the sender's own domain *)
+  | Root_random  (** ablation: an unrelated third-party domain *)
+
+type params = {
+  nodes : int;  (** 3326 in the paper *)
+  attach_degree : int;  (** preferential-attachment edges per new node *)
+  group_sizes : int list;
+  trials : int;  (** independent groups per size *)
+  root_placement : root_placement;
+  topology : [ `Power_law | `Transit_stub ];
+  seed : int;
+}
+
+val default_params : params
+(** 3326 nodes, sizes 1..1000 (log-spaced), 20 trials, root at
+    initiator, power-law topology. *)
+
+type point = {
+  group_size : int;
+  uni_avg : float;
+  uni_max : float;
+  bi_avg : float;
+  bi_max : float;
+  hy_avg : float;
+  hy_max : float;
+}
+(** Ratios vs SPT averaged over trials; the [_max] fields average each
+    trial's worst receiver (the paper's "max" curves). *)
+
+type result = {
+  points : point list;  (** one per group size that fits the topology *)
+  worst_uni : float;  (** absolute worst ratio seen across the run *)
+  worst_bi : float;
+  worst_hy : float;
+}
+
+val run : params -> result
+
+val series_of_result : result -> Stats.series list
+(** Six printable series, labelled like the paper's legend. *)

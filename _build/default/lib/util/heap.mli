@@ -1,0 +1,32 @@
+(** Imperative binary min-heap.
+
+    Used as the event queue of the discrete-event engine and as a priority
+    queue in shortest-path computations.  Elements are ordered by a
+    user-supplied comparison fixed at creation time; ties are broken by
+    insertion order (FIFO), which the simulator relies on for
+    deterministic processing of simultaneous events. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** An empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order; the heap is unchanged. *)

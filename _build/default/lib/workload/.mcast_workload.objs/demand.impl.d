@@ -1,0 +1,1 @@
+lib/workload/demand.ml: Engine List Rng Time

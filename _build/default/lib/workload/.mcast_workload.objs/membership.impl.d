@@ -1,0 +1,1 @@
+lib/workload/membership.ml: Array Domain Hashtbl List Rng Spf Time Topo

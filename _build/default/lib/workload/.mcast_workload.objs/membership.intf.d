@@ -1,0 +1,1 @@
+lib/workload/membership.mli: Domain Rng Time Topo

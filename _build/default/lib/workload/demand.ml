@@ -1,0 +1,49 @@
+type profile = {
+  block_size : int;
+  block_lifetime : Time.t;
+  inter_request : [ `Uniform of Time.t * Time.t | `Exponential of Time.t ];
+}
+
+let paper_profile =
+  {
+    block_size = 256;
+    block_lifetime = Time.days 30.0;
+    inter_request = `Uniform (Time.hours 1.0, Time.hours 95.0);
+  }
+
+let bursty_profile =
+  { paper_profile with inter_request = `Exponential (Time.hours 4.0) }
+
+type event = { at : Time.t; expires : Time.t }
+
+let draw_gap profile rng =
+  match profile.inter_request with
+  | `Uniform (lo, hi) -> Rng.float_in rng lo hi
+  | `Exponential mean -> Rng.exponential rng ~mean
+
+let schedule profile ~rng ~horizon =
+  let rec loop now acc =
+    let at = now +. draw_gap profile rng in
+    if at > horizon then List.rev acc
+    else loop at ({ at; expires = at +. profile.block_lifetime } :: acc)
+  in
+  loop Time.zero []
+
+let drive profile ~rng ~engine ~horizon ~on_request =
+  let rec arm () =
+    ignore
+      (Engine.schedule_after engine (draw_gap profile rng) (fun () ->
+           if Engine.now engine <= horizon then begin
+             on_request ~expires:(Engine.now engine +. profile.block_lifetime);
+             arm ()
+           end))
+  in
+  arm ()
+
+let expected_steady_blocks profile =
+  let mean_gap =
+    match profile.inter_request with
+    | `Uniform (lo, hi) -> (lo +. hi) /. 2.0
+    | `Exponential mean -> mean
+  in
+  profile.block_lifetime /. mean_gap

@@ -1,0 +1,45 @@
+(** Address-demand workload generators (§4.3.3).
+
+    The paper's simulation drives every child domain with the same
+    stochastic demand: "blocks of 256 addresses with a lifetime of 30
+    days ... inter-request times chosen uniformly and randomly from
+    between 1 and 95 hours".  This module packages that model (and a
+    bursty variant for the "sudden increase in demand" discussion of
+    §4.1) for reuse by simulators, examples, and tests. *)
+
+type profile = {
+  block_size : int;
+  block_lifetime : Time.t;
+  inter_request : [ `Uniform of Time.t * Time.t | `Exponential of Time.t ];
+      (** time between successive block requests *)
+}
+
+val paper_profile : profile
+(** 256-address blocks, 30-day lifetime, U[1 h, 95 h]. *)
+
+val bursty_profile : profile
+(** The §4.1 stress case: same blocks, exponential inter-arrivals with a
+    4-hour mean — roughly 12× the steady rate. *)
+
+type event = { at : Time.t; expires : Time.t }
+(** One block request: issued at [at], its addresses lapse at
+    [expires]. *)
+
+val schedule : profile -> rng:Rng.t -> horizon:Time.t -> event list
+(** The full request stream for one domain up to [horizon], in time
+    order. *)
+
+val drive :
+  profile ->
+  rng:Rng.t ->
+  engine:Engine.t ->
+  horizon:Time.t ->
+  on_request:(expires:Time.t -> unit) ->
+  unit
+(** Schedule the stream on a live engine: [on_request] fires at each
+    request time with the block's expiry. *)
+
+val expected_steady_blocks : profile -> float
+(** Little's-law estimate of concurrently live blocks in steady state
+    (≈ 15 for the paper profile — 2500 domains × 15 = the 37 500
+    outstanding requests quoted in §4.3.3). *)

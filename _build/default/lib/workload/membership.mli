@@ -1,0 +1,30 @@
+(** Group-membership workload generators.
+
+    Figure 4 samples receivers uniformly; real sessions cluster
+    (audiences concentrate in a few provider subtrees) and churn
+    (members join in waves and leave early).  These generators feed
+    both the tree-quality experiments and the end-to-end examples. *)
+
+val uniform : rng:Rng.t -> Topo.t -> size:int -> exclude:Domain.id list -> Domain.id list
+(** [size] distinct member domains, uniform over the topology minus
+    [exclude].  @raise Invalid_argument if fewer candidates remain than
+    [size]. *)
+
+val clustered :
+  rng:Rng.t -> Topo.t -> size:int -> clusters:int -> exclude:Domain.id list -> Domain.id list
+(** Affinity sampling: pick [clusters] random seed domains and draw
+    members preferentially near them (by hop distance), modelling
+    regionally concentrated audiences.  Falls back to uniform for the
+    residue. *)
+
+type churn_event = { when_ : Time.t; member : Domain.id; joins : bool }
+
+val waves :
+  rng:Rng.t ->
+  members:Domain.id list ->
+  wave_count:int ->
+  wave_gap:Time.t ->
+  stay:Time.t ->
+  churn_event list
+(** Members join in [wave_count] waves separated by [wave_gap], each
+    member leaving [stay] after joining; events in time order. *)

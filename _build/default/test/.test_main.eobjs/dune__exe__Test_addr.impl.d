@@ -1,0 +1,1 @@
+test/test_addr.ml: Alcotest Free_space Gen Ipv4 List Option Prefix Prefix_trie Printf QCheck QCheck_alcotest String

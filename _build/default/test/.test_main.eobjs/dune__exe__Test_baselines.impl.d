@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Bgmp_fabric Domain Engine Gen Host_ref Ipv4 Kampai List Prefix QCheck QCheck_alcotest Rng Spf Time Topo

@@ -1,0 +1,1 @@
+test/test_bgmp.ml: Alcotest Array Bgmp_fabric Bgmp_msg Bgmp_router Domain Engine Gen Host_ref Ipv4 List Migp Option Printf QCheck QCheck_alcotest Rng Spf Topo

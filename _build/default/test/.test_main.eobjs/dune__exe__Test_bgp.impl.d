@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Array Bgp_network Domain Engine Format Gen Ipv4 List Prefix Printf QCheck QCheck_alcotest Rng Route Speaker String Topo Update

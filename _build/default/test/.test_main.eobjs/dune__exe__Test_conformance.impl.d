@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Bgmp_fabric Bgmp_router Domain Engine Gen Host_ref Ipv4 List Migp Option Topo

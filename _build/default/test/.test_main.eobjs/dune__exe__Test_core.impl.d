@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bgmp_fabric Domain Engine Gen Hashtbl Host_ref Internet Ipv4 List Maas Masc_node Option Prefix Printf Rng Route Speaker Spf Time Topo Trace

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bgmp_router Domain Engine Filename Fun Gen Internet Ipv4 List Maas Masc_network Masc_node Option Prefix Printf Rng Str String Sys Time Topo Topo_dot Topo_dump Trace

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bgmp_fabric Bgp_network Domain Engine Host_ref Internet Ipv4 List Maas Prefix Speaker Spf Time Topo

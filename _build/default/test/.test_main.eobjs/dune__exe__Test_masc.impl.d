@@ -1,0 +1,1 @@
+test/test_masc.ml: Address_space Alcotest Allocation_sim Array Claim_policy Engine Hashtbl Ipv4 List Maas Masc_network Masc_node Option Prefix Printf QCheck QCheck_alcotest Rng Time

@@ -1,0 +1,1 @@
+test/test_migp.ml: Alcotest Host_ref Ipv4 List Migp

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Bgmp_fabric Bgp_network Domain Engine Host_ref Internet Ipv4 List Option Scenario Speaker Time Topo

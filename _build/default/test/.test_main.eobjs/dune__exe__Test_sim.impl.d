@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Gen List Option QCheck QCheck_alcotest Time Trace

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Domain Gen Host_ref List Option QCheck QCheck_alcotest Rng Spf Time Topo

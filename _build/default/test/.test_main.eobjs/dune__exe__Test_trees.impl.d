@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Array Domain Gen List Path_eval Printf QCheck QCheck_alcotest Rng Shared_tree Spf Stats Topo Tree_experiment

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Hashtbl Heap List Option QCheck QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bgmp_fabric Demand Engine Gen Host_ref Internet List Membership Migp Option Printf Rng Scenario Spf Stats Time Topo

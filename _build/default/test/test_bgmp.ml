@@ -1,0 +1,526 @@
+(* Tests for mcast_bgmp: the border-router state machine and the fabric
+   (tree construction, bidirectional data flow, source-specific
+   branches, teardown, MIGP interplay). *)
+
+let check = Alcotest.check
+
+let g = Ipv4.of_string "224.0.128.1"
+
+(* --- Bgmp_router state machine (pure, no fabric) ----------------------- *)
+
+let router_with_routes ~root_class ~source_class =
+  let r = Bgmp_router.create ~id:100 ~domain:9 ~name:"R1" in
+  Bgmp_router.set_classify_root r (fun _ -> root_class);
+  Bgmp_router.set_classify_source r (fun _ -> source_class);
+  r
+
+let test_router_join_creates_entry_and_propagates () =
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
+  let actions = Bgmp_router.handle_join r ~group:g ~from:Bgmp_router.Migp_target in
+  (match actions with
+  | [ Bgmp_router.To_peer (55, Bgmp_msg.Join g') ] -> check Alcotest.int "join for group" g g'
+  | _ -> Alcotest.fail "expected a single upstream join");
+  match Bgmp_router.star_entry r g with
+  | Some e ->
+      check Alcotest.bool "parent is external peer" true
+        (e.Bgmp_router.parent = Some (Bgmp_router.Peer 55));
+      check Alcotest.int "one child" 1 (List.length e.Bgmp_router.children)
+  | None -> Alcotest.fail "entry missing"
+
+let test_router_second_join_no_propagation () =
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
+  ignore (Bgmp_router.handle_join r ~group:g ~from:Bgmp_router.Migp_target);
+  let actions = Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 7) in
+  check Alcotest.int "no upstream join" 0 (List.length actions);
+  match Bgmp_router.star_entry r g with
+  | Some e -> check Alcotest.int "two children" 2 (List.length e.Bgmp_router.children)
+  | None -> Alcotest.fail "entry missing"
+
+let test_router_root_domain_parent_is_migp () =
+  let r = router_with_routes ~root_class:Bgmp_router.Root_here ~source_class:Bgmp_router.Unroutable in
+  let actions = Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3) in
+  (match actions with
+  | [ Bgmp_router.Migp_join _ ] -> ()
+  | _ -> Alcotest.fail "expected an MIGP-side join");
+  match Bgmp_router.star_entry r g with
+  | Some e ->
+      check Alcotest.bool "parent is the MIGP component" true
+        (e.Bgmp_router.parent = Some Bgmp_router.Migp_target)
+  | None -> Alcotest.fail "entry missing"
+
+let test_router_prune_tears_down () =
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3));
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 4));
+  let a1 = Bgmp_router.handle_prune r ~group:g ~from:(Bgmp_router.Peer 3) in
+  check Alcotest.int "no upstream prune while children remain" 0 (List.length a1);
+  let a2 = Bgmp_router.handle_prune r ~group:g ~from:(Bgmp_router.Peer 4) in
+  (match a2 with
+  | [ Bgmp_router.To_peer (55, Bgmp_msg.Prune _) ] -> ()
+  | _ -> Alcotest.fail "expected upstream prune");
+  check Alcotest.bool "entry removed" true (Bgmp_router.star_entry r g = None)
+
+let test_router_data_bidirectional () =
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3));
+  let src = Host_ref.make 1 0 in
+  (* Data from the child flows to the parent (up) but not back. *)
+  let up = Bgmp_router.handle_data r ~group:g ~source:src ~payload:1 ~hops:0 ~from:(Bgmp_router.Peer 3) in
+  (match up with
+  | [ Bgmp_router.To_peer (55, Bgmp_msg.Data _) ] -> ()
+  | _ -> Alcotest.fail "expected upward forwarding");
+  (* Data from the parent flows to the child. *)
+  let down =
+    Bgmp_router.handle_data r ~group:g ~source:src ~payload:2 ~hops:0 ~from:(Bgmp_router.Peer 55)
+  in
+  match down with
+  | [ Bgmp_router.To_peer (3, Bgmp_msg.Data _) ] -> ()
+  | _ -> Alcotest.fail "expected downward forwarding"
+
+let test_router_off_tree_default_forwarding () =
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
+  let src = Host_ref.make 1 0 in
+  (* Off-tree router forwards toward the root (§5.2)... *)
+  let acts = Bgmp_router.handle_data r ~group:g ~source:src ~payload:1 ~hops:0 ~from:Bgmp_router.Migp_target in
+  (match acts with
+  | [ Bgmp_router.To_peer (55, Bgmp_msg.Data _) ] -> ()
+  | _ -> Alcotest.fail "expected default forwarding toward root");
+  (* ...data arriving FROM the root direction at an off-tree router has
+     no interested party here: dropped, never echoed. *)
+  let acts2 =
+    Bgmp_router.handle_data r ~group:g ~source:src ~payload:2 ~hops:0 ~from:(Bgmp_router.Peer 55)
+  in
+  check Alcotest.int "dropped, not echoed" 0 (List.length acts2);
+  (* An off-tree router whose exit lies via another border router hands
+     externally-arriving data to the MIGP to reach that exit (§5.2, the
+     A1 case). *)
+  let r_int =
+    router_with_routes ~root_class:(Bgmp_router.Internal 77) ~source_class:Bgmp_router.Unroutable
+  in
+  (match Bgmp_router.handle_data r_int ~group:g ~source:src ~payload:3 ~hops:0 ~from:(Bgmp_router.Peer 7) with
+  | [ Bgmp_router.Migp_data _ ] -> ()
+  | _ -> Alcotest.fail "expected hand-off to the MIGP (internal next hop)");
+  (* Unroutable groups are dropped. *)
+  let r2 = router_with_routes ~root_class:Bgmp_router.Unroutable ~source_class:Bgmp_router.Unroutable in
+  check Alcotest.int "unroutable dropped" 0
+    (List.length
+       (Bgmp_router.handle_data r2 ~group:g ~source:src ~payload:4 ~hops:0
+          ~from:(Bgmp_router.Peer 1)))
+
+let test_router_sg_join_on_tree_copies_targets () =
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:(Bgmp_router.External 66) in
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3));
+  let src = Host_ref.make 1 0 in
+  let acts = Bgmp_router.handle_join_sg r ~source:src ~group:g ~from:(Bgmp_router.Peer 9) in
+  check Alcotest.int "join not propagated past the shared tree" 0 (List.length acts);
+  match Bgmp_router.sg_entry r src g with
+  | Some v ->
+      check Alcotest.bool "rpf points toward source" true
+        (v.Bgmp_router.view_rpf = Some (Bgmp_router.Peer 66));
+      check Alcotest.bool "branch child added" true
+        (List.mem (Bgmp_router.Peer 9) v.Bgmp_router.view_targets)
+  | None -> Alcotest.fail "sg entry missing"
+
+let test_router_sg_join_off_tree_propagates () =
+  let r = router_with_routes ~root_class:Bgmp_router.Unroutable ~source_class:(Bgmp_router.External 66) in
+  let src = Host_ref.make 1 0 in
+  let acts = Bgmp_router.handle_join_sg r ~source:src ~group:g ~from:(Bgmp_router.Peer 9) in
+  match acts with
+  | [ Bgmp_router.To_peer (66, Bgmp_msg.Join_sg _) ] -> ()
+  | _ -> Alcotest.fail "expected propagation toward the source"
+
+let test_router_sg_data_rpf_gated () =
+  let r = router_with_routes ~root_class:Bgmp_router.Unroutable ~source_class:(Bgmp_router.External 66) in
+  let src = Host_ref.make 1 0 in
+  ignore (Bgmp_router.handle_join_sg r ~source:src ~group:g ~from:(Bgmp_router.Peer 9));
+  (* Data from the RPF side flows down the branch... *)
+  let ok = Bgmp_router.handle_data r ~group:g ~source:src ~payload:1 ~hops:0 ~from:(Bgmp_router.Peer 66) in
+  (match ok with
+  | [ Bgmp_router.To_peer (9, Bgmp_msg.Data _) ] -> ()
+  | _ -> Alcotest.fail "expected forwarding down the branch");
+  (* ...data from anywhere else is dropped (no loops through branches). *)
+  let dropped =
+    Bgmp_router.handle_data r ~group:g ~source:src ~payload:2 ~hops:0 ~from:(Bgmp_router.Peer 9)
+  in
+  check Alcotest.int "non-RPF data dropped" 0 (List.length dropped)
+
+let test_router_entry_count () =
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:(Bgmp_router.External 66) in
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3));
+  ignore (Bgmp_router.handle_join_sg r ~source:(Host_ref.make 1 0) ~group:g ~from:(Bgmp_router.Peer 9));
+  check Alcotest.int "one star one sg" 2 (Bgmp_router.entry_count r)
+
+(* --- Fabric ------------------------------------------------------------- *)
+
+let make_fabric ?config ?migp_style ~root_name topo =
+  let engine = Engine.create () in
+  let root = Option.get (Topo.find_by_name topo root_name) in
+  let paths = Spf.bfs topo root in
+  let route_to_root d _g =
+    if d = root then Bgmp_fabric.Root_here
+    else
+      match Spf.next_hop_toward topo paths d with
+      | Some nh -> Bgmp_fabric.Via nh
+      | None -> Bgmp_fabric.Unroutable
+  in
+  let fabric = Bgmp_fabric.create ~engine ~topo ?config ?migp_style ~route_to_root () in
+  (engine, fabric)
+
+let dom topo name = Option.get (Topo.find_by_name topo name)
+
+let join_all topo fabric names =
+  List.iter (fun n -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom topo n) 0) ~group:g) names
+
+let deliver_domains topo fabric payload =
+  List.sort compare
+    (List.map
+       (fun (h, _) -> (Topo.domain topo h.Host_ref.host_domain).Domain.name)
+       (Bgmp_fabric.deliveries fabric ~payload))
+
+let test_fabric_members_receive_exactly_once () =
+  let topo = Gen.figure3 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "B"; "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 7) ~group:g in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "all members, sorted" [ "B"; "C"; "D"; "F"; "H" ]
+    (deliver_domains topo fabric p);
+  check Alcotest.int "no duplicates" 0 (Bgmp_fabric.duplicate_deliveries fabric)
+
+let test_fabric_sender_need_not_be_member () =
+  (* The IP service model (§3): E has no members yet its host's packets
+     reach the group. *)
+  let topo = Gen.figure1 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "C" ];
+  Engine.run_until_idle engine;
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "non-member sender reaches members" [ "C" ]
+    (deliver_domains topo fabric p)
+
+let test_fabric_member_sender_zero_hops_locally () =
+  let topo = Gen.figure1 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "B"; "F" ];
+  Engine.run_until_idle engine;
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "B") 5) ~group:g in
+  Engine.run_until_idle engine;
+  let hops_of name =
+    List.assoc (Host_ref.make (dom topo name) 0)
+      (List.map (fun (h, hops) -> (h, hops)) (Bgmp_fabric.deliveries fabric ~payload:p))
+  in
+  check Alcotest.int "local member at zero hops" 0 (hops_of "B");
+  check Alcotest.int "remote member over the tree" 1 (hops_of "F")
+
+let test_fabric_leave_tears_down_tree () =
+  let topo = Gen.figure1 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  let host_c = Host_ref.make (dom topo "C") 0 in
+  Bgmp_fabric.host_join fabric ~host:host_c ~group:g;
+  Engine.run_until_idle engine;
+  check Alcotest.bool "tree built" true (List.length (Bgmp_fabric.tree_domains fabric ~group:g) >= 2);
+  Bgmp_fabric.host_leave fabric ~host:host_c ~group:g;
+  Engine.run_until_idle engine;
+  (* Only the root-side state may remain; C must be off. *)
+  check Alcotest.bool "C off the tree" false
+    (List.mem (dom topo "C") (Bgmp_fabric.tree_domains fabric ~group:g));
+  (* And data no longer reaches C. *)
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "no deliveries" [] (deliver_domains topo fabric p)
+
+let test_fabric_tree_is_stable_across_sends () =
+  let topo = Gen.figure3 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "C"; "D"; "H" ];
+  Engine.run_until_idle engine;
+  let before = Bgmp_fabric.tree_domains fabric ~group:g in
+  for _ = 1 to 5 do
+    ignore (Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g);
+    Engine.run_until_idle engine
+  done;
+  check (Alcotest.list Alcotest.int) "tree unchanged by data" before
+    (Bgmp_fabric.tree_domains fabric ~group:g)
+
+let test_fabric_branch_shortens_path () =
+  (* The §5.3 walkthrough: members in F, source in D; F's shortest path
+     to D runs via A (F2), not via the shared tree through B (F1).  With
+     branching enabled the second packet takes the shorter path. *)
+  let topo = Gen.figure3 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "B"; "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let src = Host_ref.make (dom topo "D") 3 in
+  ignore (Bgmp_fabric.send fabric ~source:src ~group:g);
+  Engine.run_until_idle engine;
+  let p2 = Bgmp_fabric.send fabric ~source:src ~group:g in
+  Engine.run_until_idle engine;
+  let f_host = Host_ref.make (dom topo "F") 0 in
+  let hops =
+    List.assoc f_host (List.map (fun (h, hops) -> (h, hops)) (Bgmp_fabric.deliveries fabric ~payload:p2))
+  in
+  check Alcotest.int "branch delivers F over 2 hops (D-A-F)" 2 hops;
+  check Alcotest.bool "encapsulations were counted" true
+    (Migp.encapsulations (Bgmp_fabric.migp_of fabric (dom topo "F")) > 0)
+
+let test_fabric_no_branch_without_branching () =
+  let topo = Gen.figure3 () in
+  let engine, fabric =
+    make_fabric
+      ~config:{ Bgmp_fabric.default_config with Bgmp_fabric.branching = false }
+      ~root_name:"B" topo
+  in
+  join_all topo fabric [ "B"; "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let src = Host_ref.make (dom topo "D") 3 in
+  ignore (Bgmp_fabric.send fabric ~source:src ~group:g);
+  Engine.run_until_idle engine;
+  let p2 = Bgmp_fabric.send fabric ~source:src ~group:g in
+  Engine.run_until_idle engine;
+  let f_host = Host_ref.make (dom topo "F") 0 in
+  let hops =
+    List.assoc f_host (List.map (fun (h, hops) -> (h, hops)) (Bgmp_fabric.deliveries fabric ~payload:p2))
+  in
+  check Alcotest.int "shared-tree path stays at 3 hops (D-A-B-F)" 3 hops
+
+let test_fabric_flooding_counters_by_style () =
+  let topo = Gen.figure1 () in
+  (* All-DVMRP vs all-PIM-SM: the dense style must record flood
+     deliveries; the sparse one must not. *)
+  let run style =
+    let engine, fabric = make_fabric ~migp_style:(fun _ -> style) ~root_name:"B" topo in
+    join_all topo fabric [ "C"; "F" ];
+    Engine.run_until_idle engine;
+    ignore (Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g);
+    Engine.run_until_idle engine;
+    List.fold_left
+      (fun acc (d : Domain.t) -> acc + Migp.flood_deliveries (Bgmp_fabric.migp_of fabric d.Domain.id))
+      0 (Topo.domains topo)
+  in
+  check Alcotest.bool "dvmrp floods internally" true (run Migp.Dvmrp > 0);
+  check Alcotest.int "pim-sm delivers only along state" 0 (run Migp.Pim_sm)
+
+let test_fabric_pim_sm_delivery_equivalent () =
+  (* MIGP independence: delivery semantics identical across styles. *)
+  let topo = Gen.figure3 () in
+  let run style =
+    let engine, fabric = make_fabric ~migp_style:(fun _ -> style) ~root_name:"B" topo in
+    join_all topo fabric [ "B"; "C"; "D"; "F"; "H" ];
+    Engine.run_until_idle engine;
+    let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 7) ~group:g in
+    Engine.run_until_idle engine;
+    (deliver_domains topo fabric p, Bgmp_fabric.duplicate_deliveries fabric)
+  in
+  let dv, dup_dv = run Migp.Dvmrp in
+  let sm, dup_sm = run Migp.Pim_sm in
+  let cbt, dup_cbt = run Migp.Cbt in
+  check (Alcotest.list Alcotest.string) "same receivers (dvmrp vs pim-sm)" dv sm;
+  check (Alcotest.list Alcotest.string) "same receivers (dvmrp vs cbt)" dv cbt;
+  check Alcotest.int "no dups dvmrp" 0 dup_dv;
+  check Alcotest.int "no dups pim-sm" 0 dup_sm;
+  check Alcotest.int "no dups cbt" 0 dup_cbt
+
+let test_fabric_mixed_migp_styles () =
+  (* Each domain running a different MIGP must still interoperate. *)
+  let topo = Gen.figure3 () in
+  let styles = [| Migp.Dvmrp; Migp.Pim_sm; Migp.Cbt; Migp.Pim_dm |] in
+  let engine, fabric =
+    make_fabric ~migp_style:(fun d -> styles.(d mod 4)) ~root_name:"B" topo
+  in
+  join_all topo fabric [ "B"; "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 7) ~group:g in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "all members under mixed MIGPs" [ "B"; "C"; "D"; "F"; "H" ]
+    (deliver_domains topo fabric p);
+  check Alcotest.int "no duplicates" 0 (Bgmp_fabric.duplicate_deliveries fabric)
+
+let test_fabric_leave_preserves_transit_and_branches () =
+  (* Regression: C's members leave while H (C's customer) stays joined.
+     C must keep providing transit for H, and the (S,G) suppression that
+     C's dead branches installed must be lifted so H still hears every
+     source. *)
+  let topo = Gen.figure3 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let src_d = Host_ref.make (dom topo "D") 1 in
+  (* Two sends build branches (strict-RPF DVMRP everywhere). *)
+  ignore (Bgmp_fabric.send fabric ~source:src_d ~group:g);
+  Engine.run_until_idle engine;
+  ignore (Bgmp_fabric.send fabric ~source:src_d ~group:g);
+  Engine.run_until_idle engine;
+  (* C and F leave. *)
+  List.iter
+    (fun n -> Bgmp_fabric.host_leave fabric ~host:(Host_ref.make (dom topo n) 0) ~group:g)
+    [ "C"; "F" ];
+  Engine.run_until_idle engine;
+  (* Both an off-tree source (E) and the branch-affected source (D) must
+     still reach the remaining members D and H, exactly once. *)
+  let p1 = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "E reaches D and H" [ "D"; "H" ]
+    (deliver_domains topo fabric p1);
+  let p2 = Bgmp_fabric.send fabric ~source:src_d ~group:g in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "D reaches D and H" [ "D"; "H" ]
+    (deliver_domains topo fabric p2)
+
+let test_fabric_multiple_groups_independent () =
+  let topo = Gen.figure1 () in
+  let engine = Engine.create () in
+  let b = dom topo "B" and c = dom topo "C" in
+  let paths_b = Spf.bfs topo b and paths_c = Spf.bfs topo c in
+  let g1 = Ipv4.of_string "224.1.0.1" and g2 = Ipv4.of_string "224.2.0.1" in
+  (* g1 rooted at B, g2 rooted at C. *)
+  let route_to_root d grp =
+    let root, paths = if Ipv4.equal grp g1 then (b, paths_b) else (c, paths_c) in
+    if d = root then Bgmp_fabric.Root_here
+    else
+      match Spf.next_hop_toward topo paths d with
+      | Some nh -> Bgmp_fabric.Via nh
+      | None -> Bgmp_fabric.Unroutable
+  in
+  let fabric = Bgmp_fabric.create ~engine ~topo ~route_to_root () in
+  Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom topo "F") 0) ~group:g1;
+  Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom topo "G") 0) ~group:g2;
+  Engine.run_until_idle engine;
+  let p1 = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "D") 0) ~group:g1 in
+  let p2 = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "D") 0) ~group:g2 in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "g1 reaches F only" [ "F" ] (deliver_domains topo fabric p1);
+  check (Alcotest.list Alcotest.string) "g2 reaches G only" [ "G" ] (deliver_domains topo fabric p2)
+
+let test_fabric_message_counters () =
+  let topo = Gen.figure1 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "C" ];
+  Engine.run_until_idle engine;
+  check Alcotest.bool "control messages counted" true (Bgmp_fabric.control_messages fabric > 0);
+  ignore (Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g);
+  Engine.run_until_idle engine;
+  check Alcotest.bool "data messages counted" true (Bgmp_fabric.data_messages fabric > 0);
+  check Alcotest.bool "entries counted" true (Bgmp_fabric.total_entries fabric > 0)
+
+let test_fabric_router_naming () =
+  let topo = Gen.figure1 () in
+  let _, fabric = make_fabric ~root_name:"B" topo in
+  let a_routers = Bgmp_fabric.routers_of fabric (dom topo "A") in
+  check Alcotest.bool "A has several border routers" true (List.length a_routers >= 4);
+  check Alcotest.string "first is A1" "A1" (Bgmp_router.name (List.hd a_routers));
+  match Bgmp_fabric.router_toward fabric (dom topo "A") (dom topo "B") with
+  | Some r -> check Alcotest.int "router_toward domain" (dom topo "A") (Bgmp_router.domain r)
+  | None -> Alcotest.fail "expected a router on the A-B link"
+
+let test_fabric_regression_seed_142759 () =
+  (* Found by the qcheck property: members behind a backbone starved
+     because (a) copied (S,G) entries were frozen snapshots of the
+     (star,G) targets and (b) graft entries at on-tree routers were
+     RPF-gated, blocking the tree copies flowing through them.  Pinned
+     here so the exact counterexample stays covered. *)
+  let seed = 142759 in
+  let rng = Rng.create seed in
+  let topo = Gen.transit_stub ~rng ~backbones:2 ~regionals_per_backbone:3 ~stubs_per_regional:2 in
+  let n = Topo.domain_count topo in
+  let engine = Engine.create () in
+  let root = Rng.int rng n in
+  let paths = Spf.bfs topo root in
+  let route_to_root d _ =
+    if d = root then Bgmp_fabric.Root_here
+    else
+      match Spf.next_hop_toward topo paths d with
+      | Some nh -> Bgmp_fabric.Via nh
+      | None -> Bgmp_fabric.Unroutable
+  in
+  let styles = [| Migp.Dvmrp; Migp.Pim_sm; Migp.Cbt; Migp.Pim_dm |] in
+  let fabric =
+    Bgmp_fabric.create ~engine ~topo ~migp_style:(fun d -> styles.(d mod 4)) ~route_to_root ()
+  in
+  let member_count = 1 + Rng.int rng (n / 2) in
+  let members = Array.to_list (Rng.sample_without_replacement rng member_count n) in
+  List.iter (fun d -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make d 0) ~group:g) members;
+  Engine.run_until_idle engine;
+  let source = Host_ref.make (Rng.int rng n) 99 in
+  let want = List.sort compare members in
+  List.iter
+    (fun round ->
+      let p = Bgmp_fabric.send fabric ~source ~group:g in
+      Engine.run_until_idle engine;
+      let got =
+        List.sort compare
+          (List.map (fun (h, _) -> h.Host_ref.host_domain) (Bgmp_fabric.deliveries fabric ~payload:p))
+      in
+      check (Alcotest.list Alcotest.int) (Printf.sprintf "round %d exact delivery" round) want got)
+    [ 1; 2; 3 ];
+  check Alcotest.int "no duplicates" 0 (Bgmp_fabric.duplicate_deliveries fabric)
+
+let prop_fabric_delivers_to_exactly_members =
+  (* On random transit-stub topologies with random membership, every
+     member receives exactly once and non-members receive nothing. *)
+  QCheck.Test.make ~name:"fabric delivers to exactly the members" ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let topo =
+        Gen.transit_stub ~rng ~backbones:2 ~regionals_per_backbone:3 ~stubs_per_regional:2
+      in
+      let n = Topo.domain_count topo in
+      let engine = Engine.create () in
+      let root = Rng.int rng n in
+      let paths = Spf.bfs topo root in
+      let route_to_root d _ =
+        if d = root then Bgmp_fabric.Root_here
+        else
+          match Spf.next_hop_toward topo paths d with
+          | Some nh -> Bgmp_fabric.Via nh
+          | None -> Bgmp_fabric.Unroutable
+      in
+      let styles = [| Migp.Dvmrp; Migp.Pim_sm; Migp.Cbt; Migp.Pim_dm |] in
+      let fabric =
+        Bgmp_fabric.create ~engine ~topo ~migp_style:(fun d -> styles.(d mod 4)) ~route_to_root ()
+      in
+      let member_count = 1 + Rng.int rng (n / 2) in
+      let members = Array.to_list (Rng.sample_without_replacement rng member_count n) in
+      List.iter
+        (fun d -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make d 0) ~group:g)
+        members;
+      Engine.run_until_idle engine;
+      let source = Host_ref.make (Rng.int rng n) 99 in
+      let p = Bgmp_fabric.send fabric ~source ~group:g in
+      Engine.run_until_idle engine;
+      let got = List.map fst (Bgmp_fabric.deliveries fabric ~payload:p) in
+      let got_sorted = List.sort Host_ref.compare got in
+      let want = List.sort Host_ref.compare (List.map (fun d -> Host_ref.make d 0) members) in
+      got_sorted = want && Bgmp_fabric.duplicate_deliveries fabric = 0)
+
+let suite =
+  [
+    ("router join creates entry", `Quick, test_router_join_creates_entry_and_propagates);
+    ("router second join silent", `Quick, test_router_second_join_no_propagation);
+    ("router root parent is migp", `Quick, test_router_root_domain_parent_is_migp);
+    ("router prune tears down", `Quick, test_router_prune_tears_down);
+    ("router data bidirectional", `Quick, test_router_data_bidirectional);
+    ("router off-tree default forwarding", `Quick, test_router_off_tree_default_forwarding);
+    ("router sg join on tree copies", `Quick, test_router_sg_join_on_tree_copies_targets);
+    ("router sg join off tree propagates", `Quick, test_router_sg_join_off_tree_propagates);
+    ("router sg data rpf gated", `Quick, test_router_sg_data_rpf_gated);
+    ("router entry count", `Quick, test_router_entry_count);
+    ("fabric members receive exactly once", `Quick, test_fabric_members_receive_exactly_once);
+    ("fabric sender need not be member", `Quick, test_fabric_sender_need_not_be_member);
+    ("fabric local members at zero hops", `Quick, test_fabric_member_sender_zero_hops_locally);
+    ("fabric leave tears down", `Quick, test_fabric_leave_tears_down_tree);
+    ("fabric tree stable across sends", `Quick, test_fabric_tree_is_stable_across_sends);
+    ("fabric branch shortens path", `Quick, test_fabric_branch_shortens_path);
+    ("fabric no branch when disabled", `Quick, test_fabric_no_branch_without_branching);
+    ("fabric flooding counters by style", `Quick, test_fabric_flooding_counters_by_style);
+    ("fabric migp independence", `Quick, test_fabric_pim_sm_delivery_equivalent);
+    ("fabric mixed migp styles", `Quick, test_fabric_mixed_migp_styles);
+    ("fabric leave preserves transit/branches", `Quick, test_fabric_leave_preserves_transit_and_branches);
+    ("fabric multiple groups", `Quick, test_fabric_multiple_groups_independent);
+    ("fabric message counters", `Quick, test_fabric_message_counters);
+    ("fabric router naming", `Quick, test_fabric_router_naming);
+    ("fabric regression seed 142759", `Quick, test_fabric_regression_seed_142759);
+    QCheck_alcotest.to_alcotest prop_fabric_delivers_to_exactly_members;
+  ]

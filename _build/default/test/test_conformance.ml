@@ -1,0 +1,182 @@
+(* Conformance to the paper's §5.2/§5.3 walkthrough, router by router.
+
+   The paper's Figure-3 narrative fixes the exact forwarding state:
+
+     "C1 looks up 224.0.128.1 in its G-RIB, finds (224.0.0.0/16, A2),
+      and creates a multicast-group forwarding entry ... the parent
+      target is A2 and the only child target is its MIGP component."
+     "A2 ... instantiates a (*,G) entry with the MIGP component to
+      reach A3 as the parent target and C1 as the child target."
+     "A3 creates a (*,G) entry with the MIGP component as the child
+      target ... The parent target is B1."
+     "B1 ... creates a (*,G) entry with its MIGP component as the
+      parent target (since it has no BGP next hop) and A3 as the child
+      target."
+
+   We reproduce the routing exactly as the paper describes it (C's
+   G-RIB holds only A's aggregate, so C's join travels via A — the
+   §4.2 aggregation at work) and assert every entry. *)
+
+let check = Alcotest.check
+
+let g = Ipv4.of_string "224.0.128.1"
+
+(* The paper's Figure-3 G-RIB: B is the root; A holds the specific
+   toward B; everyone else follows A's covering aggregate. *)
+let paper_routes topo =
+  let dom name = Option.get (Topo.find_by_name topo name) in
+  let a = dom "A" and b = dom "B" and c = dom "C" in
+  let f = dom "F" and g_ = dom "G" and h = dom "H" in
+  fun d _group ->
+    if d = b then Bgmp_fabric.Root_here
+    else if d = a then Bgmp_fabric.Via b  (* A holds the specific toward B *)
+    else if d = f then Bgmp_fabric.Via b  (* B's customer hears the specific *)
+    else if d = g_ || d = h then Bgmp_fabric.Via c  (* C's customers follow C *)
+    else Bgmp_fabric.Via a  (* C, D, E follow A's aggregate *)
+
+let setup () =
+  let topo = Gen.figure3 () in
+  let engine = Engine.create () in
+  let fabric = Bgmp_fabric.create ~engine ~topo ~route_to_root:(paper_routes topo) () in
+  (topo, engine, fabric)
+
+let dom topo name = Option.get (Topo.find_by_name topo name)
+
+let router fabric topo ~of_ ~toward =
+  match Bgmp_fabric.router_toward fabric (dom topo of_) (dom topo toward) with
+  | Some r -> r
+  | None -> Alcotest.failf "no %s router toward %s" of_ toward
+
+let entry_of r =
+  match Bgmp_router.star_entry r g with
+  | Some e -> e
+  | None -> Alcotest.failf "router %s has no (*,G) entry" (Bgmp_router.name r)
+
+let test_paper_join_state_from_c () =
+  let topo, engine, fabric = setup () in
+  (* "When a host in domain C now joins this group..." *)
+  Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom topo "C") 0) ~group:g;
+  Engine.run_until_idle engine;
+  (* C1: C's border router toward A (the best exit per the aggregate). *)
+  let c1 = router fabric topo ~of_:"C" ~toward:"A" in
+  let a2 = router fabric topo ~of_:"A" ~toward:"C" in
+  let a3 = router fabric topo ~of_:"A" ~toward:"B" in
+  let b1 = router fabric topo ~of_:"B" ~toward:"A" in
+  (* C1: parent = A2, children = [MIGP]. *)
+  let e_c1 = entry_of c1 in
+  check Alcotest.bool "C1 parent is A2" true
+    (e_c1.Bgmp_router.parent = Some (Bgmp_router.Peer (Bgmp_router.id a2)));
+  check Alcotest.bool "C1 child is its MIGP component" true
+    (e_c1.Bgmp_router.children = [ Bgmp_router.Migp_target ]);
+  (* A2: parent = MIGP component (toward A3), child = C1. *)
+  let e_a2 = entry_of a2 in
+  check Alcotest.bool "A2 parent is the MIGP component (toward A3)" true
+    (e_a2.Bgmp_router.parent = Some Bgmp_router.Migp_target);
+  check Alcotest.bool "A2 child is C1" true
+    (e_a2.Bgmp_router.children = [ Bgmp_router.Peer (Bgmp_router.id c1) ]);
+  (* A3: parent = B1, child = MIGP. *)
+  let e_a3 = entry_of a3 in
+  check Alcotest.bool "A3 parent is B1" true
+    (e_a3.Bgmp_router.parent = Some (Bgmp_router.Peer (Bgmp_router.id b1)));
+  check Alcotest.bool "A3 child is the MIGP component" true
+    (e_a3.Bgmp_router.children = [ Bgmp_router.Migp_target ]);
+  (* B1 (root domain): parent = MIGP (no BGP next hop), child = A3. *)
+  let e_b1 = entry_of b1 in
+  check Alcotest.bool "B1 parent is its MIGP component" true
+    (e_b1.Bgmp_router.parent = Some Bgmp_router.Migp_target);
+  check Alcotest.bool "B1 child is A3" true
+    (e_b1.Bgmp_router.children = [ Bgmp_router.Peer (Bgmp_router.id a3) ])
+
+let test_paper_data_from_e () =
+  (* "Suppose a host in domain E that has no members of the group sends
+     data ... the data packets thus reach group members in domains B,
+     C, D, F and H along the shared tree." *)
+  let topo, engine, fabric = setup () in
+  List.iter
+    (fun n -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom topo n) 0) ~group:g)
+    [ "B"; "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 9) ~group:g in
+  Engine.run_until_idle engine;
+  let got =
+    List.sort compare
+      (List.map
+         (fun (h, _) -> (Topo.domain topo h.Host_ref.host_domain).Domain.name)
+         (Bgmp_fabric.deliveries fabric ~payload:p))
+  in
+  check (Alcotest.list Alcotest.string) "members in B, C, D, F and H" [ "B"; "C"; "D"; "F"; "H" ]
+    got;
+  check Alcotest.int "no duplicates" 0 (Bgmp_fabric.duplicate_deliveries fabric)
+
+let test_paper_branch_from_f () =
+  (* §5.3's walkthrough: source S in D; F's data arrives over the tree
+     via F1 (B side) but F's shortest path to S is via F2 (A side):
+     encapsulation, then an (S,G) branch terminating at a router on the
+     shared tree, then a source-specific prune of the tree copies. *)
+  let topo, engine, fabric = setup () in
+  List.iter
+    (fun n -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom topo n) 0) ~group:g)
+    [ "B"; "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let s = Host_ref.make (dom topo "D") 3 in
+  ignore (Bgmp_fabric.send fabric ~source:s ~group:g);
+  Engine.run_until_idle engine;
+  check Alcotest.bool "encapsulation happened in F" true
+    (Migp.encapsulations (Bgmp_fabric.migp_of fabric (dom topo "F")) > 0);
+  (* "Once it begins receiving data from A4, F2 sends a source-specific
+     prune to F1": the branch carries data from the second packet on,
+     which is when the suppression lands. *)
+  ignore (Bgmp_fabric.send fabric ~source:s ~group:g);
+  Engine.run_until_idle engine;
+  (* F2 = F's router toward A; it must now hold branch (S,G) state with
+     its MIGP component as a child. *)
+  let f2 = router fabric topo ~of_:"F" ~toward:"A" in
+  (match Bgmp_router.sg_entry f2 s g with
+  | Some v ->
+      check Alcotest.bool "F2's (S,G) feeds F's interior" true
+        (List.mem Bgmp_router.Migp_target v.Bgmp_router.view_targets)
+  | None -> Alcotest.fail "F2 lacks (S,G) state");
+  (* F1 = F's router toward B: the shared-tree copies were pruned — its
+     (S,G) suppression state exists. *)
+  let f1 = router fabric topo ~of_:"F" ~toward:"B" in
+  (match Bgmp_router.sg_entry f1 s g with
+  | Some v ->
+      check Alcotest.bool "F1 suppresses S's shared-tree copies" true
+        (v.Bgmp_router.view_removed <> [] || v.Bgmp_router.view_targets = [])
+  | None -> Alcotest.fail "F1 lacks (S,G) suppression state");
+  (* Steady state: S's next packet reaches F in 2 hops (D-A-F). *)
+  let p = Bgmp_fabric.send fabric ~source:s ~group:g in
+  Engine.run_until_idle engine;
+  let f_hops =
+    List.filter_map
+      (fun (h, hops) -> if h.Host_ref.host_domain = dom topo "F" then Some hops else None)
+      (Bgmp_fabric.deliveries fabric ~payload:p)
+  in
+  check (Alcotest.list Alcotest.int) "F served via the branch (2 hops)" [ 2 ] f_hops
+
+let test_paper_teardown () =
+  (* "When a BGMP router or an MIGP component no longer leads to any
+     group members ... the multicast distribution tree is torn down as
+     members leave the group." *)
+  let topo, engine, fabric = setup () in
+  List.iter
+    (fun n -> Bgmp_fabric.host_join fabric ~host:(Host_ref.make (dom topo n) 0) ~group:g)
+    [ "C"; "D" ];
+  Engine.run_until_idle engine;
+  List.iter
+    (fun n -> Bgmp_fabric.host_leave fabric ~host:(Host_ref.make (dom topo n) 0) ~group:g)
+    [ "C"; "D" ];
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.int) "tree fully dismantled" []
+    (List.filter
+       (fun d ->
+         List.exists (fun r -> Bgmp_router.on_tree r g) (Bgmp_fabric.routers_of fabric d))
+       (List.map (fun (d : Domain.t) -> d.Domain.id) (Topo.domains topo)))
+
+let suite =
+  [
+    ("paper join state from C (fig 3a)", `Quick, test_paper_join_state_from_c);
+    ("paper data from E (fig 3a)", `Quick, test_paper_data_from_e);
+    ("paper branch from F (fig 3b)", `Quick, test_paper_branch_from_f);
+    ("paper teardown", `Quick, test_paper_teardown);
+  ]

@@ -1,0 +1,22 @@
+(* Aggregated test runner: one Alcotest suite per library. *)
+
+let () =
+  Alcotest.run "masc_bgmp"
+    [
+      ("util", Test_util.suite);
+      ("addr", Test_addr.suite);
+      ("sim", Test_sim.suite);
+      ("topo", Test_topo.suite);
+      ("bgp", Test_bgp.suite);
+      ("masc", Test_masc.suite);
+      ("migp", Test_migp.suite);
+      ("bgmp", Test_bgmp.suite);
+      ("trees", Test_trees.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+      ("repair", Test_repair.suite);
+      ("failures", Test_failures.suite);
+      ("conformance", Test_conformance.suite);
+    ]

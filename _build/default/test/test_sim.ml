@@ -1,0 +1,166 @@
+(* Tests for mcast_sim: the event engine, simulated time, tracing. *)
+
+let check = Alcotest.check
+
+let test_time_units () =
+  check (Alcotest.float 1e-9) "minutes" 120.0 (Time.minutes 2.0);
+  check (Alcotest.float 1e-9) "hours" 7200.0 (Time.hours 2.0);
+  check (Alcotest.float 1e-9) "days" 172800.0 (Time.days 2.0);
+  check (Alcotest.float 1e-9) "to_hours" 2.0 (Time.to_hours (Time.hours 2.0));
+  check (Alcotest.float 1e-9) "to_days" 0.5 (Time.to_days (Time.hours 12.0))
+
+let test_engine_fires_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule_at e 3.0 (note "c"));
+  ignore (Engine.schedule_at e 1.0 (note "a"));
+  ignore (Engine.schedule_at e 2.0 (note "b"));
+  Engine.run_until_idle e;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_fifo_at_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e 1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run_until_idle e;
+  check (Alcotest.list Alcotest.int) "scheduling order preserved" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_schedule_after () =
+  let e = Engine.create () in
+  let seen = ref 0.0 in
+  ignore (Engine.schedule_after e 5.0 (fun () -> seen := Engine.now e));
+  Engine.run_until_idle e;
+  check (Alcotest.float 1e-9) "fired at now+delay" 5.0 !seen
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e 10.0 (fun () -> ()));
+  Engine.run_until_idle e;
+  check Alcotest.bool "raise on past schedule" true
+    (try
+       ignore (Engine.schedule_at e 5.0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e 1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run_until_idle e;
+  check Alcotest.bool "cancelled event does not fire" false !fired;
+  (* double cancel is a no-op *)
+  Engine.cancel h
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at e 1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule_after e 1.0 (fun () -> log := "inner" :: !log))));
+  Engine.run_until_idle e;
+  check (Alcotest.list Alcotest.string) "nested event fires" [ "outer"; "inner" ] (List.rev !log)
+
+let test_engine_run_until_horizon () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule_at e 1.0 (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule_at e 10.0 (fun () -> fired := 10 :: !fired));
+  Engine.run ~until:5.0 e;
+  check (Alcotest.list Alcotest.int) "only events before horizon" [ 1 ] (List.rev !fired);
+  check (Alcotest.float 1e-9) "clock advanced to horizon" 5.0 (Engine.now e);
+  Engine.run ~until:20.0 e;
+  check (Alcotest.list Alcotest.int) "later event fires on resume" [ 1; 10 ] (List.rev !fired)
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h = Engine.periodic e ~interval:1.0 (fun () -> incr count) in
+  Engine.run ~until:5.5 e;
+  check Alcotest.int "five firings by 5.5" 5 !count;
+  Engine.cancel h;
+  Engine.run ~until:10.0 e;
+  check Alcotest.int "no firings after cancel" 5 !count
+
+let test_engine_periodic_self_cancel () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let handle = ref None in
+  let h =
+    Engine.periodic e ~interval:1.0 (fun () ->
+        incr count;
+        if !count = 3 then Engine.cancel (Option.get !handle))
+  in
+  handle := Some h;
+  Engine.run ~until:10.0 e;
+  check Alcotest.int "stops when cancelled from inside" 3 !count
+
+let test_engine_step () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e 1.0 (fun () -> ()));
+  ignore (Engine.schedule_at e 2.0 (fun () -> ()));
+  check Alcotest.bool "step fires one" true (Engine.step e);
+  check (Alcotest.float 1e-9) "clock at first" 1.0 (Engine.now e);
+  check Alcotest.bool "second step" true (Engine.step e);
+  check Alcotest.bool "empty queue" false (Engine.step e)
+
+let test_trace_basics () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 ~actor:"x" ~tag:"join" "detail-1";
+  Trace.record tr ~time:2.0 ~actor:"y" ~tag:"claim" "detail-2";
+  Trace.record tr ~time:3.0 ~actor:"x" ~tag:"join" "detail-3";
+  check Alcotest.int "length" 3 (Trace.length tr);
+  check Alcotest.int "find by tag" 2 (List.length (Trace.find tr ~tag:"join"));
+  let entries = Trace.entries tr in
+  check Alcotest.string "oldest first" "detail-1" (List.hd entries).Trace.detail
+
+let test_trace_disabled_drops () =
+  let tr = Trace.create () in
+  Trace.set_enabled tr false;
+  Trace.record tr ~time:1.0 ~actor:"x" ~tag:"t" "dropped";
+  check Alcotest.int "nothing recorded" 0 (Trace.length tr);
+  Trace.set_enabled tr true;
+  Trace.recordf tr ~time:2.0 ~actor:"x" ~tag:"t" "kept %d" 42;
+  check Alcotest.int "recorded again" 1 (Trace.length tr);
+  check Alcotest.string "formatted" "kept 42" (List.hd (Trace.entries tr)).Trace.detail
+
+let test_trace_clear () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 ~actor:"a" ~tag:"t" "x";
+  Trace.clear tr;
+  check Alcotest.int "cleared" 0 (Trace.length tr)
+
+let prop_engine_any_schedule_order_fires_sorted =
+  QCheck.Test.make ~name:"events fire in nondecreasing time order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (float_range 0.0 100.0))
+    (fun times ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter (fun t -> ignore (Engine.schedule_at e t (fun () -> fired := t :: !fired))) times;
+      Engine.run_until_idle e;
+      let fired = List.rev !fired in
+      fired = List.stable_sort compare times)
+
+let suite =
+  [
+    ("time units", `Quick, test_time_units);
+    ("engine time order", `Quick, test_engine_fires_in_time_order);
+    ("engine fifo ties", `Quick, test_engine_fifo_at_same_time);
+    ("engine schedule_after", `Quick, test_engine_schedule_after);
+    ("engine rejects past", `Quick, test_engine_rejects_past);
+    ("engine cancel", `Quick, test_engine_cancel);
+    ("engine nested scheduling", `Quick, test_engine_nested_scheduling);
+    ("engine run until horizon", `Quick, test_engine_run_until_horizon);
+    ("engine periodic", `Quick, test_engine_periodic);
+    ("engine periodic self-cancel", `Quick, test_engine_periodic_self_cancel);
+    ("engine step", `Quick, test_engine_step);
+    ("trace basics", `Quick, test_trace_basics);
+    ("trace disabled drops", `Quick, test_trace_disabled_drops);
+    ("trace clear", `Quick, test_trace_clear);
+    QCheck_alcotest.to_alcotest prop_engine_any_schedule_order_fires_sorted;
+  ]

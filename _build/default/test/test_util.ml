@@ -1,0 +1,231 @@
+(* Tests for mcast_util: deterministic RNG, binary heap, statistics. *)
+
+let check = Alcotest.check
+
+(* --- Rng ------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 4)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let xs = List.init 32 (fun _ -> Rng.int64 a) in
+  let ys = List.init 32 (fun _ -> Rng.int64 b) in
+  check Alcotest.bool "split streams differ" false (xs = ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check Alcotest.bool "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 5 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in r (-3) 3 in
+    check Alcotest.bool "in [-3,3]" true (v >= -3 && v <= 3)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 500 do
+    let v = Rng.float r 2.5 in
+    check Alcotest.bool "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_float_mean () =
+  let r = Rng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float r 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "uniform mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 17 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "exponential mean near 3" true (abs_float (mean -. 3.0) < 0.15)
+
+let test_rng_pick () =
+  let r = Rng.create 21 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check Alcotest.bool "picked element" true (Array.mem (Rng.pick r a) a)
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 23 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let r = Rng.create 29 in
+  let s = Rng.sample_without_replacement r 10 100 in
+  check Alcotest.int "10 draws" 10 (Array.length s);
+  let tbl = Hashtbl.create 10 in
+  Array.iter
+    (fun v ->
+      check Alcotest.bool "in range" true (v >= 0 && v < 100);
+      check Alcotest.bool "distinct" false (Hashtbl.mem tbl v);
+      Hashtbl.add tbl v ())
+    s;
+  (* The dense path (k close to n). *)
+  let s2 = Rng.sample_without_replacement r 99 100 in
+  let tbl2 = Hashtbl.create 99 in
+  Array.iter (fun v -> Hashtbl.replace tbl2 v ()) s2;
+  check Alcotest.int "99 distinct" 99 (Hashtbl.length tbl2)
+
+(* --- Heap ----------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc = match Heap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc in
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_fifo_ties () =
+  (* Equal keys pop in insertion order: the engine's determinism rests
+     on this. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop h))) in
+  check (Alcotest.list Alcotest.string) "fifo ties" [ "z"; "a"; "b"; "c" ] order
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:compare in
+  check (Alcotest.option Alcotest.int) "peek empty" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  check (Alcotest.option Alcotest.int) "peek min" (Some 1) (Heap.peek h);
+  check Alcotest.int "peek does not remove" 2 (Heap.length h)
+
+let test_heap_pop_exn_empty () =
+  let h : int Heap.t = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  check Alcotest.bool "empty after clear" true (Heap.is_empty h);
+  Heap.push h 42;
+  check (Alcotest.option Alcotest.int) "usable after clear" (Some 42) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list small_int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+(* --- Stats ---------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check Alcotest.int "count" 4 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Stats.max s);
+  check (Alcotest.float 1e-9) "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check (Alcotest.float 1e-9) "mean of empty" 0.0 (Stats.mean s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min: empty") (fun () ->
+      ignore (Stats.min s))
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  List.iter
+    (fun x ->
+      Stats.add whole x;
+      if x < 3.0 then Stats.add a x else Stats.add b x)
+    [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  let merged = Stats.merge a b in
+  check (Alcotest.float 1e-9) "merged mean" (Stats.mean whole) (Stats.mean merged);
+  check (Alcotest.float 1e-9) "merged variance" (Stats.variance whole) (Stats.variance merged);
+  check Alcotest.int "merged count" (Stats.count whole) (Stats.count merged)
+
+let test_stats_percentile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check (Alcotest.float 1e-9) "median" 3.0 (Stats.percentile a 50.0);
+  check (Alcotest.float 1e-9) "p0" 1.0 (Stats.percentile a 0.0);
+  check (Alcotest.float 1e-9) "p100" 5.0 (Stats.percentile a 100.0);
+  check (Alcotest.float 1e-9) "p25" 2.0 (Stats.percentile a 25.0)
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~name:"welford mean equals naive mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-100.) 100.))
+    (fun l ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) l;
+      let naive = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+      abs_float (Stats.mean s -. naive) < 1e-6)
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng seeds differ", `Quick, test_rng_seeds_differ);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng int invalid", `Quick, test_rng_int_invalid);
+    ("rng int_in", `Quick, test_rng_int_in);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng float mean", `Quick, test_rng_float_mean);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng pick", `Quick, test_rng_pick);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng sample without replacement", `Quick, test_rng_sample_without_replacement);
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap peek", `Quick, test_heap_peek);
+    ("heap pop_exn empty", `Quick, test_heap_pop_exn_empty);
+    ("heap clear", `Quick, test_heap_clear);
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    ("stats basic", `Quick, test_stats_basic);
+    ("stats empty", `Quick, test_stats_empty);
+    ("stats merge", `Quick, test_stats_merge);
+    ("stats percentile", `Quick, test_stats_percentile);
+    QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
+  ]

@@ -1,0 +1,154 @@
+(* Tests for the workload generators and the library-level scenarios. *)
+
+let check = Alcotest.check
+
+(* --- Demand ---------------------------------------------------------- *)
+
+let test_demand_schedule_ordering () =
+  let rng = Rng.create 3 in
+  let events = Demand.schedule Demand.paper_profile ~rng ~horizon:(Time.days 100.0) in
+  check Alcotest.bool "non-empty" true (events <> []);
+  let rec ordered = function
+    | a :: (b :: _ as rest) -> a.Demand.at <= b.Demand.at && ordered rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "time-ordered" true (ordered events);
+  List.iter
+    (fun (e : Demand.event) ->
+      check Alcotest.bool "within horizon" true (e.Demand.at <= Time.days 100.0);
+      check (Alcotest.float 1e-6) "lifetime is 30 days" (Time.days 30.0)
+        (e.Demand.expires -. e.Demand.at))
+    events
+
+let test_demand_rate_matches_profile () =
+  let rng = Rng.create 7 in
+  let horizon = Time.days 400.0 in
+  let events = Demand.schedule Demand.paper_profile ~rng ~horizon in
+  (* Mean gap is 48h -> about 200 requests over 400 days. *)
+  let n = List.length events in
+  check Alcotest.bool (Printf.sprintf "request count plausible (%d)" n) true (n > 160 && n < 240)
+
+let test_demand_expected_steady_blocks () =
+  check (Alcotest.float 1e-6) "paper profile: 15 blocks" 15.0
+    (Demand.expected_steady_blocks Demand.paper_profile);
+  check Alcotest.bool "bursty profile much higher" true
+    (Demand.expected_steady_blocks Demand.bursty_profile > 100.0)
+
+let test_demand_drive_on_engine () =
+  let engine = Engine.create () in
+  let rng = Rng.create 5 in
+  let fired = ref 0 in
+  Demand.drive Demand.paper_profile ~rng ~engine ~horizon:(Time.days 30.0)
+    ~on_request:(fun ~expires ->
+      incr fired;
+      check Alcotest.bool "expiry in the future" true (expires > Engine.now engine));
+  Engine.run ~until:(Time.days 31.0) engine;
+  check Alcotest.bool "requests fired" true (!fired > 5)
+
+(* --- Membership ------------------------------------------------------- *)
+
+let test_membership_uniform () =
+  let rng = Rng.create 11 in
+  let topo = Gen.star ~n:30 in
+  let members = Membership.uniform ~rng topo ~size:10 ~exclude:[ 0 ] in
+  check Alcotest.int "ten members" 10 (List.length members);
+  check Alcotest.bool "excluded respected" false (List.mem 0 members);
+  check Alcotest.int "distinct" 10 (List.length (List.sort_uniq compare members));
+  Alcotest.check_raises "too many requested"
+    (Invalid_argument "Membership.uniform: not enough domains") (fun () ->
+      ignore (Membership.uniform ~rng topo ~size:30 ~exclude:[ 0 ]))
+
+let test_membership_clustered_is_concentrated () =
+  let rng = Rng.create 13 in
+  let topo = Gen.transit_stub ~rng ~backbones:3 ~regionals_per_backbone:4 ~stubs_per_regional:5 in
+  let members = Membership.clustered ~rng topo ~size:20 ~clusters:2 ~exclude:[] in
+  check Alcotest.int "twenty members" 20 (List.length members);
+  check Alcotest.int "distinct" 20 (List.length (List.sort_uniq compare members));
+  (* Concentration: the average pairwise distance of a clustered sample
+     should not exceed that of a uniform sample (averaged over seeds). *)
+  let avg_pairwise sample =
+    let s = Stats.create () in
+    List.iter
+      (fun a ->
+        let paths = Spf.bfs topo a in
+        List.iter (fun b -> if a < b then Stats.add s (float_of_int (Spf.dist paths b))) sample)
+      sample;
+    Stats.mean s
+  in
+  let clustered_avg = Stats.create () and uniform_avg = Stats.create () in
+  for seed = 1 to 5 do
+    let rng = Rng.create seed in
+    Stats.add clustered_avg
+      (avg_pairwise (Membership.clustered ~rng topo ~size:15 ~clusters:2 ~exclude:[]));
+    Stats.add uniform_avg (avg_pairwise (Membership.uniform ~rng topo ~size:15 ~exclude:[]))
+  done;
+  check Alcotest.bool "clustered samples are closer together" true
+    (Stats.mean clustered_avg <= Stats.mean uniform_avg +. 0.2)
+
+let test_membership_waves () =
+  let rng = Rng.create 17 in
+  let events =
+    Membership.waves ~rng ~members:[ 1; 2; 3; 4 ] ~wave_count:2 ~wave_gap:(Time.hours 1.0)
+      ~stay:(Time.hours 5.0)
+  in
+  check Alcotest.int "two events per member" 8 (List.length events);
+  let rec ordered = function
+    | a :: (b :: _ as rest) -> a.Membership.when_ <= b.Membership.when_ && ordered rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "time-ordered" true (ordered events);
+  List.iter
+    (fun m ->
+      let mine = List.filter (fun e -> e.Membership.member = m) events in
+      match mine with
+      | [ j; l ] ->
+          check Alcotest.bool "join before leave" true (j.Membership.joins && not l.Membership.joins);
+          check (Alcotest.float 1e-6) "stay duration" (Time.hours 5.0)
+            (l.Membership.when_ -. j.Membership.when_)
+      | _ -> Alcotest.fail "expected join+leave")
+    [ 1; 2; 3; 4 ]
+
+(* --- Scenario ----------------------------------------------------------- *)
+
+let test_scenario_figure1 () =
+  let s = Scenario.figure1 () in
+  let topo = Internet.topo s.Scenario.inet in
+  let b = Option.get (Topo.find_by_name topo "B") in
+  check Alcotest.int "rooted at B" b s.Scenario.root;
+  check Alcotest.int "four members" 4 (List.length s.Scenario.members);
+  let e = Option.get (Topo.find_by_name topo "E") in
+  let deliveries = Scenario.send s ~source:(Host_ref.make e 0) in
+  check Alcotest.int "all members received" 4 (List.length deliveries)
+
+let test_scenario_figure3_branch () =
+  let w = Scenario.figure3 () in
+  check Alcotest.bool "branch shortens F's path from 3 to 2 hops" true
+    (Scenario.figure3_branch_demo w ~before:[ 3 ] ~after:[ 2 ]);
+  (* All five member domains appear in the deliveries of the second
+     packet. *)
+  let p = Bgmp_fabric.send w.Scenario.fabric ~source:(Host_ref.make 4 (* E *) 0)
+      ~group:w.Scenario.walkthrough_group in
+  Engine.run_until_idle w.Scenario.engine;
+  check Alcotest.int "five member domains" 5
+    (List.length (Scenario.deliveries_by_domain w ~payload:p))
+
+let test_scenario_figure3_pim_sm () =
+  (* With a non-strict-RPF MIGP everywhere, no branch forms and F stays
+     at 3 hops on both packets. *)
+  let w = Scenario.figure3 ~migp_style:(fun _ -> Migp.Pim_sm) () in
+  check Alcotest.bool "no branch under PIM-SM" true
+    (Scenario.figure3_branch_demo w ~before:[ 3 ] ~after:[ 3 ])
+
+let suite =
+  [
+    ("demand schedule ordering", `Quick, test_demand_schedule_ordering);
+    ("demand rate matches profile", `Quick, test_demand_rate_matches_profile);
+    ("demand expected steady blocks", `Quick, test_demand_expected_steady_blocks);
+    ("demand drive on engine", `Quick, test_demand_drive_on_engine);
+    ("membership uniform", `Quick, test_membership_uniform);
+    ("membership clustered concentrated", `Quick, test_membership_clustered_is_concentrated);
+    ("membership waves", `Quick, test_membership_waves);
+    ("scenario figure1", `Quick, test_scenario_figure1);
+    ("scenario figure3 branch", `Quick, test_scenario_figure3_branch);
+    ("scenario figure3 under pim-sm", `Quick, test_scenario_figure3_pim_sm);
+  ]
