@@ -7,7 +7,12 @@
 
    Part 2 — figure regeneration: runs the Figure-2 and Figure-4
    experiments end-to-end and prints the same series the paper plots
-   (also available individually via bin/main.exe). *)
+   (also available individually via bin/main.exe).
+
+   Besides the human-readable report, the harness writes BENCH_1.json
+   (per-benchmark ns/run plus wall-clock seconds for the figure
+   regenerations) into the working directory so successive PRs can
+   track the performance trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -135,12 +140,16 @@ let run_benchmarks () =
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] benchmarks in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun name ->
       let result = Hashtbl.find results name in
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Format.printf "%-44s %14.1f ns/run@." name est
-      | Some _ | None -> Format.printf "%-44s (no estimate)@." name)
+      | Some [ est ] ->
+          Format.printf "%-44s %14.1f ns/run@." name est;
+          Some (name, est)
+      | Some _ | None ->
+          Format.printf "%-44s (no estimate)@." name;
+          None)
     (List.sort compare names)
 
 (* ------------------------------------------------------------------ *)
@@ -180,8 +189,39 @@ let run_fig4 () =
   Format.printf
     "paper, in-text: uni avg ~2x / max up to 6x; bi avg <1.3x / max 4.5x; hy avg <1.2x / max 4x@."
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_file = "BENCH_1.json"
+
+let write_json ~micro ~figures =
+  let oc = open_out json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    {\"name\": %S, \"ns_per_run\": %.1f}%s\n" name ns
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ],\n  \"figures\": [\n";
+  List.iteri
+    (fun i (name, wall_s) ->
+      out "    {\"name\": %S, \"wall_clock_s\": %.3f}%s\n" name wall_s
+        (if i = List.length figures - 1 then "" else ","))
+    figures;
+  out "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s@." json_file
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
 let () =
   Format.printf "=== Micro-benchmarks (Bechamel) ===@.";
-  run_benchmarks ();
-  run_fig2 ();
-  run_fig4 ()
+  let micro = run_benchmarks () in
+  let fig2_s = timed run_fig2 in
+  let fig4_s = timed run_fig4 in
+  write_json ~micro ~figures:[ ("fig2-regeneration", fig2_s); ("fig4-regeneration", fig4_s) ]

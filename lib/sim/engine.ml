@@ -7,7 +7,7 @@ type handle = { mutable stop : unit -> unit }
 type t = { mutable clock : Time.t; queue : event Heap.t }
 
 let create () =
-  { clock = Time.zero; queue = Heap.create ~cmp:(fun a b -> compare a.time b.time) }
+  { clock = Time.zero; queue = Heap.create ~cmp:(fun a b -> Float.compare a.time b.time) }
 
 let now t = t.clock
 

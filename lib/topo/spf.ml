@@ -1,6 +1,256 @@
 type paths = { src : Domain.id; dist : int array; via : Domain.id array }
 
+(* ------------------------------------------------------------------ *)
+(* Workspace: preallocated scratch shared by the CSR kernels           *)
+(* ------------------------------------------------------------------ *)
+
+type workspace = {
+  mutable q : int array;  (* FIFO ring for bfs / valley-free states *)
+  mutable vf : int array;  (* per-(node, phase) distances, 3n *)
+  mutable fin : bool array;  (* dijkstra settled flags, n *)
+  mutable hkey : float array;  (* binary heap: keys *)
+  mutable hnode : int array;  (* binary heap: node ids *)
+  mutable hseq : int array;  (* binary heap: insertion seq (FIFO ties) *)
+  mutable hsize : int;
+  mutable hseq_next : int;
+}
+
+let make_workspace (c : Topo.csr) =
+  let n = c.Topo.csr_nodes in
+  let m = Array.length c.Topo.nbr in
+  {
+    q = Array.make (max 1 (3 * n)) 0;
+    vf = Array.make (max 1 (3 * n)) 0;
+    fin = Array.make (max 1 n) false;
+    hkey = Array.make (max 16 (m + 1)) 0.0;
+    hnode = Array.make (max 16 (m + 1)) 0;
+    hseq = Array.make (max 16 (m + 1)) 0;
+    hsize = 0;
+    hseq_next = 0;
+  }
+
+let fit_workspace ws (c : Topo.csr) =
+  let n = c.Topo.csr_nodes in
+  let m = Array.length c.Topo.nbr in
+  if Array.length ws.q < 3 * n then ws.q <- Array.make (3 * n) 0;
+  if Array.length ws.vf < 3 * n then ws.vf <- Array.make (3 * n) 0;
+  if Array.length ws.fin < n then ws.fin <- Array.make n false;
+  if Array.length ws.hkey < m + 1 then begin
+    ws.hkey <- Array.make (m + 1) 0.0;
+    ws.hnode <- Array.make (m + 1) 0;
+    ws.hseq <- Array.make (m + 1) 0
+  end
+
+let resolve_ws ws csr =
+  match ws with
+  | Some ws ->
+      fit_workspace ws csr;
+      ws
+  | None -> make_workspace csr
+
+(* Heap ordering is (key, seq) lexicographic — the same FIFO tie-break
+   as Util.Heap, so CSR Dijkstra settles equal-distance nodes in the
+   same order as the list-based reference. *)
+
+let heap_less ws i j =
+  ws.hkey.(i) < ws.hkey.(j) || (ws.hkey.(i) = ws.hkey.(j) && ws.hseq.(i) < ws.hseq.(j))
+
+let heap_swap ws i j =
+  let k = ws.hkey.(i) and n = ws.hnode.(i) and s = ws.hseq.(i) in
+  ws.hkey.(i) <- ws.hkey.(j);
+  ws.hnode.(i) <- ws.hnode.(j);
+  ws.hseq.(i) <- ws.hseq.(j);
+  ws.hkey.(j) <- k;
+  ws.hnode.(j) <- n;
+  ws.hseq.(j) <- s
+
+let heap_push ws key node =
+  let i = ws.hsize in
+  ws.hkey.(i) <- key;
+  ws.hnode.(i) <- node;
+  ws.hseq.(i) <- ws.hseq_next;
+  ws.hseq_next <- ws.hseq_next + 1;
+  ws.hsize <- i + 1;
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if heap_less ws !i parent then begin
+      heap_swap ws !i parent;
+      i := parent
+    end
+    else continue := false
+  done
+
+(* Removes the minimum, leaving its key/node readable via the caller
+   having copied them first. *)
+let heap_remove_min ws =
+  ws.hsize <- ws.hsize - 1;
+  if ws.hsize > 0 then begin
+    heap_swap ws 0 ws.hsize;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < ws.hsize && heap_less ws l !smallest then smallest := l;
+      if r < ws.hsize && heap_less ws r !smallest then smallest := r;
+      if !smallest <> !i then begin
+        heap_swap ws !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CSR kernels                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bfs_csr ?ws (csr : Topo.csr) src =
+  let n = csr.Topo.csr_nodes in
+  if src < 0 || src >= n then invalid_arg "Spf.bfs_csr: unknown source id";
+  let ws = resolve_ws ws csr in
+  let dist = Array.make n max_int in
+  let via = Array.make n (-1) in
+  dist.(src) <- 0;
+  let q = ws.q in
+  let head = ref 0 and tail = ref 0 in
+  q.(!tail) <- src;
+  incr tail;
+  let row = csr.Topo.row and nbr = csr.Topo.nbr in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
+    let du1 = dist.(u) + 1 in
+    for k = row.(u) to row.(u + 1) - 1 do
+      let v = nbr.(k) in
+      if dist.(v) = max_int then begin
+        dist.(v) <- du1;
+        via.(v) <- u;
+        q.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  { src; dist; via }
+
+type weighted = { wsrc : Domain.id; wdist : float array; wvia : Domain.id array }
+
+let dijkstra_csr ?ws (csr : Topo.csr) src =
+  let n = csr.Topo.csr_nodes in
+  if src < 0 || src >= n then invalid_arg "Spf.dijkstra_csr: unknown source id";
+  let ws = resolve_ws ws csr in
+  let wdist = Array.make n infinity in
+  let wvia = Array.make n (-1) in
+  wdist.(src) <- 0.0;
+  Array.fill ws.fin 0 n false;
+  ws.hsize <- 0;
+  ws.hseq_next <- 0;
+  heap_push ws 0.0 src;
+  let row = csr.Topo.row and nbr = csr.Topo.nbr and edelay = csr.Topo.edelay in
+  while ws.hsize > 0 do
+    let d = ws.hkey.(0) and u = ws.hnode.(0) in
+    heap_remove_min ws;
+    if not ws.fin.(u) then begin
+      ws.fin.(u) <- true;
+      for k = row.(u) to row.(u + 1) - 1 do
+        let v = nbr.(k) in
+        let nd = d +. edelay.(k) in
+        if nd < wdist.(v) then begin
+          wdist.(v) <- nd;
+          wvia.(v) <- u;
+          heap_push ws nd v
+        end
+      done
+    end
+  done;
+  { wsrc = src; wdist; wvia }
+
+(* Valley-free layered BFS over (node, phase) states flattened to
+   [node * 3 + phase]: phase 0 = Up (still climbing customer->provider),
+   1 = Peered (crossed the one allowed peer link), 2 = Down (descending
+   provider->customer).  Transitions: Up -> Up (to provider), Up ->
+   Peered (peer edge), Up/Peered/Down -> Down (to customer). *)
+
+let valley_free_dist_csr ?ws (csr : Topo.csr) src =
+  let n = csr.Topo.csr_nodes in
+  if src < 0 || src >= n then invalid_arg "Spf.valley_free_dist_csr: unknown source id";
+  let ws = resolve_ws ws csr in
+  let best = Array.make n max_int in
+  let vf = ws.vf in
+  Array.fill vf 0 (3 * n) max_int;
+  let q = ws.q in
+  let head = ref 0 and tail = ref 0 in
+  vf.(3 * src) <- 0;
+  best.(src) <- 0;
+  q.(!tail) <- 3 * src;
+  incr tail;
+  let row = csr.Topo.row and nbr = csr.Topo.nbr and edir = csr.Topo.edir in
+  let relax v phase d =
+    let s = (3 * v) + phase in
+    if d < vf.(s) then begin
+      vf.(s) <- d;
+      if d < best.(v) then best.(v) <- d;
+      q.(!tail) <- s;
+      incr tail
+    end
+  in
+  while !head < !tail do
+    let s = q.(!head) in
+    incr head;
+    let u = s / 3 and phase = s mod 3 in
+    let d = vf.(s) + 1 in
+    for k = row.(u) to row.(u + 1) - 1 do
+      let v = nbr.(k) in
+      let dir = edir.(k) in
+      if phase = 0 then begin
+        if dir = Topo.edge_up then relax v 0 d;
+        if dir = Topo.edge_peer then relax v 1 d;
+        if dir = Topo.edge_down then relax v 2 d
+      end
+      else if dir = Topo.edge_down then relax v 2 d
+    done
+  done;
+  best
+
+(* ------------------------------------------------------------------ *)
+(* Default entry points: freeze (memoized) + a shared workspace        *)
+(* ------------------------------------------------------------------ *)
+
+(* The sim stack is single-threaded, so one module-level workspace grown
+   to the largest graph seen keeps the common call sites (Shared_tree,
+   Path_eval, Bgmp_fabric, Membership, ...) allocation-free without
+   threading a workspace through every signature. *)
+let shared_ws : workspace option ref = ref None
+
+let with_shared_ws csr =
+  match !shared_ws with
+  | Some ws ->
+      fit_workspace ws csr;
+      ws
+  | None ->
+      let ws = make_workspace csr in
+      shared_ws := Some ws;
+      ws
+
 let bfs topo src =
+  let csr = Topo.freeze topo in
+  bfs_csr ~ws:(with_shared_ws csr) csr src
+
+let dijkstra topo src =
+  let csr = Topo.freeze topo in
+  dijkstra_csr ~ws:(with_shared_ws csr) csr src
+
+let valley_free_dist topo src =
+  let csr = Topo.freeze topo in
+  valley_free_dist_csr ~ws:(with_shared_ws csr) csr src
+
+(* ------------------------------------------------------------------ *)
+(* Legacy list-based reference kernels                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bfs_list topo src =
   let n = Topo.domain_count topo in
   let dist = Array.make n max_int in
   let via = Array.make n (-1) in
@@ -10,36 +260,22 @@ let bfs topo src =
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     List.iter
-      (fun v ->
+      (fun (v, _) ->
         if dist.(v) = max_int then begin
           dist.(v) <- dist.(u) + 1;
           via.(v) <- u;
           Queue.add v queue
         end)
-      (Topo.neighbors topo u)
+      (Topo.adjacency topo u)
   done;
   { src; dist; via }
 
-let dist p id = p.dist.(id)
-
-let path p dst =
-  if p.dist.(dst) = max_int then []
-  else begin
-    let rec walk node acc = if node = p.src then node :: acc else walk p.via.(node) (node :: acc) in
-    walk dst []
-  end
-
-let next_hop_toward _topo p node =
-  if node = p.src || p.dist.(node) = max_int then None else Some p.via.(node)
-
-type weighted = { wsrc : Domain.id; wdist : float array; wvia : Domain.id array }
-
-let dijkstra topo src =
+let dijkstra_list topo src =
   let n = Topo.domain_count topo in
   let wdist = Array.make n infinity in
   let wvia = Array.make n (-1) in
   wdist.(src) <- 0.0;
-  let heap = Heap.create ~cmp:(fun (d1, _) (d2, _) -> compare (d1 : float) d2) in
+  let heap = Heap.create ~cmp:(fun (d1, _) (d2, _) -> Float.compare d1 d2) in
   Heap.push heap (0.0, src);
   let finished = Array.make n false in
   let rec drain () =
@@ -49,41 +285,25 @@ let dijkstra topo src =
         if not finished.(u) then begin
           finished.(u) <- true;
           List.iter
-            (fun v ->
-              match Topo.link_between topo u v with
-              | None -> ()
-              | Some l ->
-                  let nd = d +. Time.to_seconds l.Topo.delay in
-                  if nd < wdist.(v) then begin
-                    wdist.(v) <- nd;
-                    wvia.(v) <- u;
-                    Heap.push heap (nd, v)
-                  end)
-            (Topo.neighbors topo u)
+            (fun (v, l) ->
+              let nd = d +. Time.to_seconds l.Topo.delay in
+              if nd < wdist.(v) then begin
+                wdist.(v) <- nd;
+                wvia.(v) <- u;
+                Heap.push heap (nd, v)
+              end)
+            (Topo.adjacency topo u)
         end;
         drain ()
   in
   drain ();
   { wsrc = src; wdist; wvia }
 
-let wpath w dst =
-  if w.wdist.(dst) = infinity then []
-  else begin
-    let rec walk node acc = if node = w.wsrc then node :: acc else walk w.wvia.(node) (node :: acc) in
-    walk dst []
-  end
-
-(* Valley-free reachability via a layered BFS over (node, phase) states.
-   Phases, from the *destination's* point of view walking outward from the
-   source: Up (still climbing customer->provider links), Peered (crossed
-   the single allowed peer link), Down (descending provider->customer).
-   Transitions: Up -> Up (to provider), Up -> Peered (peer edge),
-   Up/Peered/Down -> Down (to customer). *)
 type phase = Up | Peered | Down
 
 let phase_index = function Up -> 0 | Peered -> 1 | Down -> 2
 
-let valley_free_dist topo src =
+let valley_free_dist_list topo src =
   let n = Topo.domain_count topo in
   let dist = Array.make_matrix n 3 max_int in
   let best = Array.make n max_int in
@@ -103,19 +323,77 @@ let valley_free_dist topo src =
     let u, phase = Queue.pop queue in
     let d = dist.(u).(phase_index phase) + 1 in
     List.iter
-      (fun v ->
-        match Topo.link_between topo u v with
-        | None -> ()
-        | Some l -> (
-            let going_up = l.Topo.rel = Topo.Provider_customer && l.Topo.a = v in
-            let going_down = l.Topo.rel = Topo.Provider_customer && l.Topo.a = u in
-            let peer_edge = l.Topo.rel = Topo.Peer in
-            match phase with
-            | Up ->
-                if going_up then relax v Up d;
-                if peer_edge then relax v Peered d;
-                if going_down then relax v Down d
-            | Peered | Down -> if going_down then relax v Down d))
-      (Topo.neighbors topo u)
+      (fun (v, l) ->
+        let going_up = l.Topo.rel = Topo.Provider_customer && l.Topo.a = v in
+        let going_down = l.Topo.rel = Topo.Provider_customer && l.Topo.a = u in
+        let peer_edge = l.Topo.rel = Topo.Peer in
+        match phase with
+        | Up ->
+            if going_up then relax v Up d;
+            if peer_edge then relax v Peered d;
+            if going_down then relax v Down d
+        | Peered | Down -> if going_down then relax v Down d)
+      (Topo.adjacency topo u)
   done;
   best
+
+(* ------------------------------------------------------------------ *)
+(* Result accessors                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let dist p id = p.dist.(id)
+
+let path p dst =
+  if p.dist.(dst) = max_int then []
+  else begin
+    let rec walk node acc = if node = p.src then node :: acc else walk p.via.(node) (node :: acc) in
+    walk dst []
+  end
+
+let next_hop_toward _topo p node =
+  if node = p.src || p.dist.(node) = max_int then None else Some p.via.(node)
+
+let wpath w dst =
+  if w.wdist.(dst) = infinity then []
+  else begin
+    let rec walk node acc = if node = w.wsrc then node :: acc else walk w.wvia.(node) (node :: acc) in
+    walk dst []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Source-keyed SPF cache                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cache = {
+  ccsr : Topo.csr;
+  cws : workspace;
+  slots : paths option array;  (* keyed by source id *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_cache_csr csr =
+  {
+    ccsr = csr;
+    cws = make_workspace csr;
+    slots = Array.make (max 1 csr.Topo.csr_nodes) None;
+    hits = 0;
+    misses = 0;
+  }
+
+let make_cache topo = make_cache_csr (Topo.freeze topo)
+
+let cache_csr c = c.ccsr
+
+let bfs_cached c src =
+  match c.slots.(src) with
+  | Some p ->
+      c.hits <- c.hits + 1;
+      p
+  | None ->
+      c.misses <- c.misses + 1;
+      let p = bfs_csr ~ws:c.cws c.ccsr src in
+      c.slots.(src) <- Some p;
+      p
+
+let cache_stats c = (c.hits, c.misses)

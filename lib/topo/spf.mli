@@ -6,7 +6,16 @@
     free") paths model BGP export rules: a route learned from a provider
     or peer is only exported to customers, so a valid path is a
     customer→provider ascent, at most one peer edge, then a
-    provider→customer descent. *)
+    provider→customer descent.
+
+    The default entry points ({!bfs}, {!dijkstra}, {!valley_free_dist})
+    freeze the topology into a CSR snapshot (memoized by {!Topo.freeze})
+    and run flat-array kernels over it with a shared preallocated
+    workspace.  For hot loops, freeze once and call the [_csr] kernels
+    with an explicit {!workspace}; for repeated same-source queries, use
+    a {!cache}.  The [_list] variants are the straightforward
+    adjacency-list reference implementations kept for differential
+    testing. *)
 
 type paths = {
   src : Domain.id;
@@ -45,3 +54,59 @@ val valley_free_dist : Topo.t -> Domain.id -> int array
     (valley-free, at most one peer edge) paths, i.e. paths that BGP route
     export would actually reveal.  [max_int] when no policy-compliant
     path exists. *)
+
+(** {2 CSR kernels}
+
+    Allocation-free apart from the result arrays: all scratch (BFS
+    queue, Dijkstra heap and settled flags, valley-free phase table)
+    lives in a reusable {!workspace}.  When [?ws] is omitted a fresh
+    workspace is allocated for the call. *)
+
+type workspace
+
+val make_workspace : Topo.csr -> workspace
+(** Scratch sized for the given snapshot.  A workspace may be reused
+    across snapshots; it grows as needed and is never shrunk. *)
+
+val bfs_csr : ?ws:workspace -> Topo.csr -> Domain.id -> paths
+
+val dijkstra_csr : ?ws:workspace -> Topo.csr -> Domain.id -> weighted
+
+val valley_free_dist_csr : ?ws:workspace -> Topo.csr -> Domain.id -> int array
+
+(** {2 Source-keyed SPF cache}
+
+    Memoizes {!bfs} results per source id over one frozen snapshot, so
+    harness code evaluating many groups on one topology never recomputes
+    a BFS it already ran.  The cache holds its own workspace.  Like the
+    snapshot it wraps, it must be rebuilt if the topology mutates. *)
+
+type cache
+
+val make_cache : Topo.t -> cache
+(** Freezes the topology ({!Topo.freeze}, memoized) and starts an empty
+    cache over the snapshot. *)
+
+val make_cache_csr : Topo.csr -> cache
+
+val cache_csr : cache -> Topo.csr
+(** The snapshot this cache computes over. *)
+
+val bfs_cached : cache -> Domain.id -> paths
+(** [bfs] from the given source, computed at most once per cache. *)
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] so far. *)
+
+(** {2 List-based reference kernels}
+
+    The original adjacency-list implementations, kept as differential
+    oracles for the CSR kernels (see [test/test_spf_equiv.ml]).  They
+    visit edges in the same (link-insertion) order as the CSR kernels,
+    so results — including tie-breaks — match exactly. *)
+
+val bfs_list : Topo.t -> Domain.id -> paths
+
+val dijkstra_list : Topo.t -> Domain.id -> weighted
+
+val valley_free_dist_list : Topo.t -> Domain.id -> int array

@@ -2,17 +2,38 @@ type relationship = Provider_customer | Peer
 
 type link = { a : Domain.id; b : Domain.id; rel : relationship; delay : Time.t }
 
+type csr = {
+  csr_nodes : int;
+  row : int array;
+  nbr : int array;
+  eid : int array;
+  edelay : float array;
+  edir : int array;
+  linkv : link array;
+}
+
 type t = {
   mutable doms : Domain.t array;
   mutable n : int;
-  mutable adj : (Domain.id * link) list array;  (** per-node: (neighbor, link) *)
+  mutable adj : (Domain.id * link) list array;
+      (** per-node: (neighbor, link), in REVERSE insertion order (cons on
+          add); public accessors restore insertion order *)
   mutable links_rev : link list;
   mutable link_n : int;
   by_name : (string, Domain.id) Hashtbl.t;
+  mutable frozen : csr option;  (** memoized snapshot, cleared on mutation *)
 }
 
 let create () =
-  { doms = [||]; n = 0; adj = [||]; links_rev = []; link_n = 0; by_name = Hashtbl.create 64 }
+  {
+    doms = [||];
+    n = 0;
+    adj = [||];
+    links_rev = [];
+    link_n = 0;
+    by_name = Hashtbl.create 64;
+    frozen = None;
+  }
 
 let ensure_capacity t =
   let cap = Array.length t.doms in
@@ -33,6 +54,7 @@ let add_domain t ~name ~kind =
   t.doms.(id) <- Domain.make ~id ~name ~kind;
   t.n <- t.n + 1;
   Hashtbl.replace t.by_name name id;
+  t.frozen <- None;
   id
 
 let domain_count t = t.n
@@ -60,14 +82,19 @@ let add_link ?(delay = Time.seconds 0.010) t a b rel =
   if a = b then invalid_arg "Topo.add_link: self-link";
   if link_between t a b <> None then invalid_arg "Topo.add_link: duplicate link";
   let l = { a; b; rel; delay } in
-  t.adj.(a) <- t.adj.(a) @ [ (b, l) ];
-  t.adj.(b) <- t.adj.(b) @ [ (a, l) ];
+  t.adj.(a) <- (b, l) :: t.adj.(a);
+  t.adj.(b) <- (a, l) :: t.adj.(b);
   t.links_rev <- l :: t.links_rev;
-  t.link_n <- t.link_n + 1
+  t.link_n <- t.link_n + 1;
+  t.frozen <- None
+
+let adjacency t id =
+  check_id t id;
+  List.rev t.adj.(id)
 
 let neighbors t id =
   check_id t id;
-  List.map fst t.adj.(id)
+  List.rev_map fst t.adj.(id)
 
 let degree t id =
   check_id t id;
@@ -80,7 +107,7 @@ let providers_of t id =
       match l.rel with
       | Provider_customer when l.a = nbr -> Some nbr
       | Provider_customer | Peer -> None)
-    t.adj.(id)
+    (List.rev t.adj.(id))
 
 let customers_of t id =
   check_id t id;
@@ -89,7 +116,7 @@ let customers_of t id =
       match l.rel with
       | Provider_customer when l.a = id -> Some nbr
       | Provider_customer | Peer -> None)
-    t.adj.(id)
+    (List.rev t.adj.(id))
 
 let peers_of t id =
   check_id t id;
@@ -98,9 +125,57 @@ let peers_of t id =
       match l.rel with
       | Peer -> Some nbr
       | Provider_customer -> None)
-    t.adj.(id)
+    (List.rev t.adj.(id))
 
 let links t = List.rev t.links_rev
+
+let edge_up = 0
+let edge_peer = 1
+let edge_down = 2
+
+let freeze t =
+  match t.frozen with
+  | Some c -> c
+  | None ->
+      let n = t.n in
+      let linkv = Array.of_list (List.rev t.links_rev) in
+      let m = 2 * Array.length linkv in
+      let row = Array.make (n + 1) 0 in
+      Array.iter
+        (fun l ->
+          row.(l.a + 1) <- row.(l.a + 1) + 1;
+          row.(l.b + 1) <- row.(l.b + 1) + 1)
+        linkv;
+      for u = 1 to n do
+        row.(u) <- row.(u) + row.(u - 1)
+      done;
+      let fill = Array.sub row 0 (max 1 n) in
+      let nbr = Array.make m (-1) in
+      let eid = Array.make m (-1) in
+      let edelay = Array.make m 0.0 in
+      let edir = Array.make m 0 in
+      (* Per-node slots fill in global link-insertion order, which equals
+         per-node insertion order (a link is appended to both endpoints'
+         adjacency the moment it is created). *)
+      Array.iteri
+        (fun i l ->
+          let put u v =
+            let k = fill.(u) in
+            fill.(u) <- k + 1;
+            nbr.(k) <- v;
+            eid.(k) <- i;
+            edelay.(k) <- Time.to_seconds l.delay;
+            edir.(k) <-
+              (match l.rel with
+              | Peer -> edge_peer
+              | Provider_customer -> if l.a = v then edge_up else edge_down)
+          in
+          put l.a l.b;
+          put l.b l.a)
+        linkv;
+      let c = { csr_nodes = n; row; nbr; eid; edelay; edir; linkv } in
+      t.frozen <- Some c;
+      c
 
 let is_connected t =
   if t.n = 0 then true

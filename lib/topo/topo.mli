@@ -12,6 +12,30 @@ type relationship =
 
 type link = { a : Domain.id; b : Domain.id; rel : relationship; delay : Time.t }
 
+type csr = {
+  csr_nodes : int;
+  row : int array;  (** length [csr_nodes + 1]; node [u]'s edges live at
+                        indices [row.(u) .. row.(u+1) - 1] *)
+  nbr : int array;  (** directed edge -> neighbor id *)
+  eid : int array;  (** directed edge -> index into [linkv] *)
+  edelay : float array;  (** directed edge -> link delay in seconds *)
+  edir : int array;
+      (** directed edge [u -> v]: {!edge_up} when [v] is [u]'s provider,
+          {!edge_peer} on a peering link, {!edge_down} when [v] is [u]'s
+          customer *)
+  linkv : link array;  (** flat link table, in insertion order *)
+}
+(** A frozen compressed-sparse-row snapshot of the graph.  Snapshots are
+    immutable: mutating the [t] it came from (adding a domain or link)
+    does not update existing snapshots — call {!freeze} again to get a
+    fresh one.  Edges of each node appear in link-insertion order, so
+    kernels iterating a snapshot break ties exactly like the list-based
+    accessors. *)
+
+val edge_up : int
+val edge_peer : int
+val edge_down : int
+
 type t
 
 val create : unit -> t
@@ -37,6 +61,15 @@ val find_by_name : t -> string -> Domain.id option
 
 val neighbors : t -> Domain.id -> Domain.id list
 (** Adjacent domains, in link-insertion order. *)
+
+val adjacency : t -> Domain.id -> (Domain.id * link) list
+(** [(neighbor, link)] pairs, in link-insertion order.  Lets path kernels
+    see each edge's link without a per-neighbor {!link_between} lookup. *)
+
+val freeze : t -> csr
+(** The current graph as a CSR snapshot.  Memoized: repeated calls on an
+    unmodified graph return the same snapshot; any mutation invalidates
+    the memo (but never the snapshots already handed out). *)
 
 val degree : t -> Domain.id -> int
 

@@ -1,5 +1,6 @@
-let hpim_paths topo ~rng ~levels ~source ~receivers =
+let hpim_paths ?spf topo ~rng ~levels ~source ~receivers =
   if levels < 1 then invalid_arg "Baselines.hpim_paths: need at least one RP level";
+  let bfs src = match spf with Some c -> Spf.bfs_cached c src | None -> Spf.bfs topo src in
   let n = Topo.domain_count topo in
   (* Hash-placed RPs: no locality by construction (the paper's point). *)
   let rps = Array.init levels (fun _ -> Rng.int rng n) in
@@ -8,7 +9,7 @@ let hpim_paths topo ~rng ~levels ~source ~receivers =
      A receiver's join walks toward RP1 and grafts where it meets the
      structure, mirroring HPIM's explicit-join behaviour. *)
   let top = rps.(levels - 1) in
-  let tree = Shared_tree.build topo ~root:top ~members:[] in
+  let tree = Shared_tree.build ~to_root:(bfs top) topo ~root:top ~members:[] in
   (* Chain the RPs bottom-up: each joins the structure. *)
   for i = levels - 2 downto 0 do
     Shared_tree.join tree rps.(i)
@@ -17,7 +18,7 @@ let hpim_paths topo ~rng ~levels ~source ~receivers =
   (* Receivers join toward RP1: walk the shortest path to RP1, stopping
      at the first on-structure node.  Shared_tree joins walk toward the
      tree ROOT, so emulate the RP1-directed walk explicitly. *)
-  let to_rp1 = Spf.bfs topo rp1 in
+  let to_rp1 = bfs rp1 in
   Array.iter
     (fun r ->
       let rec walk node acc =
@@ -76,6 +77,7 @@ let compare_hpim ?(nodes = 1000) ?(levels = 3) ?(trials = 15) ?(sizes = [ 10; 10
     ~seed () =
   let rng = Rng.create seed in
   let topo = Gen.power_law ~rng ~n:nodes ~m:2 in
+  let spf = Spf.make_cache topo in
   List.map
     (fun size ->
       let ha = Stats.create () and hm = Stats.create () in
@@ -89,11 +91,14 @@ let compare_hpim ?(nodes = 1000) ?(levels = 3) ?(trials = 15) ?(sizes = [ 10; 10
                (Array.to_list (Rng.sample_without_replacement rng (size + 1) nodes)))
         in
         let receivers = Array.sub receivers 0 (min size (Array.length receivers)) in
-        let spt = Spf.bfs topo source in
+        let spt = Spf.bfs_cached spf source in
         let baseline = Array.map (fun r -> Spf.dist spt r) receivers in
-        let hpim = hpim_paths topo ~rng ~levels ~source ~receivers in
+        let hpim = hpim_paths ~spf topo ~rng ~levels ~source ~receivers in
         let bgmp =
-          (Path_eval.evaluate topo { Path_eval.source; root = receivers.(0); receivers })
+          (Path_eval.evaluate ~from_source:spt
+             ~from_root:(Spf.bfs_cached spf receivers.(0))
+             topo
+             { Path_eval.source; root = receivers.(0); receivers })
             .Path_eval.hybrid
         in
         let record stats_avg stats_max paths =

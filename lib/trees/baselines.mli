@@ -19,11 +19,18 @@
     BGMP's, which grow only with the tree. *)
 
 val hpim_paths :
-  Topo.t -> rng:Rng.t -> levels:int -> source:Domain.id -> receivers:Domain.id array -> int array
+  ?spf:Spf.cache ->
+  Topo.t ->
+  rng:Rng.t ->
+  levels:int ->
+  source:Domain.id ->
+  receivers:Domain.id array ->
+  int array
 (** Sender→receiver path lengths (inter-domain hops) on an HPIM tree
     with [levels] hash-placed RPs: receivers join RP1; RP1 joins RP2;
     …; the sender forwards to RP1 and data flows along the joined
-    structure bidirectionally. *)
+    structure bidirectionally.  [?spf] supplies a shared SPF cache so
+    repeated trials on one topology reuse BFS results. *)
 
 type hdvmrp_cost = {
   flood_deliveries : int;

@@ -7,11 +7,26 @@ type paths = {
   hybrid : int array;
 }
 
-let evaluate topo group =
+let checked_paths what ~src = function
+  | Some p ->
+      if p.Spf.src <> src then
+        invalid_arg (Printf.sprintf "Path_eval.evaluate: %s paths have the wrong source" what);
+      Some p
+  | None -> None
+
+let evaluate ?from_source ?from_root topo group =
   let { source; root; receivers } = group in
-  let from_source = Spf.bfs topo source in
-  let from_root = Spf.bfs topo root in
-  let tree = Shared_tree.build topo ~root ~members:(Array.to_list receivers) in
+  let from_source =
+    match checked_paths "from_source" ~src:source from_source with
+    | Some p -> p
+    | None -> Spf.bfs topo source
+  in
+  let from_root =
+    match checked_paths "from_root" ~src:root from_root with
+    | Some p -> p
+    | None -> Spf.bfs topo root
+  in
+  let tree = Shared_tree.build ~to_root:from_root topo ~root ~members:(Array.to_list receivers) in
   (* Where the sender's data meets the tree: walk from the source toward
      the root (§5.2); every node on that walk leads to the root, which is
      on the tree, so the entry point always exists. *)

@@ -28,8 +28,14 @@ type paths = {
   hybrid : int array;
 }
 
-val evaluate : Topo.t -> group -> paths
-(** Compute all four path lengths for every receiver of the group. *)
+val evaluate : ?from_source:Spf.paths -> ?from_root:Spf.paths -> Topo.t -> group -> paths
+(** Compute all four path lengths for every receiver of the group.
+
+    [?from_source] / [?from_root] supply precomputed [Spf.bfs] results
+    for the group's source and root (typically from an {!Spf.cache});
+    each must have the matching [src] or [Invalid_argument] is raised.
+    The root paths are also threaded into the {!Shared_tree.build}, so a
+    fully-supplied call runs no BFS at all. *)
 
 type ratio_summary = {
   avg_ratio : float;  (** mean over receivers of (tree path / SPT path) *)

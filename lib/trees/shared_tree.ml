@@ -42,13 +42,20 @@ let join t member =
   end;
   t.members_rev <- member :: t.members_rev
 
-let build topo ~root ~members =
+let build ?to_root topo ~root ~members =
   let n = Topo.domain_count topo in
+  let to_root =
+    match to_root with
+    | Some p ->
+        if p.Spf.src <> root then invalid_arg "Shared_tree.build: to_root paths not rooted at root";
+        p
+    | None -> Spf.bfs topo root
+  in
   let t =
     {
       topo;
       tree_root = root;
-      to_root = Spf.bfs topo root;
+      to_root;
       tree_parent = Array.make n (-1);
       marked = Array.make n false;
       tree_depth = Array.make n 0;

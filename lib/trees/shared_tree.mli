@@ -9,9 +9,12 @@
 
 type t
 
-val build : Topo.t -> root:Domain.id -> members:Domain.id list -> t
+val build : ?to_root:Spf.paths -> Topo.t -> root:Domain.id -> members:Domain.id list -> t
 (** Build by incremental joins in list order.  The root is always on the
-    tree. *)
+    tree.  [?to_root] supplies a precomputed [Spf.bfs topo root] (e.g.
+    from an {!Spf.cache}) so harnesses evaluating many trees on one
+    topology skip the per-build BFS; it must be rooted at [root] or
+    [Invalid_argument] is raised. *)
 
 val join : t -> Domain.id -> unit
 (** Add one more member (its join path is grafted). *)

@@ -48,6 +48,10 @@ let run p =
   let rng = Rng.create p.seed in
   let topo = make_topology p rng in
   let n = Topo.domain_count topo in
+  (* One SPF cache for the whole run: the root BFS each trial needs twice
+     (tree build + path eval) is computed once, and sources/roots redrawn
+     across trials or group sizes are never recomputed. *)
+  let spf = Spf.make_cache topo in
   let worst_uni = ref 0.0 and worst_bi = ref 0.0 and worst_hy = ref 0.0 in
   let points =
     (* Group sizes are capped by the topology: at most n-1 receivers. *)
@@ -71,7 +75,11 @@ let run p =
             | Root_at_source -> source
             | Root_random -> Rng.int rng n
           in
-          let paths = Path_eval.evaluate topo { Path_eval.source; root; receivers } in
+          let paths =
+            Path_eval.evaluate ~from_source:(Spf.bfs_cached spf source)
+              ~from_root:(Spf.bfs_cached spf root) topo
+              { Path_eval.source; root; receivers }
+          in
           let record stats_avg stats_max worst tree_paths =
             let s = Path_eval.ratios ~baseline:paths.Path_eval.spt tree_paths in
             if s.Path_eval.receivers_counted > 0 then begin

@@ -7,6 +7,7 @@ let () =
       ("addr", Test_addr.suite);
       ("sim", Test_sim.suite);
       ("topo", Test_topo.suite);
+      ("spf_equiv", Test_spf_equiv.suite);
       ("bgp", Test_bgp.suite);
       ("masc", Test_masc.suite);
       ("migp", Test_migp.suite);

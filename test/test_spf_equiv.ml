@@ -1,0 +1,233 @@
+(* Differential tests: the CSR kernels (Spf.bfs/dijkstra/valley_free_dist
+   and their _csr forms) against the list-based reference kernels, and
+   the SPF cache / precomputed-paths plumbing against the uncached
+   results, on seeded random topologies. *)
+
+let check = Alcotest.check
+
+let topologies seed =
+  let pl = Gen.power_law ~rng:(Rng.create seed) ~n:220 ~m:2 in
+  let ts =
+    Gen.transit_stub ~rng:(Rng.create seed) ~backbones:3 ~regionals_per_backbone:4
+      ~stubs_per_regional:5
+  in
+  [ ("power_law", pl); ("transit_stub", ts) ]
+
+let sources rng n k = List.init k (fun _ -> Rng.int rng n)
+
+let int_array = Alcotest.array Alcotest.int
+
+let test_bfs_matches_reference () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, topo) ->
+          let rng = Rng.create (seed * 7 + 1) in
+          let n = Topo.domain_count topo in
+          List.iter
+            (fun src ->
+              let fast = Spf.bfs topo src in
+              let slow = Spf.bfs_list topo src in
+              check int_array (Printf.sprintf "%s/%d/%d dist" name seed src) slow.Spf.dist
+                fast.Spf.dist;
+              check int_array (Printf.sprintf "%s/%d/%d via" name seed src) slow.Spf.via
+                fast.Spf.via)
+            (sources rng n 5))
+        (topologies seed))
+    [ 11; 42; 1998 ]
+
+let test_dijkstra_matches_reference () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, topo) ->
+          let rng = Rng.create (seed * 7 + 2) in
+          let n = Topo.domain_count topo in
+          List.iter
+            (fun src ->
+              let fast = Spf.dijkstra topo src in
+              let slow = Spf.dijkstra_list topo src in
+              (* Both kernels add the same link delays in the same order
+                 and break heap ties FIFO, so even the floats and the
+                 predecessor choices are bitwise identical. *)
+              check (Alcotest.array (Alcotest.float 0.0))
+                (Printf.sprintf "%s/%d/%d wdist" name seed src)
+                slow.Spf.wdist fast.Spf.wdist;
+              check int_array (Printf.sprintf "%s/%d/%d wvia" name seed src) slow.Spf.wvia
+                fast.Spf.wvia)
+            (sources rng n 5))
+        (topologies seed))
+    [ 11; 42; 1998 ]
+
+let test_valley_free_matches_reference () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, topo) ->
+          let rng = Rng.create (seed * 7 + 3) in
+          let n = Topo.domain_count topo in
+          List.iter
+            (fun src ->
+              check int_array
+                (Printf.sprintf "%s/%d/%d valley-free" name seed src)
+                (Spf.valley_free_dist_list topo src)
+                (Spf.valley_free_dist topo src))
+            (sources rng n 5))
+        (topologies seed))
+    [ 11; 42; 1998 ]
+
+let test_explicit_workspace_reuse () =
+  let topo = Gen.power_law ~rng:(Rng.create 5) ~n:150 ~m:2 in
+  let csr = Topo.freeze topo in
+  let ws = Spf.make_workspace csr in
+  (* Reusing one workspace across sources and kernels must not leak
+     state between calls. *)
+  List.iter
+    (fun src ->
+      let a = Spf.bfs_csr ~ws csr src in
+      let b = Spf.bfs_csr csr src in
+      check int_array "ws bfs dist" b.Spf.dist a.Spf.dist;
+      let wa = Spf.dijkstra_csr ~ws csr src in
+      let wb = Spf.dijkstra_csr csr src in
+      check (Alcotest.array (Alcotest.float 0.0)) "ws dijkstra wdist" wb.Spf.wdist wa.Spf.wdist;
+      check int_array "ws valley free" (Spf.valley_free_dist_csr csr src)
+        (Spf.valley_free_dist_csr ~ws csr src))
+    [ 0; 17; 49; 149 ]
+
+let test_freeze_memoized_and_invalidated () =
+  let topo = Gen.line ~n:4 in
+  let c1 = Topo.freeze topo in
+  let c2 = Topo.freeze topo in
+  check Alcotest.bool "freeze memoized" true (c1 == c2);
+  let d = Topo.add_domain topo ~name:"X" ~kind:Domain.Stub in
+  Topo.add_link topo 3 d Topo.Peer;
+  let c3 = Topo.freeze topo in
+  check Alcotest.bool "mutation invalidates memo" true (c1 != c3);
+  check Alcotest.int "old snapshot unchanged" 4 c1.Topo.csr_nodes;
+  check Alcotest.int "new snapshot sees the link" 5 c3.Topo.csr_nodes;
+  let p = Spf.bfs topo 0 in
+  check Alcotest.int "bfs over refrozen graph" 4 (Spf.dist p d)
+
+let test_cache_transparent () =
+  let topo = Gen.power_law ~rng:(Rng.create 21) ~n:180 ~m:2 in
+  let cache = Spf.make_cache topo in
+  List.iter
+    (fun src ->
+      let cached = Spf.bfs_cached cache src in
+      let plain = Spf.bfs topo src in
+      check int_array "cached dist" plain.Spf.dist cached.Spf.dist;
+      check int_array "cached via" plain.Spf.via cached.Spf.via)
+    [ 3; 3; 99; 3; 99; 0 ];
+  let hits, misses = Spf.cache_stats cache in
+  check Alcotest.int "misses = distinct sources" 3 misses;
+  check Alcotest.int "hits = repeats" 3 hits;
+  check Alcotest.bool "repeat is the same array" true
+    (Spf.bfs_cached cache 3 == Spf.bfs_cached cache 3)
+
+let test_precomputed_paths_do_not_change_results () =
+  let topo = Gen.power_law ~rng:(Rng.create 77) ~n:200 ~m:2 in
+  let cache = Spf.make_cache topo in
+  let rng = Rng.create 78 in
+  let n = Topo.domain_count topo in
+  for _ = 1 to 10 do
+    let source = Rng.int rng n in
+    let receivers =
+      Array.of_list
+        (List.filter (fun d -> d <> source)
+           (Array.to_list (Rng.sample_without_replacement rng 12 n)))
+    in
+    let root = receivers.(0) in
+    let group = { Path_eval.source; root; receivers } in
+    let plain = Path_eval.evaluate topo group in
+    let cached =
+      Path_eval.evaluate ~from_source:(Spf.bfs_cached cache source)
+        ~from_root:(Spf.bfs_cached cache root) topo group
+    in
+    check int_array "spt" plain.Path_eval.spt cached.Path_eval.spt;
+    check int_array "unidirectional" plain.Path_eval.unidirectional
+      cached.Path_eval.unidirectional;
+    check int_array "bidirectional" plain.Path_eval.bidirectional cached.Path_eval.bidirectional;
+    check int_array "hybrid" plain.Path_eval.hybrid cached.Path_eval.hybrid;
+    (* Same for a tree built from precomputed root paths. *)
+    let members = Array.to_list receivers in
+    let t1 = Shared_tree.build topo ~root ~members in
+    let t2 = Shared_tree.build ~to_root:(Spf.bfs_cached cache root) topo ~root ~members in
+    check Alcotest.int "tree node count" (Shared_tree.node_count t1) (Shared_tree.node_count t2);
+    List.iter
+      (fun m ->
+        check Alcotest.int "member depth" (Shared_tree.depth t1 m) (Shared_tree.depth t2 m);
+        check (Alcotest.option Alcotest.int) "member parent" (Shared_tree.parent t1 m)
+          (Shared_tree.parent t2 m))
+      members
+  done
+
+let test_mismatched_precomputed_paths_rejected () =
+  let topo = Gen.line ~n:5 in
+  let wrong = Spf.bfs topo 2 in
+  Alcotest.check_raises "shared tree rejects wrong root"
+    (Invalid_argument "Shared_tree.build: to_root paths not rooted at root") (fun () ->
+      ignore (Shared_tree.build ~to_root:wrong topo ~root:0 ~members:[ 4 ]));
+  Alcotest.check_raises "path eval rejects wrong source"
+    (Invalid_argument "Path_eval.evaluate: from_source paths have the wrong source") (fun () ->
+      ignore
+        (Path_eval.evaluate ~from_source:wrong topo
+           { Path_eval.source = 0; root = 1; receivers = [| 4 |] }))
+
+let test_experiment_unchanged_by_cache () =
+  (* The experiment driver now routes every BFS through its SPF cache;
+     its points must be exactly what uncached evaluation produces. *)
+  let p =
+    {
+      Tree_experiment.default_params with
+      Tree_experiment.nodes = 150;
+      group_sizes = [ 1; 5; 20 ];
+      trials = 5;
+      seed = 3;
+    }
+  in
+  let r = Tree_experiment.run p in
+  (* Replay the driver's sampling with uncached Path_eval calls. *)
+  let rng = Rng.create p.Tree_experiment.seed in
+  let topo =
+    Gen.power_law ~rng ~n:p.Tree_experiment.nodes ~m:p.Tree_experiment.attach_degree
+  in
+  let n = Topo.domain_count topo in
+  let expected =
+    List.map
+      (fun size ->
+        let ua = Stats.create () in
+        for _ = 1 to p.Tree_experiment.trials do
+          let source = Rng.int rng n in
+          let receivers =
+            let draws = Rng.sample_without_replacement rng (size + 1) n in
+            let filtered =
+              Array.of_list (List.filter (fun d -> d <> source) (Array.to_list draws))
+            in
+            Array.sub filtered 0 size
+          in
+          let root = receivers.(0) in
+          let paths = Path_eval.evaluate topo { Path_eval.source; root; receivers } in
+          let s = Path_eval.ratios ~baseline:paths.Path_eval.spt paths.Path_eval.unidirectional in
+          if s.Path_eval.receivers_counted > 0 then Stats.add ua s.Path_eval.avg_ratio
+        done;
+        Stats.mean ua)
+      p.Tree_experiment.group_sizes
+  in
+  List.iter2
+    (fun (pt : Tree_experiment.point) expected_uni ->
+      check (Alcotest.float 0.0) "uni_avg identical to uncached replay" expected_uni
+        pt.Tree_experiment.uni_avg)
+    r.Tree_experiment.points expected
+
+let suite =
+  [
+    ("bfs matches reference", `Quick, test_bfs_matches_reference);
+    ("dijkstra matches reference", `Quick, test_dijkstra_matches_reference);
+    ("valley free matches reference", `Quick, test_valley_free_matches_reference);
+    ("explicit workspace reuse", `Quick, test_explicit_workspace_reuse);
+    ("freeze memoized and invalidated", `Quick, test_freeze_memoized_and_invalidated);
+    ("cache transparent", `Quick, test_cache_transparent);
+    ("precomputed paths change nothing", `Quick, test_precomputed_paths_do_not_change_results);
+    ("mismatched precomputed paths rejected", `Quick, test_mismatched_precomputed_paths_rejected);
+    ("experiment unchanged by cache", `Quick, test_experiment_unchanged_by_cache);
+  ]
