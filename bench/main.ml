@@ -9,10 +9,16 @@
    experiments end-to-end and prints the same series the paper plots
    (also available individually via bin/main.exe).
 
-   Besides the human-readable report, the harness writes BENCH_1.json
-   (per-benchmark ns/run plus wall-clock seconds for the figure
-   regenerations) into the working directory so successive PRs can
-   track the performance trajectory. *)
+   Besides the human-readable report, the harness writes BENCH_2.json
+   (per-benchmark ns/run, wall-clock seconds for the figure
+   regenerations, the metrics-registry counters accumulated across the
+   regenerations, and the instrumentation overhead of the hot kernels
+   against the BENCH_1.json baseline) into the working directory so
+   successive PRs can track the performance trajectory. *)
+
+module M = Metrics
+(* [Bechamel]/[Toolkit] shadow some of our module names (e.g. [Time]);
+   the registry is reached through this alias below the opens. *)
 
 open Bechamel
 open Toolkit
@@ -193,9 +199,53 @@ let run_fig4 () =
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_1.json"
+let json_file = "BENCH_2.json"
 
-let write_json ~micro ~figures =
+let baseline_file = "BENCH_1.json"
+
+(* ns/run entries of the previous PR's baseline, scanned with Str (no
+   JSON dependency in the image). *)
+let load_baseline () =
+  if not (Sys.file_exists baseline_file) then []
+  else begin
+    let re =
+      Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"ns_per_run\": \\([0-9.]+\\)}"
+    in
+    let ic = open_in baseline_file in
+    let rec loop acc =
+      match input_line ic with
+      | line ->
+          loop
+            (try
+               ignore (Str.search_forward re line 0);
+               (Str.matched_group 1 line, float_of_string (Str.matched_group 2 line)) :: acc
+             with Not_found -> acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let entries = loop [] in
+    close_in ic;
+    entries
+  end
+
+(* The instrumented hot kernels whose overhead vs the pre-metrics
+   baseline the issue bounds at 5%. *)
+let overhead_watchlist =
+  [ "masc-bgmp/bfs-3326-node-graph"; "masc-bgmp/shared-tree-build-1000-members" ]
+
+let overhead_report micro =
+  let baseline = load_baseline () in
+  List.filter_map
+    (fun name ->
+      match (List.assoc_opt name baseline, List.assoc_opt name micro) with
+      | Some base, Some cur when base > 0.0 ->
+          let pct = (cur -. base) /. base *. 100.0 in
+          Format.printf "%-44s %+.1f%% vs %s (%.1f -> %.1f ns/run)@." name pct baseline_file
+            base cur;
+          Some (name, base, cur, pct)
+      | _ -> None)
+    overhead_watchlist
+
+let write_json ~micro ~figures ~overhead ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"benchmarks\": [\n";
@@ -210,6 +260,19 @@ let write_json ~micro ~figures =
       out "    {\"name\": %S, \"wall_clock_s\": %.3f}%s\n" name wall_s
         (if i = List.length figures - 1 then "" else ","))
     figures;
+  out "  ],\n  \"metrics_overhead\": [\n";
+  List.iteri
+    (fun i (name, base, cur, pct) ->
+      out "    {\"name\": %S, \"baseline_ns\": %.1f, \"current_ns\": %.1f, \"overhead_pct\": %.1f}%s\n"
+        name base cur pct
+        (if i = List.length overhead - 1 then "" else ","))
+    overhead;
+  out "  ],\n  \"counters\": [\n";
+  List.iteri
+    (fun i (name, v) ->
+      out "    {\"name\": %S, \"value\": %d}%s\n" name v
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
   out "  ]\n}\n";
   close_out oc;
   Format.printf "@.wrote %s@." json_file
@@ -222,6 +285,17 @@ let timed f =
 let () =
   Format.printf "=== Micro-benchmarks (Bechamel) ===@.";
   let micro = run_benchmarks () in
+  Format.printf "@.=== Instrumentation overhead vs baseline ===@.";
+  let overhead = overhead_report micro in
+  (* Count only what the figure regenerations themselves do. *)
+  M.reset M.default;
   let fig2_s = timed run_fig2 in
   let fig4_s = timed run_fig4 in
-  write_json ~micro ~figures:[ ("fig2-regeneration", fig2_s); ("fig4-regeneration", fig4_s) ]
+  let counters =
+    List.filter_map
+      (fun (name, v) -> match v with M.Counter_v c -> Some (name, c) | _ -> None)
+      (M.snapshot M.default)
+  in
+  write_json ~micro
+    ~figures:[ ("fig2-regeneration", fig2_s); ("fig4-regeneration", fig4_s) ]
+    ~overhead ~counters

@@ -11,6 +11,32 @@
 
 let print_series ppf series = List.iter (Stats.pp_series ppf) series
 
+(* ---------------- metrics export ------------------------------------- *)
+
+(* Every subcommand runs under [with_metrics dest]: the default registry
+   is reset up front so back-to-back invocations in one process would
+   start clean, and at exit the snapshot goes to stderr (dest = "-") or
+   to a JSON file.  Stdout stays byte-identical with metrics on: the
+   figure outputs are diffed in tests. *)
+let with_metrics dest f =
+  Metrics.reset Metrics.default;
+  let t0 = Sys.time () in
+  let finish () =
+    match dest with
+    | None -> ()
+    | Some target ->
+        Metrics.set (Metrics.gauge "harness.wall_seconds") (Sys.time () -. t0);
+        let snap = Metrics.snapshot Metrics.default in
+        if target = "-" then Format.eprintf "%a@?" Metrics.pp snap
+        else begin
+          let oc = open_out target in
+          output_string oc (Metrics.to_json snap);
+          output_char oc '\n';
+          close_out oc
+        end
+  in
+  Fun.protect ~finally:finish f
+
 (* ---------------- fig2 ---------------------------------------------- *)
 
 let fig2_series (r : Allocation_sim.result) =
@@ -467,6 +493,16 @@ open Cmdliner
 let summary_flag =
   Arg.(value & flag & info [ "summary" ] ~doc:"Print only the summary, not the data series.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect runtime metrics and export a snapshot at exit: a JSON document written to \
+           $(docv), or a human-readable table on standard error when $(docv) is \"-\" (the \
+           value used when the option is given bare).")
+
 let seed_arg = Arg.(value & opt int 1998 & info [ "seed" ] ~doc:"Random seed.")
 
 let days_arg n = Arg.(value & opt int n & info [ "days" ] ~doc:"Simulated days.")
@@ -481,7 +517,10 @@ let fig2_cmd =
   in
   Cmd.v
     (Cmd.info "fig2" ~doc)
-    Term.(const run_fig2 $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
+    Term.(
+      const (fun m summary days hetero seed ->
+          with_metrics m (fun () -> run_fig2 summary days hetero seed))
+      $ metrics_arg $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
 
 let fig4_cmd =
   let doc = "Reproduce Figure 4: path-length overhead of shared trees vs shortest-path trees." in
@@ -495,62 +534,79 @@ let fig4_cmd =
   in
   Cmd.v
     (Cmd.info "fig4" ~doc)
-    Term.(const run_fig4 $ summary_flag $ nodes $ trials $ topology $ seed_arg)
+    Term.(
+      const (fun m summary nodes trials topology seed ->
+          with_metrics m (fun () -> run_fig4 summary nodes trials topology seed))
+      $ metrics_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
 
 let ablate_placement_cmd =
   Cmd.v
     (Cmd.info "ablate-placement"
        ~doc:"A2: first-sub-prefix vs random claim placement (aggregation impact).")
-    Term.(const run_ablate_placement $ days_arg 400 $ seed_arg)
+    Term.(
+      const (fun m days seed -> with_metrics m (fun () -> run_ablate_placement days seed))
+      $ metrics_arg $ days_arg 400 $ seed_arg)
 
 let ablate_threshold_cmd =
   Cmd.v
     (Cmd.info "ablate-threshold"
        ~doc:"A3: occupancy-threshold sweep (utilization/aggregation trade-off).")
-    Term.(const run_ablate_threshold $ days_arg 400 $ seed_arg)
+    Term.(
+      const (fun m days seed -> with_metrics m (fun () -> run_ablate_threshold days seed))
+      $ metrics_arg $ days_arg 400 $ seed_arg)
 
 let ablate_root_cmd =
   let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
   let trials = Arg.(value & opt int 20 & info [ "trials" ] ~doc:"Trials.") in
   Cmd.v
     (Cmd.info "ablate-root" ~doc:"A4: root-domain placement sensitivity for tree quality.")
-    Term.(const run_ablate_root $ nodes $ trials $ seed_arg)
+    Term.(
+      const (fun m nodes trials seed -> with_metrics m (fun () -> run_ablate_root nodes trials seed))
+      $ metrics_arg $ nodes $ trials $ seed_arg)
 
 let ablate_kampai_cmd =
   Cmd.v
     (Cmd.info "ablate-kampai"
        ~doc:"A5: contiguous CIDR claims vs Kampai non-contiguous masks.")
-    Term.(const run_ablate_kampai $ days_arg 400 $ seed_arg)
+    Term.(
+      const (fun m days seed -> with_metrics m (fun () -> run_ablate_kampai days seed))
+      $ metrics_arg $ days_arg 400 $ seed_arg)
 
 let ablate_claim_cmd =
   Cmd.v
     (Cmd.info "ablate-claim"
        ~doc:"A1: claim-collide vs query-response allocation under partition.")
-    Term.(const run_ablate_claim $ seed_arg)
+    Term.(
+      const (fun m seed -> with_metrics m (fun () -> run_ablate_claim seed))
+      $ metrics_arg $ seed_arg)
 
 let baselines_cmd =
   let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
   let trials = Arg.(value & opt int 15 & info [ "trials" ] ~doc:"Trials per group size.") in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Related-work baselines (HPIM, HDVMRP) vs BGMP trees.")
-    Term.(const run_baselines $ nodes $ trials $ seed_arg)
+    Term.(
+      const (fun m nodes trials seed -> with_metrics m (fun () -> run_baselines nodes trials seed))
+      $ metrics_arg $ nodes $ trials $ seed_arg)
 
 let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT of the Figure-3 topology with its shared tree.")
-    Term.(const run_dot $ const ())
+    Term.(const (fun m () -> with_metrics m run_dot) $ metrics_arg $ const ())
 
 let soak_cmd =
   let steps = Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Randomized steps.") in
   Cmd.v
     (Cmd.info "soak"
        ~doc:"Randomized churn + failure soak of the integrated stack with invariant checking.")
-    Term.(const run_soak $ steps $ seed_arg)
+    Term.(
+      const (fun m steps seed -> with_metrics m (fun () -> run_soak steps seed))
+      $ metrics_arg $ steps $ seed_arg)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"End-to-end MASC+BGP+BGMP run on the Figure-1 topology.")
-    Term.(const run_demo $ const ())
+    Term.(const (fun m () -> with_metrics m run_demo) $ metrics_arg $ const ())
 
 let main_cmd =
   let doc = "Experiments for the MASC/BGMP inter-domain multicast architecture (SIGCOMM 1998)." in

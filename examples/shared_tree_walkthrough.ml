@@ -105,4 +105,9 @@ let () =
   Format.printf "@.Control messages: %d, data messages: %d, duplicates: %d@."
     (Bgmp_fabric.control_messages fabric)
     (Bgmp_fabric.data_messages fabric)
-    (Bgmp_fabric.duplicate_deliveries fabric)
+    (Bgmp_fabric.duplicate_deliveries fabric);
+
+  (* Everything above was also recorded by the process-wide metrics
+     registry; the snapshot is the machine-readable view of the run. *)
+  Format.printf "@.Metrics snapshot of the walkthrough:@.%a" Metrics.pp
+    (Metrics.snapshot Metrics.default)

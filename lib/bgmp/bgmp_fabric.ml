@@ -1,5 +1,8 @@
 type root_route = Root_here | Via of Domain.id | Unroutable
 
+let m_ctl_msgs = Metrics.counter "bgmp.ctl_msgs_sent"
+let m_data_msgs = Metrics.counter "bgmp.data_msgs_sent"
+
 type config = { branching : bool; link_delay_override : Time.t option }
 
 let default_config = { branching = true; link_delay_override = None }
@@ -123,9 +126,12 @@ and exec_action t rid action =
   match action with
   | Bgmp_router.To_peer (p, msg) ->
       (match msg with
-      | Bgmp_msg.Data _ -> t.data_msgs <- t.data_msgs + 1
+      | Bgmp_msg.Data _ ->
+          t.data_msgs <- t.data_msgs + 1;
+          Metrics.incr m_data_msgs
       | Bgmp_msg.Join _ | Bgmp_msg.Prune _ | Bgmp_msg.Join_sg _ | Bgmp_msg.Prune_sg _ ->
-          t.ctl_msgs <- t.ctl_msgs + 1);
+          t.ctl_msgs <- t.ctl_msgs + 1;
+          Metrics.incr m_ctl_msgs);
       let delay =
         match t.cfg.link_delay_override with
         | Some d -> d

@@ -1,5 +1,11 @@
 type target = Peer of int | Migp_target | Internal_router of int
 
+let m_joins = Metrics.counter "bgmp.joins_rcvd"
+let m_prunes = Metrics.counter "bgmp.prunes_rcvd"
+let m_sg_joins = Metrics.counter "bgmp.sg_joins_rcvd"
+let m_sg_prunes = Metrics.counter "bgmp.sg_prunes_rcvd"
+let m_entries_max = Metrics.gauge "bgmp.tree_entries_max"
+
 let target_equal a b =
   match (a, b) with
   | Peer x, Peer y -> x = y
@@ -125,6 +131,9 @@ let on_tree t group = Hashtbl.mem t.star group
 
 let entry_count t = Hashtbl.length t.star + Hashtbl.length t.sg
 
+(* High-water mark of tree state held by any single router. *)
+let note_entries t = Metrics.set_max m_entries_max (float_of_int (entry_count t))
+
 (* Groups whose entries have the same target signature collapse into
    aligned prefix entries; the aggregated size is the minimal CIDR cover
    of each signature class (§7). *)
@@ -187,6 +196,7 @@ let remove_child e target =
   e.children <- List.filter (fun c -> not (target_equal c target)) e.children
 
 let handle_join t ~group ~from =
+  Metrics.incr m_joins;
   match Hashtbl.find_opt t.star group with
   | Some e ->
       (* Already on the tree: just add the new branch.  A join from our
@@ -203,9 +213,11 @@ let handle_join t ~group ~from =
       in
       let e = { parent; children = [ from ] } in
       Hashtbl.replace t.star group e;
+      note_entries t;
       upstream
 
 let handle_prune t ~group ~from =
+  Metrics.incr m_prunes;
   match Hashtbl.find_opt t.star group with
   | None -> []
   | Some e ->
@@ -249,6 +261,7 @@ let sg_downstream_empty t group st =
   minus tree_children st.removed = [] && minus st.added st.removed = []
 
 let handle_join_sg t ~source ~group ~from =
+  Metrics.incr m_sg_joins;
   match Hashtbl.find_opt t.sg (source, group) with
   | Some st ->
       (* A graft: cancel a previous prune of this target, or add a new
@@ -273,6 +286,7 @@ let handle_join_sg t ~source ~group ~from =
             }
           in
           Hashtbl.replace t.sg (source, group) st;
+          note_entries t;
           []
       | None ->
           let parent, upstream =
@@ -282,9 +296,11 @@ let handle_join_sg t ~source ~group ~from =
           in
           let st = { sg_parent = parent; sg_rpf = parent; added = [ from ]; removed = [] } in
           Hashtbl.replace t.sg (source, group) st;
+          note_entries t;
           upstream)
 
 let handle_prune_sg t ~source ~group ~from =
+  Metrics.incr m_sg_prunes;
   let propagate_if_empty st =
     if sg_downstream_empty t group st then begin
       match (Hashtbl.find_opt t.star group, st.sg_parent) with
@@ -338,6 +354,7 @@ let handle_prune_sg t ~source ~group ~from =
             { sg_parent = star_e.parent; sg_rpf = star_e.parent; added = []; removed = [ from ] }
           in
           Hashtbl.replace t.sg (source, group) st;
+          note_entries t;
           propagate_if_empty st)
 
 let forward_data targets ~group ~source ~payload ~hops ~from =
@@ -501,5 +518,6 @@ let initiate_branch t ~source ~group ~shared_entry_router =
             { sg_parent = parent; sg_rpf = parent; added = [ Migp_target ]; removed = [] }
           in
           Hashtbl.replace t.sg (source, group) st;
+          note_entries t;
           Hashtbl.replace t.pending_branch_prune (source, group) shared_entry_router;
           upstream)

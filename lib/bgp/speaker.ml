@@ -1,5 +1,9 @@
 type peer_relation = To_customer | To_provider | To_peer
 
+let m_advertises = Metrics.counter "bgp.advertises_sent"
+let m_withdraws = Metrics.counter "bgp.withdraws_sent"
+let m_grib_max = Metrics.gauge "bgp.grib_size_max"
+
 type t = {
   self : Domain.id;
   peers : (Domain.id, peer_relation) Hashtbl.t;
@@ -116,7 +120,10 @@ let reconsider t prefix =
     | Some a, Some b -> not (Route.equal a b)
     | None, Some _ | Some _, None -> true
   in
-  if changed then t.on_grib_change prefix;
+  if changed then begin
+    Metrics.set_max m_grib_max (float_of_int (Prefix_trie.cardinal t.grib));
+    t.on_grib_change prefix
+  end;
   List.iter
     (fun peer ->
       let desired =
@@ -130,9 +137,11 @@ let reconsider t prefix =
       | Some old_r, Some new_r when Route.equal old_r new_r -> ()
       | _, Some new_r ->
           Hashtbl.replace t.exported (peer, prefix) new_r;
+          Metrics.incr m_advertises;
           t.send ~dst:peer (Update.Advertise new_r)
       | Some _, None ->
           Hashtbl.remove t.exported (peer, prefix);
+          Metrics.incr m_withdraws;
           t.send ~dst:peer (Update.Withdraw prefix))
     t.peer_order
 

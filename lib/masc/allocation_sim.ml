@@ -91,6 +91,12 @@ type sim = {
   mutable right_size_child : sim -> child -> unit;
 }
 
+let m_requests = Metrics.counter "allocation.requests"
+let m_failed = Metrics.counter "allocation.failed_requests"
+let m_claims_made = Metrics.counter "allocation.claims_made"
+let m_outstanding = Metrics.gauge "allocation.outstanding_blocks"
+let m_utilization = Metrics.gauge "allocation.utilization"
+
 let policy_view claims =
   List.map
     (fun c -> { Claim_policy.prefix = c.prefix; active = c.active; used = c.used })
@@ -152,6 +158,7 @@ let top_add_claim sim top prefix =
   top.t_claims <- holder :: top.t_claims;
   sim.claimed_top <- sim.claimed_top + Prefix.size prefix;
   sim.claims_made <- sim.claims_made + 1;
+  Metrics.incr m_claims_made;
   schedule_claim_expiry sim ~arena:sim.global ~holder
     ~may_renew:(fun () -> holder.active)
     ~on_renew:(fun () -> sim.right_size_top sim top)
@@ -166,6 +173,7 @@ let top_double sim top holder =
   Address_space.add_cover top.t_arena doubled;
   sim.claimed_top <- sim.claimed_top + Prefix.size holder.prefix;
   sim.claims_made <- sim.claims_made + 1;
+  Metrics.incr m_claims_made;
   holder.prefix <- doubled
 
 let top_deactivate sim top holder =
@@ -294,6 +302,7 @@ let child_add_claim sim child prefix =
   in
   child.c_claims <- holder :: child.c_claims;
   sim.claims_made <- sim.claims_made + 1;
+  Metrics.incr m_claims_made;
   note_child_claimed sim child prefix (Prefix.size prefix);
   schedule_claim_expiry sim ~arena:top.t_arena ~holder
     ~may_renew:(fun () ->
@@ -315,6 +324,7 @@ let child_double sim child holder =
   (* +size(old) = size(new) - size(old) added on top of what was already
      counted for the old prefix. *)
   sim.claims_made <- sim.claims_made + 1;
+  Metrics.incr m_claims_made;
   holder.prefix <- doubled;
   top_pressure_check sim top
 
@@ -407,6 +417,7 @@ let rec child_request_loop sim child =
   ignore
     (Engine.schedule_after sim.engine delay (fun () ->
          sim.requests <- sim.requests + 1;
+         Metrics.incr m_requests;
          (match child_satisfy sim child ~attempts:3 with
          | Some holder ->
              holder.used <- holder.used + sim.p.block_size;
@@ -415,7 +426,9 @@ let rec child_request_loop sim child =
              ignore
                (Engine.schedule_after sim.engine sim.p.block_lifetime
                   (fun () -> expire_block sim child holder ()))
-         | None -> sim.failed <- sim.failed + 1);
+         | None ->
+             sim.failed <- sim.failed + 1;
+             Metrics.incr m_failed);
          child_request_loop sim child))
 
 (* --- sampling ------------------------------------------------------- *)
@@ -451,6 +464,8 @@ let take_sample sim =
   let utilization =
     if sim.claimed_top = 0 then 0.0 else float_of_int sim.demanded /. float_of_int sim.claimed_top
   in
+  Metrics.set m_outstanding (float_of_int sim.blocks);
+  Metrics.set m_utilization utilization;
   {
     day = Time.to_days (Engine.now sim.engine);
     utilization;

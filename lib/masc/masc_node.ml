@@ -1,3 +1,15 @@
+let m_claims = Metrics.counter "masc.claims"
+
+let m_collisions = Metrics.counter "masc.collisions"
+
+let m_reclaims = Metrics.counter "masc.reclaims"
+
+(* How long a MAAS-side space request waits before the claim machinery
+   satisfies it (0 when existing space suffices immediately). *)
+let m_request_wait =
+  Metrics.histogram "masc.request_wait_s"
+    ~limits:[| 0.0; Time.hours 1.0; Time.hours 12.0; Time.days 1.0; Time.days 2.0; Time.days 7.0 |]
+
 type config = {
   claim_wait : Time.t;
   claim_lifetime : Time.t;
@@ -56,7 +68,8 @@ type t = {
   down_foreign : (Prefix.t, foreign_claim) Hashtbl.t;
   mutable own : claim_ctl list;
   assigned_tbl : (Prefix.t, int) Hashtbl.t;
-  mutable pending : int list;  (** outstanding MAAS needs (address counts) *)
+  mutable pending : (int * Time.t) list;
+      (** outstanding MAAS needs: (address count, time enqueued) *)
   mutable child_needs : int list;
       (** children's unsatisfied space requests, retried as our own
           space grows (multi-level hierarchies: the grandparent's grant
@@ -394,6 +407,7 @@ and start_claim t arena ~want_len ?(absorbing = None) ?(consolidating = false) (
       let ctl = { claim; absorbing; consolidating; wait_timer = None; renew_timer = None } in
       t.own <- ctl :: t.own;
       t.claims_made <- t.claims_made + 1;
+      Metrics.incr m_claims;
       trace t "claim" "%a (%s)" Prefix.pp prefix
         (match (absorbing, consolidating) with
         | Some _, _ -> "double"
@@ -455,7 +469,17 @@ and grow_or_escalate t arena ~need ~want_len =
 
 and process_pending t =
   let arena = maas_arena t in
-  let still_pending = List.filter (fun need -> not (try_grow t arena ~need)) t.pending in
+  let now = Engine.now t.engine in
+  let still_pending =
+    List.filter
+      (fun (need, since) ->
+        if try_grow t arena ~need then begin
+          Metrics.observe m_request_wait (now -. since);
+          false
+        end
+        else true)
+      t.pending
+  in
   let satisfied = List.length t.pending - List.length still_pending in
   t.pending <- still_pending;
   if satisfied > 0 then signal_space_changed t;
@@ -478,8 +502,11 @@ and retry_child_needs t =
 
 let request_space t ~need =
   if need <= 0 then invalid_arg "Masc_node.request_space: non-positive need";
-  if try_grow t (maas_arena t) ~need then signal_space_changed t
-  else t.pending <- t.pending @ [ need ]
+  if try_grow t (maas_arena t) ~need then begin
+    Metrics.observe m_request_wait 0.0;
+    signal_space_changed t
+  end
+  else t.pending <- t.pending @ [ (need, Engine.now t.engine) ]
 
 let note_assigned t prefix n =
   Hashtbl.replace t.assigned_tbl prefix (max 0 (assigned_in t prefix + n))
@@ -597,10 +624,12 @@ let handle_claim_announce t arena ~owner ~prefix ~lifetime_end =
         List.iter
           (fun ctl ->
             t.collisions_suffered <- t.collisions_suffered + 1;
+            Metrics.incr m_collisions;
             trace t "collision-lost" "our %a loses to %a of %d" Prefix.pp
               ctl.claim.claim_prefix Prefix.pp prefix owner;
             let want_len = Prefix.len ctl.claim.claim_prefix in
             remove_own t ctl ~release:false ~lost:true;
+            Metrics.incr m_reclaims;
             if not (start_claim t arena ~want_len ()) then
               grow_or_escalate t arena ~need:(Prefix.size ctl.claim.claim_prefix)
                 ~want_len)
@@ -633,11 +662,13 @@ let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix =
         in
         if yield then begin
           t.collisions_suffered <- t.collisions_suffered + 1;
+          Metrics.incr m_collisions;
           trace t "collision-yield" "%a to %d's %a" Prefix.pp victim_prefix winner Prefix.pp
             winner_prefix;
           let arena = ctl.claim.claim_arena in
           let want_len = Prefix.len ctl.claim.claim_prefix in
           remove_own t ctl ~release:false ~lost:true;
+          Metrics.incr m_reclaims;
           (* Record the winner's range before re-selecting so the
              replacement cannot land on the contested space again. *)
           (match Address_space.owner_of (arena_space t arena) winner_prefix with

@@ -1,0 +1,244 @@
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type histogram = {
+  limits : float array;
+  buckets : int array;  (** length = Array.length limits + 1 (overflow) *)
+  mutable hstats : Stats.t;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registry = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let default = create ()
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let register registry name ~kind ~make ~cast =
+  let registry = Option.value ~default registry in
+  match Hashtbl.find_opt registry.tbl name with
+  | Some i -> (
+      match cast i with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics.%s: %s is already registered as a %s" kind name
+               (kind_name i)))
+  | None ->
+      let x, i = make () in
+      Hashtbl.replace registry.tbl name i;
+      x
+
+let counter ?registry name =
+  register registry name ~kind:"counter"
+    ~make:(fun () ->
+      let c = { c = 0 } in
+      (c, Counter c))
+    ~cast:(function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let gauge ?registry name =
+  register registry name ~kind:"gauge"
+    ~make:(fun () ->
+      let g = { g = 0.0 } in
+      (g, Gauge g))
+    ~cast:(function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let default_limits =
+  [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0; 10000.0; 100000.0; 1000000.0 |]
+
+let histogram ?registry ?(limits = default_limits) name =
+  Array.iteri
+    (fun i l ->
+      if i > 0 && l <= limits.(i - 1) then
+        invalid_arg "Metrics.histogram: limits must be strictly increasing")
+    limits;
+  register registry name ~kind:"histogram"
+    ~make:(fun () ->
+      let h =
+        {
+          limits = Array.copy limits;
+          buckets = Array.make (Array.length limits + 1) 0;
+          hstats = Stats.create ();
+        }
+      in
+      (h, Histogram h))
+    ~cast:(function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+
+let incr c = c.c <- c.c + 1
+
+let add c n = c.c <- c.c + n
+
+let count c = c.c
+
+let set g v = g.g <- v
+
+let set_max g v = if v > g.g then g.g <- v
+
+let value g = g.g
+
+let observe h x =
+  Stats.add h.hstats x;
+  let n = Array.length h.limits in
+  let i = ref 0 in
+  while !i < n && x > h.limits.(!i) do
+    Stdlib.incr i
+  done;
+  h.buckets.(!i) <- h.buckets.(!i) + 1
+
+let reset registry =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0.0
+      | Histogram h ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.hstats <- Stats.create ())
+    registry.tbl
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_view = {
+  hcount : int;
+  hsum : float;
+  hmean : float;
+  hstddev : float;
+  hmin : float;
+  hmax : float;
+  hbuckets : (float * int) list;
+}
+
+type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_view
+
+type snapshot = (string * value) list
+
+let view_of_histogram h =
+  let n = Stats.count h.hstats in
+  let mean = Stats.mean h.hstats in
+  {
+    hcount = n;
+    hsum = mean *. float_of_int n;
+    hmean = mean;
+    hstddev = Stats.stddev h.hstats;
+    hmin = (if n = 0 then 0.0 else Stats.min h.hstats);
+    hmax = (if n = 0 then 0.0 else Stats.max h.hstats);
+    hbuckets =
+      List.init
+        (Array.length h.buckets)
+        (fun i ->
+          let bound = if i < Array.length h.limits then h.limits.(i) else infinity in
+          (bound, h.buckets.(i)));
+  }
+
+let snapshot registry =
+  Hashtbl.fold
+    (fun name i acc ->
+      let v =
+        match i with
+        | Counter c -> Counter_v c.c
+        | Gauge g -> Gauge_v g.g
+        | Histogram h -> Histogram_v (view_of_histogram h)
+      in
+      (name, v) :: acc)
+    registry.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+let diff ~before ~after =
+  List.map
+    (fun (name, v) ->
+      let v' =
+        match (v, find before name) with
+        | Counter_v a, Some (Counter_v b) -> Counter_v (a - b)
+        | Histogram_v a, Some (Histogram_v b) ->
+            Histogram_v
+              {
+                a with
+                hcount = a.hcount - b.hcount;
+                hsum = a.hsum -. b.hsum;
+                hbuckets =
+                  List.map2
+                    (fun (bound, ca) (_, cb) -> (bound, ca - cb))
+                    a.hbuckets b.hbuckets;
+              }
+        | (Counter_v _ | Gauge_v _ | Histogram_v _), _ -> v
+      in
+      (name, v'))
+    after
+
+let pp_float ppf f =
+  if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.0f" f
+  else Format.fprintf ppf "%g" f
+
+let pp ppf snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v c -> Format.fprintf ppf "%-36s %d@." name c
+      | Gauge_v g -> Format.fprintf ppf "%-36s %a@." name pp_float g
+      | Histogram_v h ->
+          Format.fprintf ppf "%-36s count=%d mean=%a min=%a max=%a@." name h.hcount pp_float
+            h.hmean pp_float h.hmin pp_float h.hmax)
+    snap
+
+(* Deterministic, dependency-free JSON. *)
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if f = infinity then "\"+inf\""
+  else if f = neg_infinity then "\"-inf\""
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json snap =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"metrics\": [\n";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      (match v with
+      | Counter_v c ->
+          Buffer.add_string b
+            (Printf.sprintf "    {\"name\": \"%s\", \"kind\": \"counter\", \"value\": %d}"
+               (json_escape name) c)
+      | Gauge_v g ->
+          Buffer.add_string b
+            (Printf.sprintf "    {\"name\": \"%s\", \"kind\": \"gauge\", \"value\": %s}"
+               (json_escape name) (json_float g))
+      | Histogram_v h ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"name\": \"%s\", \"kind\": \"histogram\", \"count\": %d, \"sum\": %s, \
+                \"mean\": %s, \"stddev\": %s, \"min\": %s, \"max\": %s, \"buckets\": [%s]}"
+               (json_escape name) h.hcount (json_float h.hsum) (json_float h.hmean)
+               (json_float h.hstddev) (json_float h.hmin) (json_float h.hmax)
+               (String.concat ", "
+                  (List.map
+                     (fun (bound, c) ->
+                       Printf.sprintf "{\"le\": %s, \"count\": %d}" (json_float bound) c)
+                     h.hbuckets)))))
+    snap;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,92 @@
+(** Process-wide metrics registry.
+
+    Named counters, gauges and fixed-bucket histograms with O(1)
+    hot-path updates: an instrument handle is looked up (or created)
+    once by name and then updated without any allocation or hashing.
+    Names are hierarchical dot-paths ([bgmp.join_sent],
+    [masc.collisions], [sim.events_fired], [spf.cache_hits]) so
+    snapshots group naturally by subsystem.
+
+    The protocol stack records into {!default}; the evaluation harness
+    calls {!reset} before a run and {!snapshot} after it.  Snapshots are
+    deterministic (sorted by name), diffable, and exportable as a human
+    table or JSON. *)
+
+type counter
+type gauge
+type histogram
+
+type registry
+
+val create : unit -> registry
+
+val default : registry
+(** The registry every instrument in the stack registers into. *)
+
+(** {1 Instrument handles}
+
+    [counter]/[gauge]/[histogram] find-or-create by name: calling twice
+    with the same name returns the same handle.
+    @raise Invalid_argument if the name is already registered as a
+    different kind of instrument. *)
+
+val counter : ?registry:registry -> string -> counter
+val gauge : ?registry:registry -> string -> gauge
+
+val histogram : ?registry:registry -> ?limits:float array -> string -> histogram
+(** [limits] are the bucket upper bounds (inclusive), in increasing
+    order; one overflow bucket is added above the last limit.  The
+    default limits are decades from 1e-3 to 1e6 — adequate for
+    durations in simulated seconds. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keep the running maximum: [set_max g v] is [set g v] when [v]
+    exceeds the current value (high-water marks like queue depth). *)
+
+val value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+val reset : registry -> unit
+(** Zero every instrument in place.  Handles stay valid. *)
+
+(** {1 Snapshots} *)
+
+type hist_view = {
+  hcount : int;
+  hsum : float;
+  hmean : float;
+  hstddev : float;
+  hmin : float;  (** 0. when empty *)
+  hmax : float;  (** 0. when empty *)
+  hbuckets : (float * int) list;
+      (** (upper bound, observations in this bin); the overflow bin's
+          bound is [infinity] *)
+}
+
+type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_view
+
+type snapshot = (string * value) list
+(** Sorted by name: two identical seeded runs yield equal snapshots. *)
+
+val snapshot : registry -> snapshot
+
+val find : snapshot -> string -> value option
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-instrument delta: counters and histogram counts/sums subtract
+    (names absent from [before] count from zero); gauges and histogram
+    min/max/mean report the [after] side. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable table, one instrument per line. *)
+
+val to_json : snapshot -> string
+(** Deterministic JSON document:
+    [{"metrics": [{"name": ..., "kind": ..., ...}, ...]}]. *)

@@ -1,20 +1,47 @@
+(* An event's [cancelled] flag doubles as "consumed": it is set when the
+   event is cancelled AND when it fires, so the live-event accounting
+   below decrements exactly once per scheduled event. *)
 type event = { time : Time.t; mutable cancelled : bool; action : unit -> unit }
 
 (* A handle owns a cancellation closure: for a plain event it flips the
    event's flag; for a periodic schedule it also stops re-arming. *)
 type handle = { mutable stop : unit -> unit }
 
-type t = { mutable clock : Time.t; queue : event Heap.t }
+type t = { mutable clock : Time.t; queue : event Heap.t; mutable live : int }
+
+let m_scheduled = Metrics.counter "sim.events_scheduled"
+
+let m_fired = Metrics.counter "sim.events_fired"
+
+let m_cancelled = Metrics.counter "sim.events_cancelled"
+
+let m_queue_max = Metrics.gauge "sim.queue_depth_max"
+
+let m_virtual = Metrics.gauge "sim.virtual_seconds"
 
 let create () =
-  { clock = Time.zero; queue = Heap.create ~cmp:(fun a b -> Float.compare a.time b.time) }
+  {
+    clock = Time.zero;
+    queue = Heap.create ~cmp:(fun a b -> Float.compare a.time b.time);
+    live = 0;
+  }
 
 let now t = t.clock
 
 let schedule_event t time action =
   let e = { time; cancelled = false; action } in
   Heap.push t.queue e;
+  t.live <- t.live + 1;
+  Metrics.incr m_scheduled;
+  Metrics.set_max m_queue_max (float_of_int t.live);
   e
+
+let cancel_event t e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    t.live <- t.live - 1;
+    Metrics.incr m_cancelled
+  end
 
 let schedule_at t time action =
   if time < t.clock then
@@ -22,7 +49,7 @@ let schedule_at t time action =
       (Printf.sprintf "Engine.schedule_at: time %g before now %g" (Time.to_seconds time)
          (Time.to_seconds t.clock));
   let e = schedule_event t time action in
-  { stop = (fun () -> e.cancelled <- true) }
+  { stop = (fun () -> cancel_event t e) }
 
 let schedule_after t delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
@@ -43,14 +70,14 @@ let periodic t ~interval action =
     handle.stop <-
       (fun () ->
         stopped := true;
-        e.cancelled <- true)
+        cancel_event t e)
   in
   arm ();
   handle
 
 let cancel h = h.stop ()
 
-let pending t = Heap.length t.queue
+let pending t = t.live
 
 let step t =
   let rec loop () =
@@ -59,7 +86,13 @@ let step t =
     | Some e ->
         if e.cancelled then loop ()
         else begin
+          (* Consume before firing so a cancel from inside the action
+             (periodic self-cancel) cannot double-decrement. *)
+          e.cancelled <- true;
+          t.live <- t.live - 1;
+          Metrics.incr m_fired;
           t.clock <- e.time;
+          Metrics.set m_virtual t.clock;
           e.action ();
           true
         end
@@ -75,7 +108,9 @@ let run ?until t =
       let rec drain () =
         match Heap.peek t.queue with
         | None -> ()
-        | Some e when e.time > horizon -> t.clock <- max t.clock horizon
+        | Some e when e.time > horizon ->
+            t.clock <- max t.clock horizon;
+            Metrics.set m_virtual t.clock
         | Some _ ->
             ignore (step t);
             drain ()

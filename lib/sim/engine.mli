@@ -32,8 +32,9 @@ val cancel : handle -> unit
     Cancelling a periodic event stops all future firings. *)
 
 val pending : t -> int
-(** Number of scheduled-and-not-yet-fired events (cancelled events may be
-    counted until they drain). *)
+(** Number of live (scheduled, not yet fired, not cancelled) events.
+    Cancelled events leave this count immediately, even though they
+    only drain from the internal queue lazily. *)
 
 val step : t -> bool
 (** Fire the single earliest event.  Returns [false] when the queue is

@@ -1,30 +1,228 @@
 type entry = { time : Time.t; actor : string; tag : string; detail : string }
 
-type t = { mutable entries_rev : entry list; mutable count : int; mutable on : bool }
+type sink = Unbounded | Ring of int | Jsonl of string | Null
 
-let create () = { entries_rev = []; count = 0; on = true }
+type store =
+  | S_unbounded of { mutable entries_rev : entry list }
+  | S_ring of { buf : entry option array; mutable next : int }
+  | S_jsonl of { path : string; mutable oc : out_channel option }
+  | S_null
+
+type t = { mutable store : store; mutable count : int; mutable on : bool }
+
+let store_of_sink = function
+  | Unbounded -> S_unbounded { entries_rev = [] }
+  | Ring n ->
+      if n <= 0 then invalid_arg "Trace.create: ring capacity must be positive";
+      S_ring { buf = Array.make n None; next = 0 }
+  | Jsonl path -> S_jsonl { path; oc = Some (open_out path) }
+  | Null -> S_null
+
+let create ?(sink = Unbounded) () = { store = store_of_sink sink; count = 0; on = true }
+
+let sink t =
+  match t.store with
+  | S_unbounded _ -> Unbounded
+  | S_ring r -> Ring (Array.length r.buf)
+  | S_jsonl j -> Jsonl j.path
+  | S_null -> Null
+
+let close_store = function
+  | S_jsonl j -> (
+      match j.oc with
+      | Some oc ->
+          j.oc <- None;
+          close_out oc
+      | None -> ())
+  | S_unbounded _ | S_ring _ | S_null -> ()
+
+let set_sink t s =
+  close_store t.store;
+  t.store <- store_of_sink s
+
+let close t = close_store t.store
 
 let enabled t = t.on
 
 let set_enabled t v = t.on <- v
 
+(* --- JSONL encoding -------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let entry_to_json e =
+  Printf.sprintf "{\"time\": %.17g, \"actor\": \"%s\", \"tag\": \"%s\", \"detail\": \"%s\"}"
+    (Time.to_seconds e.time) (json_escape e.actor) (json_escape e.tag) (json_escape e.detail)
+
+(* A minimal scanner for the exact shape [entry_to_json] emits: four
+   known keys, string values with backslash escapes. *)
+let entry_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let error = ref false in
+  let skip_ws () = while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done in
+  let expect c =
+    skip_ws ();
+    if !pos < n && line.[!pos] = c then incr pos else error := true
+  in
+  let parse_string () =
+    skip_ws ();
+    if !pos >= n || line.[!pos] <> '"' then begin
+      error := true;
+      ""
+    end
+    else begin
+      incr pos;
+      let b = Buffer.create 16 in
+      let fin = ref false in
+      while (not !fin) && not !error do
+        if !pos >= n then error := true
+        else begin
+          let c = line.[!pos] in
+          incr pos;
+          if c = '"' then fin := true
+          else if c = '\\' then begin
+            if !pos >= n then error := true
+            else begin
+              let e = line.[!pos] in
+              incr pos;
+              match e with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'u' ->
+                  if !pos + 4 <= n then begin
+                    (match int_of_string_opt ("0x" ^ String.sub line !pos 4) with
+                    | Some code when code < 0x100 -> Buffer.add_char b (Char.chr code)
+                    | Some _ | None -> error := true);
+                    pos := !pos + 4
+                  end
+                  else error := true
+              | _ -> error := true
+            end
+          end
+          else Buffer.add_char b c
+        end
+      done;
+      Buffer.contents b
+    end
+  in
+  let parse_key key =
+    expect '"';
+    let k = String.length key in
+    if (not !error) && !pos + k + 1 <= n && String.sub line (!pos - 1) (k + 2) = "\"" ^ key ^ "\"" then
+      pos := !pos + k + 1
+    else error := true;
+    expect ':'
+  in
+  let parse_float () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None ->
+        error := true;
+        0.0
+  in
+  expect '{';
+  parse_key "time";
+  let time = parse_float () in
+  expect ',';
+  parse_key "actor";
+  let actor = parse_string () in
+  expect ',';
+  parse_key "tag";
+  let tag = parse_string () in
+  expect ',';
+  parse_key "detail";
+  let detail = parse_string () in
+  expect '}';
+  if !error then None else Some { time; actor; tag; detail }
+
+let load_jsonl path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (match entry_of_json line with Some e -> e :: acc | None -> acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let entries = loop [] in
+  close_in ic;
+  entries
+
+(* --- recording ------------------------------------------------------- *)
+
+let push t e =
+  match t.store with
+  | S_unbounded u -> u.entries_rev <- e :: u.entries_rev
+  | S_ring r ->
+      r.buf.(r.next) <- Some e;
+      r.next <- (r.next + 1) mod Array.length r.buf
+  | S_jsonl j -> (
+      match j.oc with
+      | Some oc ->
+          output_string oc (entry_to_json e);
+          output_char oc '\n'
+      | None -> ())
+  | S_null -> ()
+
 let record t ~time ~actor ~tag detail =
   if t.on then begin
-    t.entries_rev <- { time; actor; tag; detail } :: t.entries_rev;
+    push t { time; actor; tag; detail };
     t.count <- t.count + 1
   end
 
 let recordf t ~time ~actor ~tag fmt =
-  Format.kasprintf
-    (fun detail -> record t ~time ~actor ~tag detail)
-    fmt
+  if t.on then Format.kasprintf (fun detail -> record t ~time ~actor ~tag detail) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
-let entries t = List.rev t.entries_rev
+let entries t =
+  match t.store with
+  | S_unbounded u -> List.rev u.entries_rev
+  | S_ring r ->
+      let cap = Array.length r.buf in
+      let acc = ref [] in
+      for i = cap - 1 downto 0 do
+        match r.buf.((r.next + i) mod cap) with
+        | Some e -> acc := e :: !acc
+        | None -> ()
+      done;
+      !acc
+  | S_jsonl _ | S_null -> []
 
 let length t = t.count
 
 let clear t =
-  t.entries_rev <- [];
+  (match t.store with
+  | S_unbounded u -> u.entries_rev <- []
+  | S_ring r ->
+      Array.fill r.buf 0 (Array.length r.buf) None;
+      r.next <- 0
+  | S_jsonl j ->
+      (match j.oc with Some oc -> close_out oc | None -> ());
+      j.oc <- Some (open_out j.path)
+  | S_null -> ());
   t.count <- 0
 
 let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)

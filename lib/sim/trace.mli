@@ -2,13 +2,32 @@
 
     Protocol entities append tagged records as they act; tests assert on
     the recorded sequence and the examples print it as a narrative of the
-    run (the Figure 1/3 walkthroughs are rendered from traces). *)
+    run (the Figure 1/3 walkthroughs are rendered from traces).
+
+    Where records go is a pluggable {!sink}: the default unbounded
+    in-memory store, a bounded ring buffer that keeps only the newest
+    entries, a JSONL file stream for large runs, or a null sink that
+    drops (but counts) records.  Every record accepted while the trace
+    is enabled increments {!length}, whatever the sink retains. *)
 
 type entry = { time : Time.t; actor : string; tag : string; detail : string }
 
+type sink =
+  | Unbounded  (** keep every entry in memory (the default) *)
+  | Ring of int  (** keep only the newest [n] entries; [n > 0] *)
+  | Jsonl of string  (** stream entries as JSON lines to the file *)
+  | Null  (** count records but retain nothing *)
+
 type t
 
-val create : unit -> t
+val create : ?sink:sink -> unit -> t
+(** @raise Invalid_argument on [Ring n] with [n <= 0]. *)
+
+val sink : t -> sink
+
+val set_sink : t -> sink -> unit
+(** Replace the sink, dropping anything the old sink retained (a
+    replaced [Jsonl] sink's channel is flushed and closed). *)
 
 val enabled : t -> bool
 
@@ -19,20 +38,42 @@ val record : t -> time:Time.t -> actor:string -> tag:string -> string -> unit
 
 val recordf :
   t -> time:Time.t -> actor:string -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Format-string convenience; the message is only rendered when the
-    trace is enabled. *)
+(** Format-string convenience; when the trace is disabled the arguments
+    are consumed without any formatting work. *)
 
 val entries : t -> entry list
-(** Oldest first. *)
+(** Oldest first.  What the sink retained: everything ([Unbounded]),
+    the newest window ([Ring]), nothing ([Jsonl], [Null]). *)
 
 val length : t -> int
+(** Total records accepted since creation or {!clear}, independent of
+    how many the sink retained. *)
 
 val clear : t -> unit
+(** Reset the count and drop retained entries ([Jsonl] truncates and
+    restarts its file). *)
+
+val close : t -> unit
+(** Flush and close a [Jsonl] sink's channel; a no-op otherwise.
+    Recording after [close] silently drops. *)
 
 val find : t -> tag:string -> entry list
-(** All entries with the given tag, oldest first. *)
+(** All retained entries with the given tag, oldest first. *)
 
 val pp_entry : Format.formatter -> entry -> unit
 
 val pp : Format.formatter -> t -> unit
-(** The full trace, one entry per line. *)
+(** The full retained trace, one entry per line. *)
+
+(** {1 JSONL} *)
+
+val entry_to_json : entry -> string
+(** One JSON object, no trailing newline:
+    [{"time": t, "actor": ..., "tag": ..., "detail": ...}]. *)
+
+val entry_of_json : string -> entry option
+(** Parse a line produced by {!entry_to_json}. *)
+
+val load_jsonl : string -> entry list
+(** Read a file written by a [Jsonl] sink back into entries (lines that
+    do not parse are skipped). *)

@@ -1,5 +1,15 @@
 type paths = { src : Domain.id; dist : int array; via : Domain.id array }
 
+let m_bfs = Metrics.counter "spf.bfs_runs"
+
+let m_dijkstra = Metrics.counter "spf.dijkstra_runs"
+
+let m_valley_free = Metrics.counter "spf.valley_free_runs"
+
+let m_cache_hit = Metrics.counter "spf.cache_hits"
+
+let m_cache_miss = Metrics.counter "spf.cache_misses"
+
 (* ------------------------------------------------------------------ *)
 (* Workspace: preallocated scratch shared by the CSR kernels           *)
 (* ------------------------------------------------------------------ *)
@@ -110,6 +120,7 @@ let heap_remove_min ws =
 let bfs_csr ?ws (csr : Topo.csr) src =
   let n = csr.Topo.csr_nodes in
   if src < 0 || src >= n then invalid_arg "Spf.bfs_csr: unknown source id";
+  Metrics.incr m_bfs;
   let ws = resolve_ws ws csr in
   let dist = Array.make n max_int in
   let via = Array.make n (-1) in
@@ -140,6 +151,7 @@ type weighted = { wsrc : Domain.id; wdist : float array; wvia : Domain.id array 
 let dijkstra_csr ?ws (csr : Topo.csr) src =
   let n = csr.Topo.csr_nodes in
   if src < 0 || src >= n then invalid_arg "Spf.dijkstra_csr: unknown source id";
+  Metrics.incr m_dijkstra;
   let ws = resolve_ws ws csr in
   let wdist = Array.make n infinity in
   let wvia = Array.make n (-1) in
@@ -176,6 +188,7 @@ let dijkstra_csr ?ws (csr : Topo.csr) src =
 let valley_free_dist_csr ?ws (csr : Topo.csr) src =
   let n = csr.Topo.csr_nodes in
   if src < 0 || src >= n then invalid_arg "Spf.valley_free_dist_csr: unknown source id";
+  Metrics.incr m_valley_free;
   let ws = resolve_ws ws csr in
   let best = Array.make n max_int in
   let vf = ws.vf in
@@ -389,9 +402,11 @@ let bfs_cached c src =
   match c.slots.(src) with
   | Some p ->
       c.hits <- c.hits + 1;
+      Metrics.incr m_cache_hit;
       p
   | None ->
       c.misses <- c.misses + 1;
+      Metrics.incr m_cache_miss;
       let p = bfs_csr ~ws:c.cws c.ccsr src in
       c.slots.(src) <- Some p;
       p

@@ -1,5 +1,10 @@
 type root_placement = Root_at_initiator | Root_at_source | Root_random
 
+let m_trials = Metrics.counter "trees.trials_run"
+let m_worst_uni = Metrics.gauge "trees.worst_uni"
+let m_worst_bi = Metrics.gauge "trees.worst_bi"
+let m_worst_hy = Metrics.gauge "trees.worst_hy"
+
 type params = {
   nodes : int;
   attach_degree : int;
@@ -62,6 +67,7 @@ let run p =
         let ba = Stats.create () and bm = Stats.create () in
         let ha = Stats.create () and hm = Stats.create () in
         for _ = 1 to p.trials do
+          Metrics.incr m_trials;
           let source = Rng.int rng n in
           let receivers =
             (* Receivers are distinct domains other than the source. *)
@@ -103,6 +109,9 @@ let run p =
         })
       sizes
   in
+  Metrics.set m_worst_uni !worst_uni;
+  Metrics.set m_worst_bi !worst_bi;
+  Metrics.set m_worst_hy !worst_hy;
   { points; worst_uni = !worst_uni; worst_bi = !worst_bi; worst_hy = !worst_hy }
 
 let series_of_result r =

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "masc_bgmp"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("addr", Test_addr.suite);
       ("sim", Test_sim.suite);
       ("topo", Test_topo.suite);

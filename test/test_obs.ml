@@ -1,0 +1,193 @@
+(* Tests for mcast_obs: the metrics registry and its snapshots. *)
+
+let check = Alcotest.check
+
+(* A private registry per test keeps these independent of the
+   process-wide instrumentation in the protocol stack. *)
+
+let test_counter_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "a.hits" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 3;
+  check Alcotest.int "count" 5 (Metrics.count c);
+  (* Find-or-create: the same name yields the same handle. *)
+  Metrics.incr (Metrics.counter ~registry:r "a.hits");
+  check Alcotest.int "shared handle" 6 (Metrics.count c)
+
+let test_gauge_set_max () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "a.depth" in
+  Metrics.set_max g 4.0;
+  Metrics.set_max g 2.0;
+  check (Alcotest.float 1e-9) "keeps high-water mark" 4.0 (Metrics.value g);
+  Metrics.set g 1.0;
+  check (Alcotest.float 1e-9) "set overrides" 1.0 (Metrics.value g)
+
+let test_kind_mismatch_raises () =
+  let r = Metrics.create () in
+  ignore (Metrics.counter ~registry:r "x");
+  check Alcotest.bool "gauge on counter name" true
+    (try
+       ignore (Metrics.gauge ~registry:r "x");
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "histogram on counter name" true
+    (try
+       ignore (Metrics.histogram ~registry:r "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_bucketing () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~limits:[| 1.0; 2.0; 5.0 |] "a.wait" in
+  (* Upper bounds are inclusive; above the last limit is overflow. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.9; 5.0; 5.1; 100.0 ];
+  match Metrics.find (Metrics.snapshot r) "a.wait" with
+  | Some (Metrics.Histogram_v v) ->
+      check Alcotest.int "count" 8 v.Metrics.hcount;
+      check
+        (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+        "bucket fill"
+        [ (1.0, 2); (2.0, 2); (5.0, 2); (infinity, 2) ]
+        v.Metrics.hbuckets;
+      check (Alcotest.float 1e-9) "min" 0.5 v.Metrics.hmin;
+      check (Alcotest.float 1e-9) "max" 100.0 v.Metrics.hmax;
+      check (Alcotest.float 1e-6) "sum" 120.0 v.Metrics.hsum
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_histogram_rejects_bad_limits () =
+  let r = Metrics.create () in
+  check Alcotest.bool "non-increasing limits" true
+    (try
+       ignore (Metrics.histogram ~registry:r ~limits:[| 2.0; 1.0 |] "bad");
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_sorted_and_reset () =
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter ~registry:r "z.last");
+  Metrics.incr (Metrics.counter ~registry:r "a.first");
+  Metrics.set (Metrics.gauge ~registry:r "m.mid") 7.0;
+  check (Alcotest.list Alcotest.string) "sorted by name"
+    [ "a.first"; "m.mid"; "z.last" ]
+    (List.map fst (Metrics.snapshot r));
+  let c = Metrics.counter ~registry:r "a.first" in
+  Metrics.reset r;
+  check Alcotest.int "counter zeroed" 0 (Metrics.count c);
+  (* Handles stay valid across reset. *)
+  Metrics.incr c;
+  check Alcotest.int "handle usable after reset" 1 (Metrics.count c)
+
+let test_diff () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "c" in
+  let g = Metrics.gauge ~registry:r "g" in
+  let h = Metrics.histogram ~registry:r ~limits:[| 10.0 |] "h" in
+  Metrics.incr c;
+  Metrics.set g 5.0;
+  Metrics.observe h 1.0;
+  let before = Metrics.snapshot r in
+  Metrics.add c 9;
+  Metrics.set g 2.0;
+  Metrics.observe h 3.0;
+  Metrics.observe h 99.0;
+  let d = Metrics.diff ~before ~after:(Metrics.snapshot r) in
+  (match Metrics.find d "c" with
+  | Some (Metrics.Counter_v n) -> check Alcotest.int "counter delta" 9 n
+  | _ -> Alcotest.fail "counter missing");
+  (match Metrics.find d "g" with
+  | Some (Metrics.Gauge_v v) -> check (Alcotest.float 1e-9) "gauge takes after" 2.0 v
+  | _ -> Alcotest.fail "gauge missing");
+  match Metrics.find d "h" with
+  | Some (Metrics.Histogram_v v) ->
+      check Alcotest.int "histogram count delta" 2 v.Metrics.hcount;
+      check (Alcotest.float 1e-6) "histogram sum delta" 102.0 v.Metrics.hsum;
+      check
+        (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+        "bucket deltas"
+        [ (10.0, 1); (infinity, 1) ]
+        v.Metrics.hbuckets
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_registry_determinism_across_runs () =
+  (* Two identical seeded runs of the allocation simulator, each from a
+     reset default registry, must leave byte-identical snapshots. *)
+  let params =
+    { Allocation_sim.default_params with Allocation_sim.horizon = Time.days 5.0; seed = 77 }
+  in
+  let run () =
+    Metrics.reset Metrics.default;
+    ignore (Allocation_sim.run params);
+    Metrics.to_json (Metrics.snapshot Metrics.default)
+  in
+  let first = run () in
+  let second = run () in
+  check Alcotest.string "identical JSON snapshots" first second;
+  check Alcotest.bool "run actually recorded something" true
+    (match Metrics.find (Metrics.snapshot Metrics.default) "allocation.requests" with
+    | Some (Metrics.Counter_v n) -> n > 0
+    | _ -> false)
+
+(* The trace-sink half of the observability work lives in [Sim.Trace];
+   the retention-policy tests sit here with the rest of it. *)
+
+let test_trace_ring_eviction () =
+  check Alcotest.bool "ring capacity must be positive" true
+    (try
+       ignore (Trace.create ~sink:(Trace.Ring 0) ());
+       false
+     with Invalid_argument _ -> true);
+  let tr = Trace.create ~sink:(Trace.Ring 3) () in
+  for i = 1 to 5 do
+    Trace.record tr ~time:(float_of_int i) ~actor:"a" ~tag:"t" (string_of_int i)
+  done;
+  check Alcotest.int "all five counted" 5 (Trace.length tr);
+  check (Alcotest.list Alcotest.string) "newest three retained, oldest first"
+    [ "3"; "4"; "5" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.entries tr));
+  Trace.clear tr;
+  check Alcotest.int "cleared count" 0 (Trace.length tr);
+  check Alcotest.int "cleared entries" 0 (List.length (Trace.entries tr))
+
+let test_trace_jsonl_roundtrip () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  let tr = Trace.create ~sink:(Trace.Jsonl path) () in
+  (* Quotes, backslashes, newlines and a control byte all survive. *)
+  Trace.record tr ~time:1.5 ~actor:"node-1" ~tag:"claim" "a\"b\\c";
+  Trace.record tr ~time:2.25 ~actor:"node-2" ~tag:"join" "line1\nline2\tend";
+  Trace.record tr ~time:3.0 ~actor:"x" ~tag:"esc" "ctl\x01byte";
+  Trace.close tr;
+  let entries = Trace.load_jsonl path in
+  Sys.remove path;
+  check Alcotest.int "three entries" 3 (List.length entries);
+  let e1 = List.nth entries 0 and e2 = List.nth entries 1 and e3 = List.nth entries 2 in
+  check (Alcotest.float 1e-12) "time survives" 1.5 e1.Trace.time;
+  check Alcotest.string "actor survives" "node-1" e1.Trace.actor;
+  check Alcotest.string "quotes/backslash survive" "a\"b\\c" e1.Trace.detail;
+  check Alcotest.string "newline/tab survive" "line1\nline2\tend" e2.Trace.detail;
+  check Alcotest.string "control byte survives" "ctl\x01byte" e3.Trace.detail;
+  check Alcotest.bool "garbage line skipped" true
+    (Trace.entry_of_json "not json at all" = None)
+
+let test_json_shape () =
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter ~registry:r "only.counter");
+  let json = Metrics.to_json (Metrics.snapshot r) in
+  check Alcotest.string "document" "{\n  \"metrics\": [\n    {\"name\": \"only.counter\", \"kind\": \"counter\", \"value\": 1}\n  ]\n}\n" json
+
+let suite =
+  [
+    ("counter basics", `Quick, test_counter_basics);
+    ("gauge set_max", `Quick, test_gauge_set_max);
+    ("kind mismatch raises", `Quick, test_kind_mismatch_raises);
+    ("histogram bucketing", `Quick, test_histogram_bucketing);
+    ("histogram rejects bad limits", `Quick, test_histogram_rejects_bad_limits);
+    ("snapshot sorted, reset keeps handles", `Quick, test_snapshot_sorted_and_reset);
+    ("diff", `Quick, test_diff);
+    ("registry determinism across seeded runs", `Quick, test_registry_determinism_across_runs);
+    ("trace ring eviction", `Quick, test_trace_ring_eviction);
+    ("trace jsonl roundtrip", `Quick, test_trace_jsonl_roundtrip);
+    ("json shape", `Quick, test_json_shape);
+  ]

@@ -109,6 +109,52 @@ let test_engine_step () =
   check Alcotest.bool "second step" true (Engine.step e);
   check Alcotest.bool "empty queue" false (Engine.step e)
 
+let test_engine_pending_counts_live_events () =
+  let e = Engine.create () in
+  check Alcotest.int "empty engine" 0 (Engine.pending e);
+  let h1 = Engine.schedule_at e 1.0 (fun () -> ()) in
+  ignore (Engine.schedule_at e 2.0 (fun () -> ()));
+  ignore (Engine.schedule_at e 3.0 (fun () -> ()));
+  check Alcotest.int "three scheduled" 3 (Engine.pending e);
+  Engine.cancel h1;
+  (* The cancelled event is still in the internal queue (drained lazily)
+     but must not be counted. *)
+  check Alcotest.int "cancel leaves immediately" 2 (Engine.pending e);
+  Engine.cancel h1;
+  check Alcotest.int "double cancel no-op" 2 (Engine.pending e);
+  ignore (Engine.step e);
+  check Alcotest.int "fired event leaves" 1 (Engine.pending e);
+  Engine.run_until_idle e;
+  check Alcotest.int "drained" 0 (Engine.pending e)
+
+let test_engine_pending_periodic () =
+  let e = Engine.create () in
+  let h = Engine.periodic e ~interval:1.0 (fun () -> ()) in
+  check Alcotest.int "one pending occurrence" 1 (Engine.pending e);
+  Engine.run ~until:3.5 e;
+  (* Each firing schedules the next occurrence. *)
+  check Alcotest.int "still one pending occurrence" 1 (Engine.pending e);
+  Engine.cancel h;
+  check Alcotest.int "stop clears it" 0 (Engine.pending e);
+  Engine.run_until_idle e;
+  check Alcotest.int "stays empty" 0 (Engine.pending e)
+
+let test_engine_pending_periodic_self_cancel () =
+  (* A periodic closure cancelling its own handle runs [cancel] on the
+     very event that is firing; the count must not be decremented twice. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let handle = ref None in
+  let h =
+    Engine.periodic e ~interval:1.0 (fun () ->
+        incr count;
+        if !count = 2 then Engine.cancel (Option.get !handle))
+  in
+  handle := Some h;
+  Engine.run ~until:10.0 e;
+  check Alcotest.int "fired twice" 2 !count;
+  check Alcotest.int "no pending left" 0 (Engine.pending e)
+
 let test_trace_basics () =
   let tr = Trace.create () in
   Trace.record tr ~time:1.0 ~actor:"x" ~tag:"join" "detail-1";
@@ -128,6 +174,41 @@ let test_trace_disabled_drops () =
   Trace.recordf tr ~time:2.0 ~actor:"x" ~tag:"t" "kept %d" 42;
   check Alcotest.int "recorded again" 1 (Trace.length tr);
   check Alcotest.string "formatted" "kept 42" (List.hd (Trace.entries tr)).Trace.detail
+
+let test_trace_disabled_skips_formatting () =
+  (* The disabled path must consume the format arguments without running
+     any user formatting code: a %t printer acts as the witness. *)
+  let tr = Trace.create () in
+  let formatted = ref false in
+  let witness ppf =
+    formatted := true;
+    Format.pp_print_string ppf "boom"
+  in
+  Trace.set_enabled tr false;
+  Trace.recordf tr ~time:1.0 ~actor:"x" ~tag:"t" "value %t" witness;
+  check Alcotest.bool "formatter not invoked while disabled" false !formatted;
+  check Alcotest.int "nothing recorded" 0 (Trace.length tr);
+  Trace.set_enabled tr true;
+  Trace.recordf tr ~time:2.0 ~actor:"x" ~tag:"t" "value %t" witness;
+  check Alcotest.bool "formatter invoked when enabled" true !formatted;
+  check Alcotest.string "formatted detail" "value boom"
+    (List.hd (Trace.entries tr)).Trace.detail
+
+let test_trace_null_sink_counts () =
+  let tr = Trace.create ~sink:Trace.Null () in
+  Trace.record tr ~time:1.0 ~actor:"a" ~tag:"t" "x";
+  Trace.record tr ~time:2.0 ~actor:"a" ~tag:"t" "y";
+  check Alcotest.int "records counted" 2 (Trace.length tr);
+  check Alcotest.int "nothing retained" 0 (List.length (Trace.entries tr))
+
+let test_trace_set_sink_switches () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 ~actor:"a" ~tag:"t" "kept-nowhere";
+  Trace.set_sink tr (Trace.Ring 2);
+  check Alcotest.bool "sink reports ring" true (Trace.sink tr = Trace.Ring 2);
+  check Alcotest.int "old entries dropped" 0 (List.length (Trace.entries tr));
+  Trace.record tr ~time:2.0 ~actor:"a" ~tag:"t" "in-ring";
+  check Alcotest.int "ring records" 1 (List.length (Trace.entries tr))
 
 let test_trace_clear () =
   let tr = Trace.create () in
@@ -159,8 +240,14 @@ let suite =
     ("engine periodic", `Quick, test_engine_periodic);
     ("engine periodic self-cancel", `Quick, test_engine_periodic_self_cancel);
     ("engine step", `Quick, test_engine_step);
+    ("engine pending counts live events", `Quick, test_engine_pending_counts_live_events);
+    ("engine pending with periodic", `Quick, test_engine_pending_periodic);
+    ("engine pending periodic self-cancel", `Quick, test_engine_pending_periodic_self_cancel);
     ("trace basics", `Quick, test_trace_basics);
     ("trace disabled drops", `Quick, test_trace_disabled_drops);
+    ("trace disabled skips formatting", `Quick, test_trace_disabled_skips_formatting);
+    ("trace null sink counts", `Quick, test_trace_null_sink_counts);
+    ("trace set_sink switches", `Quick, test_trace_set_sink_switches);
     ("trace clear", `Quick, test_trace_clear);
     QCheck_alcotest.to_alcotest prop_engine_any_schedule_order_fires_sorted;
   ]

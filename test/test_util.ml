@@ -193,6 +193,45 @@ let test_stats_percentile () =
   check (Alcotest.float 1e-9) "p100" 5.0 (Stats.percentile a 100.0);
   check (Alcotest.float 1e-9) "p25" 2.0 (Stats.percentile a 25.0)
 
+let test_stats_percentile_edges () =
+  let single = [| 42.0 |] in
+  check (Alcotest.float 1e-9) "single p0" 42.0 (Stats.percentile single 0.0);
+  check (Alcotest.float 1e-9) "single p50" 42.0 (Stats.percentile single 50.0);
+  check (Alcotest.float 1e-9) "single p100" 42.0 (Stats.percentile single 100.0);
+  let two = [| -1.0; 7.0 |] in
+  check (Alcotest.float 1e-9) "two p0" (-1.0) (Stats.percentile two 0.0);
+  check (Alcotest.float 1e-9) "two p100" 7.0 (Stats.percentile two 100.0);
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 50.0))
+
+let test_stats_variance_small_n () =
+  let s = Stats.create () in
+  check (Alcotest.float 1e-9) "variance of none" 0.0 (Stats.variance s);
+  Stats.add s 5.0;
+  check (Alcotest.float 1e-9) "variance of one" 0.0 (Stats.variance s);
+  check (Alcotest.float 1e-9) "stddev of one" 0.0 (Stats.stddev s)
+
+let prop_stats_merge_matches_combined =
+  (* Splitting a sample arbitrarily and merging the two accumulators
+     must agree with one accumulator fed everything. *)
+  QCheck.Test.make ~name:"merge of any split equals combined accumulator" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_range (-50.) 50.)) (int_range 0 1000))
+    (fun (l, cut_raw) ->
+      let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+      let cut = cut_raw mod (List.length l + 1) in
+      List.iteri
+        (fun i x ->
+          Stats.add whole x;
+          Stats.add (if i < cut then a else b) x)
+        l;
+      let merged = Stats.merge a b in
+      let close x y = abs_float (x -. y) < 1e-6 in
+      Stats.count merged = Stats.count whole
+      && close (Stats.mean merged) (Stats.mean whole)
+      && close (Stats.variance merged) (Stats.variance whole)
+      && close (Stats.min merged) (Stats.min whole)
+      && close (Stats.max merged) (Stats.max whole))
+
 let prop_stats_mean_matches_naive =
   QCheck.Test.make ~name:"welford mean equals naive mean" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_range (-100.) 100.))
@@ -227,5 +266,8 @@ let suite =
     ("stats empty", `Quick, test_stats_empty);
     ("stats merge", `Quick, test_stats_merge);
     ("stats percentile", `Quick, test_stats_percentile);
+    ("stats percentile edges", `Quick, test_stats_percentile_edges);
+    ("stats variance small n", `Quick, test_stats_variance_small_n);
+    QCheck_alcotest.to_alcotest prop_stats_merge_matches_combined;
     QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
   ]
