@@ -9,16 +9,21 @@
    experiments end-to-end and prints the same series the paper plots
    (also available individually via bin/main.exe).
 
-   Besides the human-readable report, the harness writes BENCH_2.json
+   Besides the human-readable report, the harness writes BENCH_3.json
    (per-benchmark ns/run, wall-clock seconds for the figure
-   regenerations, the metrics-registry counters accumulated across the
-   regenerations, and the instrumentation overhead of the hot kernels
-   against the BENCH_1.json baseline) into the working directory so
-   successive PRs can track the performance trajectory. *)
+   regenerations, the micro-benchmark trajectory against the
+   BENCH_2.json baseline, the live invariant-check overhead measured by
+   running the Figure-4 experiment and a scaled Figure-2 run with the
+   checks off and on, the convergence times the new watermarks report,
+   and the metrics-registry counters accumulated across the
+   regenerations) into the working directory so successive PRs can
+   track the performance trajectory. *)
 
 module M = Metrics
+module Sim_time = Time
 (* [Bechamel]/[Toolkit] shadow some of our module names (e.g. [Time]);
-   the registry is reached through this alias below the opens. *)
+   the registry and simulated time are reached through these aliases
+   below the opens. *)
 
 open Bechamel
 open Toolkit
@@ -162,9 +167,12 @@ let run_benchmarks () =
 (* Figure regeneration                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let fig2_result = ref None
+
 let run_fig2 () =
   Format.printf "@.=== Figure 2: MASC utilization and G-RIB size (50x50, 800 days) ===@.";
   let r = Allocation_sim.run Allocation_sim.default_params in
+  fig2_result := Some r;
   let steady = Allocation_sim.steady_state r ~from_day:400.0 in
   let avg f = Stats.mean_of (Array.of_list (List.map f steady)) in
   Format.printf "#   day  utilization  grib-avg  grib-max@.";
@@ -180,7 +188,9 @@ let run_fig2 () =
     (avg (fun s -> s.Allocation_sim.utilization))
     (avg (fun s -> s.Allocation_sim.grib_avg))
     (avg (fun s -> float_of_int s.Allocation_sim.grib_max))
-    (avg (fun s -> float_of_int s.Allocation_sim.outstanding_blocks))
+    (avg (fun s -> float_of_int s.Allocation_sim.outstanding_blocks));
+  Format.printf "globally advertised prefix set converged on day %.1f@."
+    r.Allocation_sim.top_converged_day
 
 let run_fig4 () =
   Format.printf "@.=== Figure 4: path-length overhead vs SPT (3326 nodes) ===@.";
@@ -196,12 +206,77 @@ let run_fig4 () =
     "paper, in-text: uni avg ~2x / max up to 6x; bi avg <1.3x / max 4.5x; hy avg <1.2x / max 4x@."
 
 (* ------------------------------------------------------------------ *)
+(* Invariant-check overhead and convergence                            *)
+(* ------------------------------------------------------------------ *)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Wall-clock cost of running an experiment with the live invariant
+   monitor off and on.  Figure 4 runs at full scale (the issue bounds
+   its overhead); Figure 2 uses a scaled run — the O(claims^2) overlap
+   sweep on the full 50x50 topology is exactly the cost the flag exists
+   to keep out of the big regenerations. *)
+let invariant_overhead () =
+  Format.printf "@.=== Invariant-check overhead (off vs on) ===@.";
+  let pair name run =
+    let _, off_s = timed (fun () -> run false) in
+    let violations, on_s = timed (fun () -> run true) in
+    let pct = if off_s > 0.0 then (on_s -. off_s) /. off_s *. 100.0 else 0.0 in
+    Format.printf "%-12s %7.3f s off, %7.3f s on: %+.1f%% (%d violations)@." name off_s on_s pct
+      violations;
+    (name, off_s, on_s, pct)
+  in
+  let fig4 check =
+    let r =
+      Tree_experiment.run { Tree_experiment.default_params with Tree_experiment.check_invariants = check }
+    in
+    r.Tree_experiment.invariant_violations
+  in
+  let fig2_scaled check =
+    let r =
+      Allocation_sim.run
+        {
+          Allocation_sim.default_params with
+          Allocation_sim.tops = 10;
+          children_per_top = 10;
+          horizon = Sim_time.days 120.0;
+          check_invariants = check;
+        }
+    in
+    r.Allocation_sim.invariant_violations
+  in
+  let fig4_pair = pair "fig4" fig4 in
+  let fig2_pair = pair "fig2-scaled" fig2_scaled in
+  [ fig4_pair; fig2_pair ]
+
+(* Convergence times from the engine watermarks: when the globally
+   advertised prefix set last changed in the Figure-2 run, and when the
+   Figure-3 walkthrough's join fabric went quiet. *)
+let convergence_report () =
+  Format.printf "@.=== Convergence ===@.";
+  let fig2_day =
+    match !fig2_result with Some r -> r.Allocation_sim.top_converged_day | None -> 0.0
+  in
+  let w = Scenario.figure3 () in
+  let walkthrough_s =
+    match Engine.converged_at w.Scenario.engine with
+    | Some t -> Sim_time.to_seconds t
+    | None -> 0.0
+  in
+  Format.printf "fig2 top-level prefixes converged on day %.1f@." fig2_day;
+  Format.printf "walkthrough tree converged after %.3f s of simulated time@." walkthrough_s;
+  [ ("fig2-top-converged-day", fig2_day); ("walkthrough-converged-s", walkthrough_s) ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_2.json"
+let json_file = "BENCH_3.json"
 
-let baseline_file = "BENCH_1.json"
+let baseline_file = "BENCH_2.json"
 
 (* ns/run entries of the previous PR's baseline, scanned with Str (no
    JSON dependency in the image). *)
@@ -245,7 +320,7 @@ let overhead_report micro =
       | _ -> None)
     overhead_watchlist
 
-let write_json ~micro ~figures ~overhead ~counters =
+let write_json ~micro ~figures ~overhead ~inv_overhead ~convergence ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"benchmarks\": [\n";
@@ -267,6 +342,19 @@ let write_json ~micro ~figures ~overhead ~counters =
         name base cur pct
         (if i = List.length overhead - 1 then "" else ","))
     overhead;
+  out "  ],\n  \"invariant_overhead\": [\n";
+  List.iteri
+    (fun i (name, off_s, on_s, pct) ->
+      out "    {\"name\": %S, \"checks_off_s\": %.3f, \"checks_on_s\": %.3f, \"overhead_pct\": %.1f}%s\n"
+        name off_s on_s pct
+        (if i = List.length inv_overhead - 1 then "" else ","))
+    inv_overhead;
+  out "  ],\n  \"convergence\": [\n";
+  List.iteri
+    (fun i (name, v) ->
+      out "    {\"name\": %S, \"value\": %.3f}%s\n" name v
+        (if i = List.length convergence - 1 then "" else ","))
+    convergence;
   out "  ],\n  \"counters\": [\n";
   List.iteri
     (fun i (name, v) ->
@@ -277,11 +365,6 @@ let write_json ~micro ~figures ~overhead ~counters =
   close_out oc;
   Format.printf "@.wrote %s@." json_file
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
-
 let () =
   Format.printf "=== Micro-benchmarks (Bechamel) ===@.";
   let micro = run_benchmarks () in
@@ -289,13 +372,15 @@ let () =
   let overhead = overhead_report micro in
   (* Count only what the figure regenerations themselves do. *)
   M.reset M.default;
-  let fig2_s = timed run_fig2 in
-  let fig4_s = timed run_fig4 in
+  let (), fig2_s = timed run_fig2 in
+  let (), fig4_s = timed run_fig4 in
   let counters =
     List.filter_map
       (fun (name, v) -> match v with M.Counter_v c -> Some (name, c) | _ -> None)
       (M.snapshot M.default)
   in
+  let inv_overhead = invariant_overhead () in
+  let convergence = convergence_report () in
   write_json ~micro
     ~figures:[ ("fig2-regeneration", fig2_s); ("fig4-regeneration", fig4_s) ]
-    ~overhead ~counters
+    ~overhead ~inv_overhead ~convergence ~counters

@@ -7,7 +7,12 @@
      ablate-threshold occupancy-threshold sweep (A3)
      ablate-root      root-domain placement sensitivity (A4)
      ablate-claim     claim-collide vs query-response robustness (A1)
-     demo             end-to-end run on the Figure-1 topology *)
+     trace            inspect a JSONL trace: timelines, latencies, causal chains
+     demo             end-to-end run on the Figure-1 topology
+
+   Every experiment accepts --check-invariants: live invariant
+   evaluation with violations on stderr and a non-zero exit, leaving
+   stdout byte-identical. *)
 
 let print_series ppf series = List.iter (Stats.pp_series ppf) series
 
@@ -20,6 +25,7 @@ let print_series ppf series = List.iter (Stats.pp_series ppf) series
    figure outputs are diffed in tests. *)
 let with_metrics dest f =
   Metrics.reset Metrics.default;
+  Span.reset ();
   let t0 = Sys.time () in
   let finish () =
     match dest with
@@ -36,6 +42,22 @@ let with_metrics dest f =
         end
   in
   Fun.protect ~finally:finish f
+
+(* ---------------- invariant reporting -------------------------------- *)
+
+(* All --check-invariants output goes to stderr: the figure output on
+   stdout must stay byte-identical with checks on. *)
+let fail_on_violations what n =
+  if n > 0 then begin
+    Format.eprintf "%s: %d invariant violation(s) detected@." what n;
+    exit 1
+  end
+  else Format.eprintf "%s: invariants clean@." what
+
+let report_inet_violations what inet =
+  let vs = Internet.invariant_violations inet in
+  List.iter (fun v -> Format.eprintf "%a@." Invariant.pp_violation v) vs;
+  fail_on_violations what (List.length vs)
 
 (* ---------------- fig2 ---------------------------------------------- *)
 
@@ -66,12 +88,13 @@ let fig2_summary r =
   Format.printf "failed block requests  : %d@." r.Allocation_sim.failed_requests;
   Format.printf "claims made            : %d@." r.Allocation_sim.claims_made
 
-let run_fig2 summary_only days hetero seed =
+let run_fig2 check summary_only days hetero seed =
   let p =
     {
       Allocation_sim.default_params with
       Allocation_sim.horizon = Time.days (float_of_int days);
       hetero_spread = hetero;
+      check_invariants = check;
       seed;
     }
   in
@@ -79,7 +102,8 @@ let run_fig2 summary_only days hetero seed =
     hetero days;
   let r = Allocation_sim.run p in
   if not summary_only then print_series Format.std_formatter (fig2_series r);
-  fig2_summary r
+  fig2_summary r;
+  if check then fail_on_violations "fig2" r.Allocation_sim.invariant_violations
 
 (* ---------------- fig4 ---------------------------------------------- *)
 
@@ -101,7 +125,7 @@ let fig4_summary (r : Tree_experiment.result) =
     "(paper, in-text: unidirectional avg ~2x / max up to 6x; bidirectional avg <1.3x / max \
      4.5x; hybrid avg <1.2x / max 4x)@."
 
-let run_fig4 summary_only nodes trials topology seed =
+let run_fig4 check summary_only nodes trials topology seed =
   let topology = if topology = "transit-stub" then `Transit_stub else `Power_law in
   let p =
     {
@@ -109,6 +133,7 @@ let run_fig4 summary_only nodes trials topology seed =
       Tree_experiment.nodes;
       trials;
       topology;
+      check_invariants = check;
       seed;
     }
   in
@@ -117,20 +142,27 @@ let run_fig4 summary_only nodes trials topology seed =
     trials;
   let r = Tree_experiment.run p in
   if not summary_only then print_series Format.std_formatter (Tree_experiment.series_of_result r);
-  fig4_summary r
+  fig4_summary r;
+  if check then fail_on_violations "fig4" r.Tree_experiment.invariant_violations
 
 (* ---------------- ablations ------------------------------------------ *)
 
-let run_ablate_placement days seed =
+let run_ablate_placement check days seed =
   Format.printf "# A2: claim placement rule (first-sub-prefix vs random), %d days@." days;
+  let bad = ref 0 in
   let run placement =
-    Allocation_sim.run
-      {
-        Allocation_sim.default_params with
-        Allocation_sim.horizon = Time.days (float_of_int days);
-        placement;
-        seed;
-      }
+    let r =
+      Allocation_sim.run
+        {
+          Allocation_sim.default_params with
+          Allocation_sim.horizon = Time.days (float_of_int days);
+          placement;
+          check_invariants = check;
+          seed;
+        }
+    in
+    bad := !bad + r.Allocation_sim.invariant_violations;
+    r
   in
   let steady r = Allocation_sim.steady_state r ~from_day:(float_of_int days /. 2.0) in
   let describe tag r =
@@ -143,10 +175,12 @@ let run_ablate_placement days seed =
       r.Allocation_sim.claims_made
   in
   describe "first-sub-prefix" (run `First);
-  describe "random-placement" (run `Random)
+  describe "random-placement" (run `Random);
+  if check then fail_on_violations "ablate-placement" !bad
 
-let run_ablate_threshold days seed =
+let run_ablate_threshold check days seed =
   Format.printf "# A3: occupancy-threshold sweep (utilization vs aggregation), %d days@." days;
+  let bad = ref 0 in
   List.iter
     (fun threshold ->
       let r =
@@ -155,19 +189,23 @@ let run_ablate_threshold days seed =
             Allocation_sim.default_params with
             Allocation_sim.horizon = Time.days (float_of_int days);
             policy = { Claim_policy.default_params with Claim_policy.threshold };
+            check_invariants = check;
             seed;
           }
       in
+      bad := !bad + r.Allocation_sim.invariant_violations;
       let s = Allocation_sim.steady_state r ~from_day:(float_of_int days /. 2.0) in
       let avg f = Stats.mean_of (Array.of_list (List.map f s)) in
       Format.printf "threshold=%.2f  util=%.3f  grib-avg=%.1f  grib-max=%.1f@." threshold
         (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.utilization))
         (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.grib_avg))
         (avg (fun (x : Allocation_sim.sample) -> float_of_int x.Allocation_sim.grib_max)))
-    [ 0.5; 0.75; 0.9 ]
+    [ 0.5; 0.75; 0.9 ];
+  if check then fail_on_violations "ablate-threshold" !bad
 
-let run_ablate_root nodes trials seed =
+let run_ablate_root check nodes trials seed =
   Format.printf "# A4: root-domain placement (group size 100, %d-node power-law)@." nodes;
+  let bad = ref 0 in
   List.iter
     (fun (tag, placement) ->
       let r =
@@ -178,9 +216,11 @@ let run_ablate_root nodes trials seed =
             group_sizes = [ 100 ];
             trials;
             root_placement = placement;
+            check_invariants = check;
             seed;
           }
       in
+      bad := !bad + r.Tree_experiment.invariant_violations;
       match r.Tree_experiment.points with
       | [ pt ] ->
           Format.printf "%-16s bi-avg=%.2f bi-max=%.2f hy-avg=%.2f uni-avg=%.2f@." tag
@@ -191,9 +231,10 @@ let run_ablate_root nodes trials seed =
       ("at-initiator", Tree_experiment.Root_at_initiator);
       ("at-source", Tree_experiment.Root_at_source);
       ("random", Tree_experiment.Root_random);
-    ]
+    ];
+  if check then fail_on_violations "ablate-root" !bad
 
-let run_ablate_kampai days seed =
+let run_ablate_kampai check days seed =
   Format.printf
     "# A5: contiguous CIDR claims vs Kampai non-contiguous masks (100 domains, %d days)@." days;
   let r =
@@ -211,6 +252,7 @@ let run_ablate_kampai days seed =
   in
   show "contiguous" r.Kampai.Sim.contiguous;
   show "kampai" r.Kampai.Sim.kampai;
+  if check then Format.eprintf "ablate-kampai: no live invariants apply@.";
   Format.printf
     "(the paper, §4.3.3/§7: non-contiguous masks \"would provide even better address space      utilization\" at the cost of operational complexity)@."
 
@@ -218,7 +260,7 @@ let run_ablate_kampai days seed =
    among siblings (collisions are detected and repaired after the heal),
    whereas a query-response allocator with a single root of the
    hierarchy simply fails every request from the partitioned side. *)
-let run_ablate_claim seed =
+let run_ablate_claim check seed =
   Format.printf "# A1: claim-collide vs query-response under a 2-day partition@.";
   let engine = Engine.create () in
   let rng = Rng.create seed in
@@ -279,9 +321,36 @@ let run_ablate_claim seed =
   Format.printf
     "query-response: %d request(s) served, %d blocked for the entire partition (no allocation \
      possible)@."
-    !served !failed
+    !served !failed;
+  if check then begin
+    (* The §4 repair guarantee: after the heal settles, no two domains
+       hold overlapping acquired ranges. *)
+    let all =
+      List.concat_map
+        (fun id ->
+          List.map
+            (fun (c : Masc_node.own_claim) -> (id, c.Masc_node.claim_prefix))
+            (Masc_node.acquired_ranges (Masc_network.node net id)))
+        [ 0; 1 ]
+    in
+    let overlaps =
+      List.concat_map
+        (fun (a, pa) ->
+          List.filter_map
+            (fun (b, pb) ->
+              if a < b && Prefix.overlaps pa pb then Some (a, b, pa, pb) else None)
+            all)
+        all
+    in
+    List.iter
+      (fun (a, b, pa, pb) ->
+        Format.eprintf "overlap survived the heal: domain %d %s vs domain %d %s@." a
+          (Prefix.to_string pa) b (Prefix.to_string pb))
+      overlaps;
+    fail_on_violations "ablate-claim" (List.length overlaps)
+  end
 
-let run_baselines nodes trials seed =
+let run_baselines check nodes trials seed =
   Format.printf "# Related-work baselines (§6) vs BGMP hybrid trees, %d-node power-law@." nodes;
   Format.printf "## HPIM (hash-placed RP hierarchy, 3 levels)@.";
   List.iter
@@ -301,13 +370,14 @@ let run_baselines nodes trials seed =
         "members=%4d: flood deliveries=%d, prunes=%d, per-router (S,G) state=%d (BGMP state          grows only with the tree)@."
         members c.Baselines.flood_deliveries c.Baselines.prune_messages
         c.Baselines.per_router_state)
-    [ 10; 100; 500 ]
+    [ 10; 100; 500 ];
+  if check then Format.eprintf "baselines: no live invariants apply@."
 
 (* ---------------- dot -------------------------------------------------- *)
 
 (* Render the Figure-3 scenario as Graphviz: topology + the shared tree
    for the walkthrough group.  Pipe through `dot -Tsvg`. *)
-let run_dot () =
+let run_dot check () =
   let w = Scenario.figure3 () in
   let topo = w.Scenario.walkthrough_topo in
   let tree_domains = Bgmp_fabric.tree_domains w.Scenario.fabric ~group:w.Scenario.walkthrough_group in
@@ -343,19 +413,26 @@ let run_dot () =
     (Topo.domains topo);
   print_string
     (Topo_dot.to_dot ~highlight:tree_domains ~highlight_edges:!edges
-       ~label:"Figure 3: shared tree for 224.0.128.1 (root B)" topo)
+       ~label:"Figure 3: shared tree for 224.0.128.1 (root B)" topo);
+  if check then begin
+    let vs = Bgmp_fabric.tree_violations w.Scenario.fabric ~quiescent:true in
+    List.iter (fun (detail, _) -> Format.eprintf "tree invariant: %s@." detail) vs;
+    fail_on_violations "dot" (List.length vs)
+  end
 
 (* ---------------- soak ------------------------------------------------ *)
 
 (* A randomized long-run stress of the integrated stack: group churn,
    random senders, and occasional link failures/restores, checking the
    exact-delivery invariant continuously. *)
-let run_soak steps seed =
+let run_soak check trace_out steps seed =
   Format.printf "# soak: %d randomized steps over a transit-stub internetwork (seed %d)@." steps
     seed;
   let rng = Rng.create seed in
   let topo = Gen.transit_stub ~rng ~backbones:2 ~regionals_per_backbone:3 ~stubs_per_regional:3 in
   let inet = Internet.create ~config:Internet.quick_config topo in
+  Option.iter (fun f -> Trace.set_sink (Internet.trace inet) (Trace.Jsonl f)) trace_out;
+  if check then Internet.enable_invariant_checks inet;
   Internet.start inet;
   Internet.run_for inet (Time.hours 2.0);
   let n = Topo.domain_count topo in
@@ -448,13 +525,22 @@ let run_soak steps seed =
   Format.printf "soak complete: %d delivery checks, %d violations, %d duplicates@." !checks
     !violations
     (Bgmp_fabric.duplicate_deliveries (Internet.fabric inet));
-  if !violations > 0 then exit 1
+  if !violations > 0 then exit 1;
+  if check then begin
+    (* Quiescent-only predicates are sound here only when no link is
+       down (a partitioned member legitimately keeps local state). *)
+    ignore (Internet.check_invariants ~quiescent:(!broken = None) inet);
+    report_inet_violations "soak" inet
+  end;
+  if trace_out <> None then Trace.close (Internet.trace inet)
 
 (* ---------------- demo ----------------------------------------------- *)
 
-let run_demo () =
+let run_demo check trace_out () =
   let topo = Gen.figure1 () in
   let inet = Internet.create ~config:Internet.quick_config topo in
+  Option.iter (fun f -> Trace.set_sink (Internet.trace inet) (Trace.Jsonl f)) trace_out;
+  if check then Internet.enable_invariant_checks inet;
   Internet.start inet;
   Internet.run_for inet (Time.hours 2.0);
   let dom name = Option.get (Topo.find_by_name topo name) in
@@ -484,7 +570,25 @@ let run_demo () =
   List.iter
     (fun (h, hops) ->
       Format.printf "%s received (%d hops)@." (name_of h.Host_ref.host_domain) hops)
-    (Internet.deliveries inet ~payload:p)
+    (Internet.deliveries inet ~payload:p);
+  if check then begin
+    ignore (Internet.check_invariants ~quiescent:true inet);
+    report_inet_violations "demo" inet
+  end;
+  if trace_out <> None then Trace.close (Internet.trace inet)
+
+(* ---------------- trace ----------------------------------------------- *)
+
+(* Offline viewer for JSONL traces (--metrics' sibling: any Trace.t can
+   be pointed at a Jsonl sink).  Default output: per-chain timelines and
+   end-to-end latency summaries; --id renders one causal chain. *)
+let run_trace file id =
+  let entries = Trace.load_jsonl file in
+  match id with
+  | Some id -> Trace_report.pp_chain_for Format.std_formatter entries ~id
+  | None ->
+      Trace_report.pp_timelines Format.std_formatter entries;
+      Trace_report.pp_latencies Format.std_formatter entries
 
 (* ---------------- cmdliner wiring ------------------------------------ *)
 
@@ -505,6 +609,24 @@ let metrics_arg =
 
 let seed_arg = Arg.(value & opt int 1998 & info [ "seed" ] ~doc:"Random seed.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Stream the run's trace as JSON lines to $(docv); inspect it afterwards with the \
+           $(b,trace) subcommand.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check-invariants" ]
+        ~doc:
+          "Evaluate the live invariants during the run (overlap-free MASC allocations, acyclic \
+           and G-RIB-consistent BGMP trees, tree-ratio sanity).  Violations are reported on \
+           standard error and make the command exit non-zero; standard output is unchanged.")
+
 let days_arg n = Arg.(value & opt int n & info [ "days" ] ~doc:"Simulated days.")
 
 let fig2_cmd =
@@ -518,9 +640,9 @@ let fig2_cmd =
   Cmd.v
     (Cmd.info "fig2" ~doc)
     Term.(
-      const (fun m summary days hetero seed ->
-          with_metrics m (fun () -> run_fig2 summary days hetero seed))
-      $ metrics_arg $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
+      const (fun m check summary days hetero seed ->
+          with_metrics m (fun () -> run_fig2 check summary days hetero seed))
+      $ metrics_arg $ check_arg $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
 
 let fig4_cmd =
   let doc = "Reproduce Figure 4: path-length overhead of shared trees vs shortest-path trees." in
@@ -535,25 +657,27 @@ let fig4_cmd =
   Cmd.v
     (Cmd.info "fig4" ~doc)
     Term.(
-      const (fun m summary nodes trials topology seed ->
-          with_metrics m (fun () -> run_fig4 summary nodes trials topology seed))
-      $ metrics_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
+      const (fun m check summary nodes trials topology seed ->
+          with_metrics m (fun () -> run_fig4 check summary nodes trials topology seed))
+      $ metrics_arg $ check_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
 
 let ablate_placement_cmd =
   Cmd.v
     (Cmd.info "ablate-placement"
        ~doc:"A2: first-sub-prefix vs random claim placement (aggregation impact).")
     Term.(
-      const (fun m days seed -> with_metrics m (fun () -> run_ablate_placement days seed))
-      $ metrics_arg $ days_arg 400 $ seed_arg)
+      const (fun m check days seed ->
+          with_metrics m (fun () -> run_ablate_placement check days seed))
+      $ metrics_arg $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_threshold_cmd =
   Cmd.v
     (Cmd.info "ablate-threshold"
        ~doc:"A3: occupancy-threshold sweep (utilization/aggregation trade-off).")
     Term.(
-      const (fun m days seed -> with_metrics m (fun () -> run_ablate_threshold days seed))
-      $ metrics_arg $ days_arg 400 $ seed_arg)
+      const (fun m check days seed ->
+          with_metrics m (fun () -> run_ablate_threshold check days seed))
+      $ metrics_arg $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_root_cmd =
   let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
@@ -561,24 +685,26 @@ let ablate_root_cmd =
   Cmd.v
     (Cmd.info "ablate-root" ~doc:"A4: root-domain placement sensitivity for tree quality.")
     Term.(
-      const (fun m nodes trials seed -> with_metrics m (fun () -> run_ablate_root nodes trials seed))
-      $ metrics_arg $ nodes $ trials $ seed_arg)
+      const (fun m check nodes trials seed ->
+          with_metrics m (fun () -> run_ablate_root check nodes trials seed))
+      $ metrics_arg $ check_arg $ nodes $ trials $ seed_arg)
 
 let ablate_kampai_cmd =
   Cmd.v
     (Cmd.info "ablate-kampai"
        ~doc:"A5: contiguous CIDR claims vs Kampai non-contiguous masks.")
     Term.(
-      const (fun m days seed -> with_metrics m (fun () -> run_ablate_kampai days seed))
-      $ metrics_arg $ days_arg 400 $ seed_arg)
+      const (fun m check days seed ->
+          with_metrics m (fun () -> run_ablate_kampai check days seed))
+      $ metrics_arg $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_claim_cmd =
   Cmd.v
     (Cmd.info "ablate-claim"
        ~doc:"A1: claim-collide vs query-response allocation under partition.")
     Term.(
-      const (fun m seed -> with_metrics m (fun () -> run_ablate_claim seed))
-      $ metrics_arg $ seed_arg)
+      const (fun m check seed -> with_metrics m (fun () -> run_ablate_claim check seed))
+      $ metrics_arg $ check_arg $ seed_arg)
 
 let baselines_cmd =
   let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
@@ -586,13 +712,16 @@ let baselines_cmd =
   Cmd.v
     (Cmd.info "baselines" ~doc:"Related-work baselines (HPIM, HDVMRP) vs BGMP trees.")
     Term.(
-      const (fun m nodes trials seed -> with_metrics m (fun () -> run_baselines nodes trials seed))
-      $ metrics_arg $ nodes $ trials $ seed_arg)
+      const (fun m check nodes trials seed ->
+          with_metrics m (fun () -> run_baselines check nodes trials seed))
+      $ metrics_arg $ check_arg $ nodes $ trials $ seed_arg)
 
 let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT of the Figure-3 topology with its shared tree.")
-    Term.(const (fun m () -> with_metrics m run_dot) $ metrics_arg $ const ())
+    Term.(
+      const (fun m check () -> with_metrics m (fun () -> run_dot check ()))
+      $ metrics_arg $ check_arg $ const ())
 
 let soak_cmd =
   let steps = Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Randomized steps.") in
@@ -600,13 +729,39 @@ let soak_cmd =
     (Cmd.info "soak"
        ~doc:"Randomized churn + failure soak of the integrated stack with invariant checking.")
     Term.(
-      const (fun m steps seed -> with_metrics m (fun () -> run_soak steps seed))
-      $ metrics_arg $ steps $ seed_arg)
+      const (fun m check tr steps seed ->
+          with_metrics m (fun () -> run_soak check tr steps seed))
+      $ metrics_arg $ check_arg $ trace_out_arg $ steps $ seed_arg)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"End-to-end MASC+BGP+BGMP run on the Figure-1 topology.")
-    Term.(const (fun m () -> with_metrics m run_demo) $ metrics_arg $ const ())
+    Term.(
+      const (fun m check tr () -> with_metrics m (fun () -> run_demo check tr ()))
+      $ metrics_arg $ check_arg $ trace_out_arg $ const ())
+
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl" ~doc:"JSONL trace file (from a Jsonl trace sink).")
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"TRACE_ID"
+          ~doc:
+            "Render the causal chain for one trace id (e.g. claim:1:224.0.0.0/24, \
+             group:224.0.128.1, join:...) instead of the full timelines.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Inspect a JSONL trace: per-chain timelines, end-to-end claim/join latency summaries, \
+          and causal chains for a given trace id.")
+    Term.(const (fun m file id -> with_metrics m (fun () -> run_trace file id)) $ metrics_arg $ file $ id)
 
 let main_cmd =
   let doc = "Experiments for the MASC/BGMP inter-domain multicast architecture (SIGCOMM 1998)." in
@@ -623,6 +778,7 @@ let main_cmd =
       baselines_cmd;
       soak_cmd;
       dot_cmd;
+      trace_cmd;
       demo_cmd;
     ]
 

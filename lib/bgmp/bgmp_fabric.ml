@@ -12,6 +12,10 @@ type t = {
   topo : Topo.t;
   cfg : config;
   route_to_root : Domain.id -> Ipv4.t -> root_route;
+  trace : Trace.t option;
+  span_of_group : Domain.id -> Ipv4.t -> Span.t option;
+      (** causal span of the G-RIB route a domain uses for a group, so
+          joins continue the originating claim's chain *)
   migps : Migp.t array;
   routers : Bgmp_router.t array;
   domain_routers : int list array;  (** router ids per domain *)
@@ -29,6 +33,27 @@ type t = {
 }
 
 let peer_of rid = rid lxor 1
+
+let ftrace t actor tag ?span fmt =
+  Format.kasprintf
+    (fun detail ->
+      match t.trace with
+      | Some tr -> Trace.record tr ~time:(Engine.now t.engine) ~actor ~tag ?span detail
+      | None -> ())
+    fmt
+
+(* The trace id a group's causal chain lives under: the originating
+   claim's when a G-RIB route (with span) exists, else the group's own. *)
+let group_trace_id t dom group =
+  match t.span_of_group dom group with
+  | Some s -> s.Span.trace_id
+  | None -> Span.group_id (Ipv4.to_string group)
+
+(* The span a fresh join minted at [dom] starts from. *)
+let join_root_span t dom group =
+  match t.span_of_group dom group with
+  | Some route_span -> Span.child route_span
+  | None -> Span.root (Span.group_id (Ipv4.to_string group))
 
 (* Unicast next hop from [dom] toward [target_dom]: predecessor pointers
    of a BFS rooted at the target (memoized per target). *)
@@ -145,12 +170,15 @@ and exec_action t rid action =
                (* Messages in flight when the link died are lost. *)
                if not (Hashtbl.mem t.link_down pair) then
                  dispatch_peer_msg t ~to_:p ~from_rid:rid msg))
-  | Bgmp_router.Migp_join group -> (
+  | Bgmp_router.Migp_join { group; span } -> (
       let dom = Bgmp_router.domain t.routers.(rid) in
       match exit_router_for_group t dom group with
       | Some exit when exit <> rid ->
+          Engine.note_activity t.engine "bgmp";
+          ftrace t (Bgmp_router.name t.routers.(exit)) "join-hop" ?span "%a via interior"
+            Ipv4.pp group;
           exec_actions t exit
-            (Bgmp_router.handle_join t.routers.(exit) ~group ~from:Bgmp_router.Migp_target)
+            (Bgmp_router.handle_join t.routers.(exit) ~group ?span ~from:Bgmp_router.Migp_target)
       | Some _ | None -> ())
   | Bgmp_router.Migp_prune group -> (
       let dom = Bgmp_router.domain t.routers.(rid) in
@@ -174,10 +202,19 @@ and dispatch_internal_msg t ~to_ ~from_rid msg =
   let from = Bgmp_router.Internal_router from_rid in
   let actions =
     match msg with
-    | Bgmp_msg.Join group -> Bgmp_router.handle_join router ~group ~from
-    | Bgmp_msg.Prune group -> Bgmp_router.handle_prune router ~group ~from
-    | Bgmp_msg.Join_sg { source; group } -> Bgmp_router.handle_join_sg router ~source ~group ~from
+    | Bgmp_msg.Join { group; span } ->
+        Engine.note_activity t.engine "bgmp";
+        ftrace t (Bgmp_router.name router) "join-hop" ?span "%a from %s" Ipv4.pp group
+          (Bgmp_router.name t.routers.(from_rid));
+        Bgmp_router.handle_join router ~group ?span ~from
+    | Bgmp_msg.Prune group ->
+        Engine.note_activity t.engine "bgmp";
+        Bgmp_router.handle_prune router ~group ~from
+    | Bgmp_msg.Join_sg { source; group } ->
+        Engine.note_activity t.engine "bgmp";
+        Bgmp_router.handle_join_sg router ~source ~group ~from
     | Bgmp_msg.Prune_sg { source; group } ->
+        Engine.note_activity t.engine "bgmp";
         Bgmp_router.handle_prune_sg router ~source ~group ~from
     | Bgmp_msg.Data { group; source; payload; hops } ->
         if Bgmp_router.sg_entry router source group = None && not (Bgmp_router.on_tree router group)
@@ -194,15 +231,21 @@ and dispatch_peer_msg t ~to_ ~from_rid msg =
   let from = Bgmp_router.Peer from_rid in
   let actions =
     match msg with
-    | Bgmp_msg.Join group -> Bgmp_router.handle_join router ~group ~from
-    | Bgmp_msg.Prune group -> Bgmp_router.handle_prune router ~group ~from
-    | Bgmp_msg.Join_sg { source; group } -> Bgmp_router.handle_join_sg router ~source ~group ~from
+    | Bgmp_msg.Join { group; span } ->
+        Engine.note_activity t.engine "bgmp";
+        ftrace t (Bgmp_router.name router) "join-hop" ?span "%a from %s" Ipv4.pp group
+          (Bgmp_router.name t.routers.(from_rid));
+        Bgmp_router.handle_join router ~group ?span ~from
+    | Bgmp_msg.Prune group ->
+        Engine.note_activity t.engine "bgmp";
+        Bgmp_router.handle_prune router ~group ~from
+    | Bgmp_msg.Join_sg { source; group } ->
+        Engine.note_activity t.engine "bgmp";
+        Bgmp_router.handle_join_sg router ~source ~group ~from
     | Bgmp_msg.Prune_sg { source; group } ->
+        Engine.note_activity t.engine "bgmp";
         Bgmp_router.handle_prune_sg router ~source ~group ~from
     | Bgmp_msg.Data { group; source; payload; hops } ->
-        if hops > 12 && hops < 17 then
-          Printf.eprintf "CYC %s <- %s hops=%d src=d%d\n%!" (Bgmp_router.name router)
-            (Bgmp_router.name t.routers.(from_rid)) hops source.Host_ref.host_domain;
         Bgmp_router.handle_data router ~group ~source ~payload ~hops:(hops + 1) ~from
   in
   exec_actions t to_ actions
@@ -272,8 +315,8 @@ and internal_distribute t ~dom ~entry ~group ~source ~payload ~hops =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp.Dvmrp)
-    ~route_to_root () =
+let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp.Dvmrp) ?trace
+    ?(span_of_group = fun _ _ -> None) ~route_to_root () =
   let n = Topo.domain_count topo in
   let links = Topo.links topo in
   let router_count = 2 * List.length links in
@@ -308,6 +351,8 @@ let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp
       topo;
       cfg = config;
       route_to_root;
+      trace;
+      span_of_group;
       migps;
       routers;
       domain_routers;
@@ -338,12 +383,22 @@ let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp
           | None -> ()
           | Some exit ->
               let router = t.routers.(exit) in
-              if active then
+              if active then begin
+                (* A Domain-Wide Report starts a join chain: continue the
+                   G-RIB route's causal chain when one is known. *)
+                let span = join_root_span t dom group in
+                Engine.note_activity t.engine "bgmp";
+                ftrace t
+                  (Printf.sprintf "bgmp-d%d" dom)
+                  "join" ~span "%a via %s" Ipv4.pp group (Bgmp_router.name router);
                 exec_actions t exit
-                  (Bgmp_router.handle_join router ~group ~from:Bgmp_router.Migp_target)
-              else if not (interior_interest t dom group ~excluding:exit) then
+                  (Bgmp_router.handle_join router ~group ~span ~from:Bgmp_router.Migp_target)
+              end
+              else if not (interior_interest t dom group ~excluding:exit) then begin
+                Engine.note_activity t.engine "bgmp";
                 exec_actions t exit
-                  (Bgmp_router.handle_prune router ~group ~from:Bgmp_router.Migp_target));
+                  (Bgmp_router.handle_prune router ~group ~from:Bgmp_router.Migp_target)
+              end);
           (* Last member gone: tear down the (S,G) branches this domain's
              routers grew on the members' behalf, so no orphaned branch
              keeps pulling (or re-injecting) the sources' traffic. *)
@@ -427,19 +482,108 @@ let active_groups t =
 
 let rebuild_group t ~group =
   Array.iter (fun r -> Bgmp_router.clear_group r group) t.routers;
+  Engine.note_activity t.engine "bgmp";
   Array.iteri
     (fun dom migp ->
       if Migp.has_members migp ~group then
         match exit_router_for_group t dom group with
         | Some exit ->
+            let span = join_root_span t dom group in
+            ftrace t
+              (Printf.sprintf "bgmp-d%d" dom)
+              "join" ~span "%a rebuild via %s" Ipv4.pp group
+              (Bgmp_router.name t.routers.(exit));
             exec_actions t exit
-              (Bgmp_router.handle_join t.routers.(exit) ~group ~from:Bgmp_router.Migp_target)
+              (Bgmp_router.handle_join t.routers.(exit) ~group ~span
+                 ~from:Bgmp_router.Migp_target)
         | None -> ())
     t.migps
 
 let control_messages t = t.ctl_msgs
 
 let data_messages t = t.data_msgs
+
+(* ------------------------------------------------------------------ *)
+(* Live invariants                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The next router a (star,G) parent pointer leads to; [None] when the
+   pointer terminates inside this domain (root reached, or nothing
+   further to forward to). *)
+let parent_hop t rid group =
+  match Bgmp_router.star_entry t.routers.(rid) group with
+  | None -> None
+  | Some e -> (
+      match e.Bgmp_router.parent with
+      | None -> None
+      | Some (Bgmp_router.Peer p) -> Some p
+      | Some (Bgmp_router.Internal_router r) -> Some r
+      | Some Bgmp_router.Migp_target -> (
+          let dom = Bgmp_router.domain t.routers.(rid) in
+          match exit_router_for_group t dom group with
+          | Some exit when exit <> rid -> Some exit
+          | Some _ | None -> None))
+
+let tree_violations t ~quiescent =
+  let violations = ref [] in
+  let add group fmt =
+    Format.kasprintf
+      (fun detail -> violations := (detail, Some (group_trace_id t 0 group)) :: !violations)
+      fmt
+  in
+  let router_count = Array.length t.routers in
+  List.iter
+    (fun group ->
+      let on_tree rid = Bgmp_router.on_tree t.routers.(rid) group in
+      (* Acyclicity: following parent pointers from any on-tree router
+         must terminate within [router_count] hops. *)
+      Array.iteri
+        (fun rid _ ->
+          if on_tree rid then begin
+            let steps = ref 0 and cur = ref (Some rid) in
+            while !cur <> None && !steps <= router_count do
+              incr steps;
+              cur := parent_hop t (Option.get !cur) group
+            done;
+            if !cur <> None then
+              add group "tree cycle for %a via parent pointers from %s" Ipv4.pp group
+                (Bgmp_router.name t.routers.(rid))
+          end)
+        t.routers;
+      if quiescent then begin
+        (* Parent/child symmetry across peer links: a join sent upstream
+           must have been installed as a child at the upstream peer. *)
+        Array.iteri
+          (fun rid _ ->
+            match Bgmp_router.star_entry t.routers.(rid) group with
+            | Some { Bgmp_router.parent = Some (Bgmp_router.Peer p); _ } -> (
+                match Bgmp_router.star_entry t.routers.(p) group with
+                | Some up
+                  when List.exists
+                         (Bgmp_router.target_equal (Bgmp_router.Peer rid))
+                         up.Bgmp_router.children ->
+                    ()
+                | Some _ | None ->
+                    add group "%s's parent %s lacks the matching child entry for %a"
+                      (Bgmp_router.name t.routers.(rid))
+                      (Bgmp_router.name t.routers.(p))
+                      Ipv4.pp group)
+            | Some _ | None -> ())
+          t.routers;
+        (* Join state subset of tree membership: a non-root domain with
+           members must sit on the group's tree. *)
+        Array.iteri
+          (fun dom migp ->
+            if
+              Migp.has_members migp ~group
+              && t.route_to_root dom group <> Root_here
+              && not (List.exists on_tree t.domain_routers.(dom))
+            then
+              add group "domain %d has members of %a but no tree state" dom Ipv4.pp group)
+          t.migps
+      end)
+    (active_groups t);
+  List.rev !violations
 
 let total_entries t =
   Array.fold_left (fun acc r -> acc + Bgmp_router.entry_count r) 0 t.routers

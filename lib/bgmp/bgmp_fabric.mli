@@ -38,10 +38,18 @@ val create :
   topo:Topo.t ->
   ?config:config ->
   ?migp_style:(Domain.id -> Migp.style) ->
+  ?trace:Trace.t ->
+  ?span_of_group:(Domain.id -> Ipv4.t -> Span.t option) ->
   route_to_root:(Domain.id -> Ipv4.t -> root_route) ->
   unit ->
   t
-(** [migp_style] defaults to DVMRP everywhere. *)
+(** [migp_style] defaults to DVMRP everywhere.  [trace] receives
+    join-chain entries ("join" at the originating domain, "join-hop"
+    per tree hop).  [span_of_group] supplies the causal span of the
+    G-RIB route a domain uses for a group (the integrated stack wires
+    it to the speakers' routes), so join chains continue the MASC
+    claim's trace id; without it, chains start fresh under
+    ["group:<addr>"]. *)
 
 (** {1 Host operations} *)
 
@@ -108,3 +116,11 @@ val data_messages : t -> int
 
 val total_entries : t -> int
 (** Forwarding entries across all border routers. *)
+
+val tree_violations : t -> quiescent:bool -> (string * string option) list
+(** Live invariant sweep over every active group, as
+    [(detail, trace_id)] pairs suitable for {!Invariant.register}
+    predicates: parent-pointer acyclicity (always), and — only when
+    [quiescent], since in-flight joins legitimately violate them —
+    parent/child symmetry across peer links and members-implies-tree
+    membership. *)

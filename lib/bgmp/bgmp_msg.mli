@@ -3,7 +3,9 @@
     source-specific variants of §5.3, and data packets. *)
 
 type t =
-  | Join of Ipv4.t  (** (star,G) join toward the group's root domain *)
+  | Join of { group : Ipv4.t; span : Span.t option }
+      (** (star,G) join toward the group's root domain; [span] continues
+          the causal chain that triggered the join, re-minted per hop *)
   | Prune of Ipv4.t
   | Join_sg of { source : Host_ref.t; group : Ipv4.t }
       (** source-specific join toward the source's domain *)

@@ -28,7 +28,7 @@ type action =
           "the parent target is the MIGP component of the border
           router"; used by (S,G) chains so their traffic tunnels
           between the two routers instead of flooding the interior *)
-  | Migp_join of Ipv4.t
+  | Migp_join of { group : Ipv4.t; span : Span.t option }
   | Migp_prune of Ipv4.t
   | Migp_data of { group : Ipv4.t; source : Host_ref.t; payload : int; hops : int }
 
@@ -195,7 +195,7 @@ let add_child e target =
 let remove_child e target =
   e.children <- List.filter (fun c -> not (target_equal c target)) e.children
 
-let handle_join t ~group ~from =
+let handle_join ?span t ~group ~from =
   Metrics.incr m_joins;
   match Hashtbl.find_opt t.star group with
   | Some e ->
@@ -207,9 +207,11 @@ let handle_join t ~group ~from =
         []
       end
   | None ->
+      let next = Option.map Span.child span in
       let parent, upstream =
-        upstream_of_class (t.classify_root group) ~peer_msg:(Bgmp_msg.Join group)
-          ~migp_action:(Migp_join group)
+        upstream_of_class (t.classify_root group)
+          ~peer_msg:(Bgmp_msg.Join { group; span = next })
+          ~migp_action:(Migp_join { group; span = next })
       in
       let e = { parent; children = [ from ] } in
       Hashtbl.replace t.star group e;

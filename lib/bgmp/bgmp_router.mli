@@ -41,10 +41,10 @@ type action =
   | To_internal of int * Bgmp_msg.t
       (** hand a BGMP message directly to an internal BGMP peer (another
           border router of this domain) through the MIGP *)
-  | Migp_join of Ipv4.t
+  | Migp_join of { group : Ipv4.t; span : Span.t option }
       (** propagate a (star,G) join through the domain (to the best exit
           router toward the root, or just graft local members when this
-          domain is the root) *)
+          domain is the root); [span] carries the join's causal chain *)
   | Migp_prune of Ipv4.t
   | Migp_data of { group : Ipv4.t; source : Host_ref.t; payload : int; hops : int }
       (** hand a packet to the domain's internal distribution *)
@@ -88,7 +88,10 @@ val set_classify_source : t -> (Domain.id -> route_class) -> unit
 
 (** {1 Event handlers} — each returns the actions to execute. *)
 
-val handle_join : t -> group:Ipv4.t -> from:target -> action list
+val handle_join : ?span:Span.t -> t -> group:Ipv4.t -> from:target -> action list
+(** [?span] is the incoming join's span; the upstream join/action this
+    handler emits (first join only) carries a fresh child span, so the
+    chain records one span per tree hop. *)
 
 val handle_prune : t -> group:Ipv4.t -> from:target -> action list
 

@@ -24,6 +24,10 @@ let create ~engine ~topo =
     (Topo.links topo);
   Array.iteri
     (fun src speaker ->
+      (* Convergence watermark: a G-RIB change is the BGP layer's
+         durable state change.  [Internet] replaces this hook and keeps
+         the same watermark. *)
+      Speaker.set_on_grib_change speaker (fun _ -> Engine.note_activity engine "bgp");
       Speaker.set_send speaker (fun ~dst update ->
           let link =
             match Topo.link_between topo src dst with
@@ -48,7 +52,8 @@ let engine t = t.engine
 
 let topo t = t.topo
 
-let originate ?lifetime_end t id prefix = Speaker.originate ?lifetime_end t.speakers.(id) prefix
+let originate ?lifetime_end ?span t id prefix =
+  Speaker.originate ?lifetime_end ?span t.speakers.(id) prefix
 
 let withdraw t id prefix = Speaker.withdraw_origin t.speakers.(id) prefix
 

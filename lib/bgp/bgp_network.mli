@@ -18,7 +18,7 @@ val engine : t -> Engine.t
 
 val topo : t -> Topo.t
 
-val originate : ?lifetime_end:Time.t -> t -> Domain.id -> Prefix.t -> unit
+val originate : ?lifetime_end:Time.t -> ?span:Span.t -> t -> Domain.id -> Prefix.t -> unit
 (** Inject a group route at its root domain (what a MASC node does after
     winning a claim) and let it propagate. *)
 

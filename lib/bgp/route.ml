@@ -3,9 +3,11 @@ type t = {
   origin : Domain.id;
   as_path : Domain.id list;
   lifetime_end : Time.t option;
+  span : Span.t option;
 }
 
-let originate ?lifetime_end origin prefix = { prefix; origin; as_path = []; lifetime_end }
+let originate ?lifetime_end ?span origin prefix =
+  { prefix; origin; as_path = []; lifetime_end; span }
 
 let through r d = { r with as_path = d :: r.as_path }
 

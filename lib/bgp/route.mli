@@ -18,9 +18,13 @@ type t = {
       (** expiry of the underlying MASC claim, when known; carried so
           downstream RIBs can garbage-collect without a withdraw after
           partition. *)
+  span : Span.t option;
+      (** causal span of the MASC claim this route came from; ignored by
+          {!compare}/{!equal} (it is provenance, not routing state) and
+          preserved by {!through}. *)
 }
 
-val originate : ?lifetime_end:Time.t -> Domain.id -> Prefix.t -> t
+val originate : ?lifetime_end:Time.t -> ?span:Span.t -> Domain.id -> Prefix.t -> t
 (** A route as first injected by its root domain. *)
 
 val through : t -> Domain.id -> t

@@ -145,10 +145,13 @@ let reconsider t prefix =
           t.send ~dst:peer (Update.Withdraw prefix))
     t.peer_order
 
-let originate ?lifetime_end t prefix =
-  let r = Route.originate ?lifetime_end t.self prefix in
+let originate ?lifetime_end ?span t prefix =
+  let r = Route.originate ?lifetime_end ?span t.self prefix in
   (match Hashtbl.find_opt t.originated_tbl prefix with
-  | Some existing when Route.equal existing r && existing.Route.lifetime_end = lifetime_end -> ()
+  | Some existing
+    when Route.equal existing r
+         && existing.Route.lifetime_end = lifetime_end
+         && existing.Route.span = span -> ()
   | Some _ | None ->
       Hashtbl.replace t.originated_tbl prefix r;
       reconsider t prefix;

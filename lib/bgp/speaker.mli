@@ -40,7 +40,7 @@ val set_export_filter : t -> (dst:Domain.id -> Route.t -> bool) -> unit
 (** An additional policy predicate ANDed with the default export rules;
     use it to express "do not advertise this group range to that peer". *)
 
-val originate : ?lifetime_end:Time.t -> t -> Prefix.t -> unit
+val originate : ?lifetime_end:Time.t -> ?span:Span.t -> t -> Prefix.t -> unit
 (** Inject a group route for a MASC-claimed range and advertise it to
     peers per policy.  Re-originating the same prefix is idempotent. *)
 

@@ -93,6 +93,38 @@ val root_domain_of : t -> Ipv4.t -> Domain.id option
     the address's covering group route (from any vantage: the origin of
     the route). *)
 
+(** {1 Invariants and convergence}
+
+    Four named predicates over the live stack (registered at {!create}
+    into an {!Invariant.t}, counted in {!Metrics.default}):
+
+    - ["masc-sibling-overlap"] — no two sibling domains hold
+      overlapping {e acquired} MASC ranges (§4's collision resolution
+      guarantees this once claims graduate);
+    - ["bgmp-acyclic"] — every group's parent-pointer chain is
+      cycle-free;
+    - ["bgmp-tree-settled"] (quiescent only) — parent/child symmetry
+      across peer links and member domains actually on the tree;
+    - ["grib-nexthop"] (quiescent only) — each domain's upstream tree
+      edge agrees with its G-RIB next hop toward the root.
+
+    Violations are appended to the {!trace} as ["violation"] entries
+    carrying the trace id of the causal chain they implicate. *)
+
+val check_invariants : ?quiescent:bool -> t -> Invariant.violation list
+(** Run the predicates now ([quiescent] defaults to [true]: include the
+    quiescent-only ones — only sound when the engine has drained). *)
+
+val enable_invariant_checks : ?cadence:Time.t -> t -> unit
+(** Install an engine monitor that re-checks every [cadence] of
+    simulated time (default 1 h; transient-tolerant predicates are
+    skipped) and fully on quiescence. *)
+
+val invariant_violations : t -> Invariant.violation list
+(** Every violation seen so far, oldest first. *)
+
+val invariants : t -> Invariant.t
+
 val join : t -> host:Host_ref.t -> group:Ipv4.t -> unit
 
 val leave : t -> host:Host_ref.t -> group:Ipv4.t -> unit

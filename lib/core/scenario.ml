@@ -5,10 +5,11 @@ type session = {
   members : Domain.id list;
 }
 
-let figure1 ?(seed = 1998) () =
+let figure1 ?(seed = 1998) ?(check_invariants = true) () =
   let topo = Gen.figure1 () in
   let config = { Internet.quick_config with Internet.seed } in
   let inet = Internet.create ~config topo in
+  if check_invariants then Internet.enable_invariant_checks inet;
   Internet.start inet;
   Internet.run_for inet (Time.hours 2.0);
   let dom name = Option.get (Topo.find_by_name topo name) in
@@ -45,11 +46,13 @@ type walkthrough = {
   walkthrough_topo : Topo.t;
   fabric : Bgmp_fabric.t;
   walkthrough_group : Ipv4.t;
+  walkthrough_trace : Trace.t;
 }
 
 let figure3 ?migp_style () =
   let topo = Gen.figure3 () in
   let engine = Engine.create () in
+  let walkthrough_trace = Trace.create () in
   let b = Option.get (Topo.find_by_name topo "B") in
   let paths = Spf.bfs topo b in
   let route_to_root d _g =
@@ -59,7 +62,9 @@ let figure3 ?migp_style () =
       | Some nh -> Bgmp_fabric.Via nh
       | None -> Bgmp_fabric.Unroutable
   in
-  let fabric = Bgmp_fabric.create ~engine ~topo ?migp_style ~route_to_root () in
+  let fabric =
+    Bgmp_fabric.create ~engine ~topo ?migp_style ~trace:walkthrough_trace ~route_to_root ()
+  in
   let group = Ipv4.of_string "224.0.128.1" in
   List.iter
     (fun name ->
@@ -67,7 +72,7 @@ let figure3 ?migp_style () =
       Bgmp_fabric.host_join fabric ~host:(Host_ref.make d 0) ~group)
     [ "B"; "C"; "D"; "F"; "H" ];
   Engine.run_until_idle engine;
-  { engine; walkthrough_topo = topo; fabric; walkthrough_group = group }
+  { engine; walkthrough_topo = topo; fabric; walkthrough_group = group; walkthrough_trace }
 
 let deliveries_by_domain w ~payload =
   List.sort compare

@@ -10,11 +10,13 @@ type session = {
   members : Domain.id list;
 }
 
-val figure1 : ?seed:int -> unit -> session
+val figure1 : ?seed:int -> ?check_invariants:bool -> unit -> session
 (** The Figure-1 flow end-to-end on the integrated stack: build the
     seven-domain topology, run MASC until domain B holds a range,
     allocate the group address at B (so B is the root), and join
-    members in C, D, F and G.  Runs the engine until ready. *)
+    members in C, D, F and G.  Runs the engine until ready.
+    [check_invariants] (default [true]) installs the live invariant
+    monitor ({!Internet.enable_invariant_checks}). *)
 
 val send : session -> source:Host_ref.t -> (Host_ref.t * int) list
 (** Send one packet and return the deliveries (host, inter-domain
@@ -25,6 +27,7 @@ type walkthrough = {
   walkthrough_topo : Topo.t;
   fabric : Bgmp_fabric.t;
   walkthrough_group : Ipv4.t;
+  walkthrough_trace : Trace.t;  (** join-chain entries from the fabric *)
 }
 
 val figure3 : ?migp_style:(Domain.id -> Migp.style) -> unit -> walkthrough

@@ -11,6 +11,7 @@ type params = {
   claim_lifetime : Time.t;
   placement : [ `First | `Random ];
   hetero_spread : int;
+  check_invariants : bool;
   seed : int;
 }
 
@@ -28,6 +29,7 @@ let default_params =
     claim_lifetime = Time.days 30.0;
     placement = `First;
     hetero_spread = 0;
+    check_invariants = false;
     seed = 1998;
   }
 
@@ -52,6 +54,8 @@ type result = {
   claims_made : int;
   final_tops : holding list array;
   final_children : holding list array;
+  invariant_violations : int;
+  top_converged_day : float;
 }
 
 (* One claimed prefix held by a domain (child or top).  [used] counts
@@ -89,6 +93,8 @@ type sim = {
   mutable samples_rev : sample list;
   mutable right_size_top : sim -> top -> unit;
   mutable right_size_child : sim -> child -> unit;
+  mutable violations : int;
+  invariants : Invariant.t;
 }
 
 let m_requests = Metrics.counter "allocation.requests"
@@ -96,6 +102,7 @@ let m_failed = Metrics.counter "allocation.failed_requests"
 let m_claims_made = Metrics.counter "allocation.claims_made"
 let m_outstanding = Metrics.gauge "allocation.outstanding_blocks"
 let m_utilization = Metrics.gauge "allocation.utilization"
+let m_converged = Metrics.gauge "allocation.top_converged_day"
 
 let policy_view claims =
   List.map
@@ -138,7 +145,12 @@ let rec schedule_claim_expiry sim ~(arena : Address_space.t) ~(holder : dom_clai
            end
          end))
 
+(* The set of top-level (globally advertised) prefixes changed: advance
+   the convergence watermark. *)
+let note_top_change sim = Engine.note_activity sim.engine "masc"
+
 let top_release sim top holder () =
+  note_top_change sim;
   top.t_claims <- List.filter (fun c -> c != holder) top.t_claims;
   Address_space.remove_cover top.t_arena holder.prefix;
   sim.claimed_top <- sim.claimed_top - Prefix.size holder.prefix
@@ -155,6 +167,7 @@ let top_add_claim sim top prefix =
       alive = true;
     }
   in
+  note_top_change sim;
   top.t_claims <- holder :: top.t_claims;
   sim.claimed_top <- sim.claimed_top + Prefix.size prefix;
   sim.claims_made <- sim.claims_made + 1;
@@ -166,6 +179,7 @@ let top_add_claim sim top prefix =
   holder
 
 let top_double sim top holder =
+  note_top_change sim;
   let doubled = Prefix.double holder.prefix in
   Address_space.unregister sim.global holder.prefix;
   Address_space.register sim.global ~owner:top.t_owner doubled;
@@ -177,8 +191,8 @@ let top_double sim top holder =
   holder.prefix <- doubled
 
 let top_deactivate sim top holder =
-  ignore sim;
   if holder.active then begin
+    note_top_change sim;
     holder.active <- false;
     (* Children may no longer place or grow claims inside a draining
        range; their claims within it lapse at their own expiry. *)
@@ -431,6 +445,47 @@ let rec child_request_loop sim child =
              Metrics.incr m_failed);
          child_request_loop sim child))
 
+(* --- invariants ------------------------------------------------------ *)
+
+(* The guarantee MASC's collision resolution exists to provide (§4),
+   checked live against the synchronous registries: no two domains hold
+   overlapping live claims — tops against 224/4, and each arena's
+   children among themselves. *)
+let overlap_violations sim () =
+  let pair_check claims acc =
+    let rec go acc = function
+      | [] -> acc
+      | (a, (pa : Prefix.t)) :: rest ->
+          let acc =
+            List.fold_left
+              (fun acc (b, pb) ->
+                if a <> b && Prefix.overlaps pa pb then
+                  ( Printf.sprintf "domains %d and %d claimed overlapping ranges %s and %s" a b
+                      (Prefix.to_string pa) (Prefix.to_string pb),
+                    None )
+                  :: acc
+                else acc)
+              acc rest
+          in
+          go acc rest
+    in
+    go acc claims
+  in
+  let tops =
+    Array.to_list sim.top_doms
+    |> List.concat_map (fun top ->
+           List.map (fun c -> (top.t_owner, c.prefix)) (live_claims top.t_claims))
+  in
+  let acc = pair_check tops [] in
+  let per_top = Hashtbl.create 16 in
+  Array.iter
+    (fun child ->
+      let entries = List.map (fun c -> (child.c_owner, c.prefix)) (live_claims child.c_claims) in
+      Hashtbl.replace per_top child.c_top
+        (entries @ Option.value ~default:[] (Hashtbl.find_opt per_top child.c_top)))
+    sim.child_doms;
+  Hashtbl.fold (fun _ claims acc -> pair_check claims acc) per_top acc
+
 (* --- sampling ------------------------------------------------------- *)
 
 let take_sample sim =
@@ -466,6 +521,8 @@ let take_sample sim =
   in
   Metrics.set m_outstanding (float_of_int sim.blocks);
   Metrics.set m_utilization utilization;
+  if p.check_invariants then
+    sim.violations <- sim.violations + List.length (Invariant.check ~quiescent:false sim.invariants);
   {
     day = Time.to_days (Engine.now sim.engine);
     utilization;
@@ -520,10 +577,13 @@ let run p =
       samples_rev = [];
       right_size_top = (fun _ _ -> ());
       right_size_child = (fun _ _ -> ());
+      violations = 0;
+      invariants = Invariant.create ();
     }
   in
   sim.right_size_top <- right_size_top;
   sim.right_size_child <- right_size_child;
+  Invariant.register sim.invariants ~name:"allocation-overlap" (overlap_violations sim);
   Array.iter (fun c -> child_request_loop sim c) child_doms;
   let rec sampling () =
     ignore
@@ -538,6 +598,11 @@ let run p =
       (fun c -> { h_prefix = c.prefix; h_active = c.active; h_used = c.used })
       (live_claims claims)
   in
+  let top_converged_day =
+    Option.value ~default:0.0
+      (Option.map Time.to_days (List.assoc_opt "masc" (Engine.watermarks engine)))
+  in
+  Metrics.set m_converged top_converged_day;
   {
     samples = Array.of_list (List.rev sim.samples_rev);
     failed_requests = sim.failed;
@@ -545,6 +610,8 @@ let run p =
     claims_made = sim.claims_made;
     final_tops = Array.map (fun top -> snapshot top.t_claims) sim.top_doms;
     final_children = Array.map (fun c -> snapshot c.c_claims) sim.child_doms;
+    invariant_violations = sim.violations;
+    top_converged_day;
   }
 
 let steady_state result ~from_day =

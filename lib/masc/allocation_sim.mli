@@ -39,6 +39,10 @@ type params = {
           [children_per_top ± U(0, hetero_spread)] children (0 = the
           paper's homogeneous 50×50; the paper notes it "also examined
           more heterogeneous topologies with similar results") *)
+  check_invariants : bool;
+      (** evaluate the ["allocation-overlap"] invariant (no two domains
+          hold overlapping live claims) at every sample; default [false]
+          — the O(claims²) sweep is measurable on the full 50×50 run *)
   seed : int;
 }
 
@@ -69,6 +73,13 @@ type result = {
   claims_made : int;
   final_tops : holding list array;  (** per top-level domain *)
   final_children : holding list array;  (** per child domain *)
+  invariant_violations : int;
+      (** overlap violations seen across all samples (0 unless
+          [check_invariants]; also counted in {!Metrics.default}) *)
+  top_converged_day : float;
+      (** when the set of globally advertised (top-level) prefixes last
+          changed — the allocation layer's convergence time, from the
+          engine's ["masc"] activity watermark *)
 }
 
 val run : params -> result

@@ -1,12 +1,18 @@
 type t =
   | Space_advertise of Prefix.t list
-  | Claim_announce of { owner : Domain.id; prefix : Prefix.t; lifetime_end : Time.t }
+  | Claim_announce of {
+      owner : Domain.id;
+      prefix : Prefix.t;
+      lifetime_end : Time.t;
+      span : Span.t option;
+    }
   | Claim_release of { owner : Domain.id; prefix : Prefix.t }
   | Collision_announce of {
       victim : Domain.id;
       victim_prefix : Prefix.t;
       winner : Domain.id;
       winner_prefix : Prefix.t;
+      span : Span.t option;
     }
   | Need_space of int
 
@@ -14,10 +20,10 @@ let pp ppf = function
   | Space_advertise ranges ->
       Format.fprintf ppf "space-advertise [%s]"
         (String.concat " " (List.map Prefix.to_string ranges))
-  | Claim_announce { owner; prefix; lifetime_end } ->
+  | Claim_announce { owner; prefix; lifetime_end; span = _ } ->
       Format.fprintf ppf "claim %a by %d (until %a)" Prefix.pp prefix owner Time.pp lifetime_end
   | Claim_release { owner; prefix } -> Format.fprintf ppf "release %a by %d" Prefix.pp prefix owner
-  | Collision_announce { victim; victim_prefix; winner; winner_prefix } ->
+  | Collision_announce { victim; victim_prefix; winner; winner_prefix; span = _ } ->
       Format.fprintf ppf "collision: %a of %d loses to %a of %d" Prefix.pp victim_prefix victim
         Prefix.pp winner_prefix winner
   | Need_space n -> Format.fprintf ppf "need-space %d" n

@@ -39,6 +39,7 @@ type own_claim = {
   mutable claim_lifetime_end : Time.t;
   mutable claim_state : claim_state;
   mutable claim_active : bool;
+  claim_span : Span.t;  (** root of this claim's causal chain *)
 }
 
 (* Extra per-claim protocol state kept private to the implementation. *)
@@ -74,7 +75,7 @@ type t = {
       (** children's unsatisfied space requests, retried as our own
           space grows (multi-level hierarchies: the grandparent's grant
           arrives after the child asked) *)
-  mutable on_acquired : (Prefix.t -> lifetime_end:Time.t -> unit) list;
+  mutable on_acquired : (Prefix.t -> lifetime_end:Time.t -> span:Span.t -> unit) list;
   mutable on_replaced : (old_prefix:Prefix.t -> by:Prefix.t -> unit) list;
   mutable on_lost : (Prefix.t -> unit) list;
   mutable on_space_changed : (unit -> unit) list;
@@ -144,11 +145,11 @@ let maas_arena t = if has_children t then Down else Up
 
 let own_in t arena = List.filter (fun c -> c.claim.claim_arena = arena) t.own
 
-let trace t tag fmt =
+let trace t tag ?span fmt =
   Format.kasprintf
     (fun detail ->
       Trace.record t.trace ~time:(Engine.now t.engine)
-        ~actor:(Printf.sprintf "masc-%d" t.self) ~tag detail)
+        ~actor:(Printf.sprintf "masc-%d" t.self) ~tag ?span detail)
     fmt
 
 let send t dst msg = t.transport ~dst msg
@@ -274,6 +275,7 @@ let announce_claim t ctl =
              owner = t.self;
              prefix = ctl.claim.claim_prefix;
              lifetime_end = ctl.claim.claim_lifetime_end;
+             span = Some ctl.claim.claim_span;
            }))
     (announce_targets t ctl.claim.claim_arena)
 
@@ -335,7 +337,9 @@ and renewal_decision t ctl =
 let rec finish_wait t ctl =
   if List.memq ctl t.own && ctl.claim.claim_state = Waiting then begin
     ctl.claim.claim_state <- Acquired;
-    trace t "acquired" "%a" Prefix.pp ctl.claim.claim_prefix;
+    let acquired_span = Span.child ctl.claim.claim_span in
+    trace t "acquired" ~span:acquired_span "%a" Prefix.pp ctl.claim.claim_prefix;
+    Engine.note_activity t.engine "masc";
     (* A doubling claim absorbs the prefix it grew from. *)
     (match ctl.absorbing with
     | Some old_prefix -> (
@@ -369,7 +373,9 @@ let rec finish_wait t ctl =
         t.own;
     if ctl.claim.claim_arena = Up then begin
       List.iter
-        (fun f -> f ctl.claim.claim_prefix ~lifetime_end:ctl.claim.claim_lifetime_end)
+        (fun f ->
+          f ctl.claim.claim_prefix ~lifetime_end:ctl.claim.claim_lifetime_end
+            ~span:acquired_span)
         t.on_acquired;
       refresh_down_covers t
     end;
@@ -395,6 +401,7 @@ and start_claim t arena ~want_len ?(absorbing = None) ?(consolidating = false) (
       | Some _ -> Address_space.unregister space prefix
       | None -> ());
       Address_space.register space ~owner:t.self prefix;
+      let claim_span = Span.root (Span.claim_id ~owner:t.self (Prefix.to_string prefix)) in
       let claim =
         {
           claim_arena = arena;
@@ -402,13 +409,15 @@ and start_claim t arena ~want_len ?(absorbing = None) ?(consolidating = false) (
           claim_lifetime_end = Engine.now t.engine +. t.config.claim_lifetime;
           claim_state = Waiting;
           claim_active = true;
+          claim_span;
         }
       in
       let ctl = { claim; absorbing; consolidating; wait_timer = None; renew_timer = None } in
       t.own <- ctl :: t.own;
       t.claims_made <- t.claims_made + 1;
       Metrics.incr m_claims;
-      trace t "claim" "%a (%s)" Prefix.pp prefix
+      Engine.note_activity t.engine "masc";
+      trace t "claim" ~span:claim_span "%a (%s)" Prefix.pp prefix
         (match (absorbing, consolidating) with
         | Some _, _ -> "double"
         | None, true -> "consolidate"
@@ -537,7 +546,7 @@ let check_children_pressure t =
 (* Collision machinery                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let send_collision t ~arena ~victim ~victim_prefix ~winner_prefix =
+let send_collision t ~arena ~victim ~victim_prefix ~winner_prefix ~span =
   let route =
     match arena with
     | Down -> [ victim ]  (* our child: direct *)
@@ -550,7 +559,7 @@ let send_collision t ~arena ~victim ~victim_prefix ~winner_prefix =
     (fun dst ->
       send t dst
         (Masc_message.Collision_announce
-           { victim; victim_prefix; winner = t.self; winner_prefix }))
+           { victim; victim_prefix; winner = t.self; winner_prefix; span }))
     route
 
 let register_foreign t arena ~owner ~prefix ~lifetime_end =
@@ -591,16 +600,19 @@ let duel_own_claims t arena ~owner ~prefix =
         | Waiting -> t.self < owner
       in
       if we_win then begin
-        trace t "collision-sent" "%a of %d loses to our %a" Prefix.pp prefix owner Prefix.pp
-          ctl.claim.claim_prefix;
+        (* The collision continues the WINNING claim's chain, so the
+           surviving allocation's timeline contains the duel. *)
+        let cspan = Span.child ctl.claim.claim_span in
+        trace t "collision-sent" ~span:cspan "%a of %d loses to our %a" Prefix.pp prefix owner
+          Prefix.pp ctl.claim.claim_prefix;
         send_collision t ~arena ~victim:owner ~victim_prefix:prefix
-          ~winner_prefix:ctl.claim.claim_prefix;
+          ~winner_prefix:ctl.claim.claim_prefix ~span:(Some cspan);
         (false, losers)
       end
       else (foreign_wins, ctl :: losers))
     (true, []) overlapping
 
-let handle_claim_announce t arena ~owner ~prefix ~lifetime_end =
+let handle_claim_announce t arena ~owner ~prefix ~lifetime_end ~span =
   if owner = t.self then ()
   else begin
     (* Parent validation: a child claim outside our space is rejected
@@ -613,8 +625,11 @@ let handle_claim_announce t arena ~owner ~prefix ~lifetime_end =
               (Address_space.covers t.down_space))
     in
     if out_of_space then
+      (* No winning claim exists; the rejection stays on the claimant's
+         own chain. *)
       send_collision t ~arena ~victim:owner ~victim_prefix:prefix
         ~winner_prefix:(Prefix.make (Prefix.base prefix) (Prefix.len prefix))
+        ~span:(Option.map Span.child span)
     else begin
       let foreign_wins, losers = duel_own_claims t arena ~owner ~prefix in
       if foreign_wins then begin
@@ -625,8 +640,10 @@ let handle_claim_announce t arena ~owner ~prefix ~lifetime_end =
           (fun ctl ->
             t.collisions_suffered <- t.collisions_suffered + 1;
             Metrics.incr m_collisions;
-            trace t "collision-lost" "our %a loses to %a of %d" Prefix.pp
-              ctl.claim.claim_prefix Prefix.pp prefix owner;
+            Engine.note_activity t.engine "masc";
+            trace t "collision-lost"
+              ?span:(Option.map Span.child span)
+              "our %a loses to %a of %d" Prefix.pp ctl.claim.claim_prefix Prefix.pp prefix owner;
             let want_len = Prefix.len ctl.claim.claim_prefix in
             remove_own t ctl ~release:false ~lost:true;
             Metrics.incr m_reclaims;
@@ -640,7 +657,7 @@ let handle_claim_announce t arena ~owner ~prefix ~lifetime_end =
           List.iter
             (fun child ->
               if child <> owner then
-                send t child (Masc_message.Claim_announce { owner; prefix; lifetime_end }))
+                send t child (Masc_message.Claim_announce { owner; prefix; lifetime_end; span }))
             t.children;
           check_children_pressure t
         end
@@ -648,7 +665,7 @@ let handle_claim_announce t arena ~owner ~prefix ~lifetime_end =
     end
   end
 
-let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix =
+let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix ~span =
   if victim = t.self then begin
     match
       List.find_opt (fun c -> Prefix.equal c.claim.claim_prefix victim_prefix) t.own
@@ -663,8 +680,10 @@ let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix =
         if yield then begin
           t.collisions_suffered <- t.collisions_suffered + 1;
           Metrics.incr m_collisions;
-          trace t "collision-yield" "%a to %d's %a" Prefix.pp victim_prefix winner Prefix.pp
-            winner_prefix;
+          Engine.note_activity t.engine "masc";
+          trace t "collision-yield"
+            ?span:(Option.map Span.child span)
+            "%a to %d's %a" Prefix.pp victim_prefix winner Prefix.pp winner_prefix;
           let arena = ctl.claim.claim_arena in
           let want_len = Prefix.len ctl.claim.claim_prefix in
           remove_own t ctl ~release:false ~lost:true;
@@ -682,7 +701,8 @@ let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix =
   end
   else if List.mem victim t.children then
     (* Relay a collision announcement toward our child. *)
-    send t victim (Masc_message.Collision_announce { victim; victim_prefix; winner; winner_prefix })
+    send t victim
+      (Masc_message.Collision_announce { victim; victim_prefix; winner; winner_prefix; span })
 
 let receive t ~from_ msg =
   let arena_of_sender () = if List.mem from_ t.children then Down else Up in
@@ -693,8 +713,8 @@ let receive t ~from_ msg =
       trace t "space" "parent space now [%s]"
         (String.concat " " (List.map Prefix.to_string ranges));
       process_pending t
-  | Masc_message.Claim_announce { owner; prefix; lifetime_end } ->
-      handle_claim_announce t (arena_of_sender ()) ~owner ~prefix ~lifetime_end
+  | Masc_message.Claim_announce { owner; prefix; lifetime_end; span } ->
+      handle_claim_announce t (arena_of_sender ()) ~owner ~prefix ~lifetime_end ~span
   | Masc_message.Claim_release { owner; prefix } ->
       let arena = arena_of_sender () in
       (match Address_space.owner_of (arena_space t arena) prefix with
@@ -706,8 +726,8 @@ let receive t ~from_ msg =
             if child <> owner then send t child (Masc_message.Claim_release { owner; prefix }))
           t.children;
       process_pending t
-  | Masc_message.Collision_announce { victim; victim_prefix; winner; winner_prefix } ->
-      handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix
+  | Masc_message.Collision_announce { victim; victim_prefix; winner; winner_prefix; span } ->
+      handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix ~span
   | Masc_message.Need_space need ->
       if List.mem from_ t.children then begin
         trace t "child-needs" "%d addresses for %d" need from_;

@@ -50,6 +50,7 @@ type own_claim = {
   mutable claim_lifetime_end : Time.t;
   mutable claim_state : claim_state;
   mutable claim_active : bool;  (** accepting new assignments *)
+  claim_span : Span.t;  (** root of this claim's causal chain *)
 }
 
 type t
@@ -69,10 +70,11 @@ val set_top_siblings : t -> Domain.id list -> unit
 (** For a top-level node: the other top-level nodes it exchanges claims
     with directly. *)
 
-val add_on_acquired : t -> (Prefix.t -> lifetime_end:Time.t -> unit) -> unit
+val add_on_acquired : t -> (Prefix.t -> lifetime_end:Time.t -> span:Span.t -> unit) -> unit
 (** Register a listener for newly acquired Up ranges (the MAAS learns of
-    usable space; the BGP speaker injects the group route).  Listeners
-    accumulate. *)
+    usable space; the BGP speaker injects the group route).  [span] is
+    the acquisition's span on the claim's causal chain, for threading
+    into the resulting BGP route.  Listeners accumulate. *)
 
 val add_on_replaced : t -> (old_prefix:Prefix.t -> by:Prefix.t -> unit) -> unit
 (** Register a listener fired when a doubling claim absorbs an existing

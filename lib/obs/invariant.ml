@@ -1,0 +1,37 @@
+type violation = { inv : string; detail : string; trace_id : string option }
+
+type check = unit -> (string * string option) list
+
+type pred = { name : string; quiescent_only : bool; run : check }
+
+type t = { registry : Metrics.registry; mutable preds : pred list }
+
+let create ?(registry = Metrics.default) () = { registry; preds = [] }
+
+let register ?(quiescent_only = false) t ~name run =
+  if List.exists (fun p -> p.name = name) t.preds then
+    invalid_arg (Printf.sprintf "Invariant.register: duplicate %S" name);
+  t.preds <- t.preds @ [ { name; quiescent_only; run } ]
+
+let names t = List.map (fun p -> p.name) t.preds
+
+let check ?(quiescent = true) t =
+  Metrics.incr (Metrics.counter ~registry:t.registry "invariant.checks");
+  List.concat_map
+    (fun p ->
+      if p.quiescent_only && not quiescent then []
+      else
+        let vs = p.run () in
+        (match vs with
+        | [] -> ()
+        | _ ->
+            let n = List.length vs in
+            Metrics.add (Metrics.counter ~registry:t.registry "invariant.violations") n;
+            Metrics.add (Metrics.counter ~registry:t.registry ("invariant.violations." ^ p.name)) n);
+        List.map (fun (detail, trace_id) -> { inv = p.name; detail; trace_id }) vs)
+    t.preds
+
+let pp_violation ppf v =
+  match v.trace_id with
+  | None -> Format.fprintf ppf "invariant %s violated: %s" v.inv v.detail
+  | Some id -> Format.fprintf ppf "invariant %s violated [%s]: %s" v.inv id v.detail

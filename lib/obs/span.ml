@@ -1,0 +1,38 @@
+type t = { trace_id : string; span : int; parent : int option }
+
+(* Span ids are allocated per trace id from a minter: a plain counter
+   table, no wall clock, so identical seeded runs mint identical ids in
+   identical order. *)
+type minter = { next : (string, int) Hashtbl.t }
+
+let create_minter () = { next = Hashtbl.create 64 }
+
+let default = create_minter ()
+
+let reset ?(minter = default) () = Hashtbl.reset minter.next
+
+let alloc minter trace_id =
+  let n = Option.value ~default:0 (Hashtbl.find_opt minter.next trace_id) in
+  Hashtbl.replace minter.next trace_id (n + 1);
+  n
+
+let root ?(minter = default) trace_id = { trace_id; span = alloc minter trace_id; parent = None }
+
+let child ?(minter = default) p =
+  { trace_id = p.trace_id; span = alloc minter p.trace_id; parent = Some p.span }
+
+let claim_id ~owner prefix = Printf.sprintf "claim:%d:%s" owner prefix
+
+let group_id group = "group:" ^ group
+
+let join_id ~group ~member = Printf.sprintf "join:%s:%s" group member
+
+let kind t =
+  match String.index_opt t.trace_id ':' with
+  | Some i -> String.sub t.trace_id 0 i
+  | None -> t.trace_id
+
+let pp ppf t =
+  match t.parent with
+  | None -> Format.fprintf ppf "%s#%d" t.trace_id t.span
+  | Some p -> Format.fprintf ppf "%s#%d<-%d" t.trace_id t.span p

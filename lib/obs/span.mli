@@ -1,0 +1,48 @@
+(** Causal spans: the identity a protocol event chain carries.
+
+    A span names a {e trace id} — the allocation, group, or join the
+    chain is about — plus a span id unique within that trace id and an
+    optional parent span id.  Threading spans through the protocol
+    messages lets a MASC claim, the collisions it provokes, the G-RIB
+    routes it becomes, and the BGMP joins that consume those routes all
+    be stitched back into one causal chain from a flat trace.
+
+    Span ids come from a {!minter}: a monotone counter per trace id.
+    There is no wall clock anywhere, so identical seeded runs mint
+    identical spans. *)
+
+type t = { trace_id : string; span : int; parent : int option }
+
+type minter
+
+val create_minter : unit -> minter
+
+val default : minter
+(** The process-wide minter used when [?minter] is omitted. *)
+
+val reset : ?minter:minter -> unit -> unit
+(** Forget all counters (harness entry points reset the default minter
+    alongside the default metrics registry, keeping runs comparable). *)
+
+val root : ?minter:minter -> string -> t
+(** A fresh span for [trace_id] with no parent. *)
+
+val child : ?minter:minter -> t -> t
+(** A fresh span under the same trace id, parented on the argument. *)
+
+(** {1 Trace-id naming conventions} *)
+
+val claim_id : owner:int -> string -> string
+(** ["claim:<owner>:<prefix>"] — a MASC prefix claim's chain. *)
+
+val group_id : string -> string
+(** ["group:<addr>"] — a group's chain when no claim chain covers it
+    (standalone BGMP fabrics with static routes). *)
+
+val join_id : group:string -> member:string -> string
+(** ["join:<addr>:<member>"] — an individual join identity. *)
+
+val kind : t -> string
+(** The trace-id prefix before the first [':'] ("claim", "group", ...). *)
+
+val pp : Format.formatter -> t -> unit

@@ -7,7 +7,20 @@ type event = { time : Time.t; mutable cancelled : bool; action : unit -> unit }
    event's flag; for a periodic schedule it also stops re-arming. *)
 type handle = { mutable stop : unit -> unit }
 
-type t = { mutable clock : Time.t; queue : event Heap.t; mutable live : int }
+(* A monitor runs a hook (invariant checks, in practice) at most once
+   per [cadence] of virtual time, and once more with [~quiescent:true]
+   whenever the queue drains. *)
+type monitor = { cadence : Time.t; mutable last_check : Time.t; hook : quiescent:bool -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  mutable live : int;
+  (* Last state-changing event per actor class, self-reported via
+     [note_activity]; the max is the convergence time of the run. *)
+  watermarks : (string, Time.t) Hashtbl.t;
+  mutable monitor : monitor option;
+}
 
 let m_scheduled = Metrics.counter "sim.events_scheduled"
 
@@ -24,9 +37,40 @@ let create () =
     clock = Time.zero;
     queue = Heap.create ~cmp:(fun a b -> Float.compare a.time b.time);
     live = 0;
+    watermarks = Hashtbl.create 8;
+    monitor = None;
   }
 
 let now t = t.clock
+
+let note_activity t cls = Hashtbl.replace t.watermarks cls t.clock
+
+let watermarks t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.watermarks []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let converged_at t =
+  Hashtbl.fold (fun _ v acc -> match acc with None -> Some v | Some m -> Some (max m v)) t.watermarks None
+
+let set_monitor t ~cadence hook =
+  if cadence <= 0.0 then invalid_arg "Engine.set_monitor: non-positive cadence";
+  t.monitor <- Some { cadence; last_check = t.clock; hook }
+
+let clear_monitor t = t.monitor <- None
+
+let monitor_tick t =
+  match t.monitor with
+  | Some m when t.clock -. m.last_check >= m.cadence ->
+      m.last_check <- t.clock;
+      m.hook ~quiescent:false
+  | Some _ | None -> ()
+
+let monitor_quiescent t =
+  match t.monitor with
+  | Some m ->
+      m.last_check <- t.clock;
+      m.hook ~quiescent:true
+  | None -> ()
 
 let schedule_event t time action =
   let e = { time; cancelled = false; action } in
@@ -94,6 +138,7 @@ let step t =
           t.clock <- e.time;
           Metrics.set m_virtual t.clock;
           e.action ();
+          monitor_tick t;
           true
         end
   in
@@ -103,11 +148,12 @@ let run ?until t =
   match until with
   | None ->
       let rec drain () = if step t then drain () in
-      drain ()
+      drain ();
+      monitor_quiescent t
   | Some horizon ->
       let rec drain () =
         match Heap.peek t.queue with
-        | None -> ()
+        | None -> monitor_quiescent t
         | Some e when e.time > horizon ->
             t.clock <- max t.clock horizon;
             Metrics.set m_virtual t.clock

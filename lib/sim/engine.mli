@@ -47,3 +47,35 @@ val run : ?until:Time.t -> t -> unit
 
 val run_until_idle : t -> unit
 (** [run] with no horizon. *)
+
+(** {1 Convergence watermarks}
+
+    Protocol code calls {!note_activity} whenever an actor class
+    changes durable state (a RIB entry, a claim, tree state — not mere
+    message forwarding).  The latest watermark across all classes is
+    the time the run converged: everything after it was churn-free. *)
+
+val note_activity : t -> string -> unit
+(** Record that actor class [cls] changed state at the current clock. *)
+
+val watermarks : t -> (string * Time.t) list
+(** Per-class last-state-change times, sorted by class name. *)
+
+val converged_at : t -> Time.t option
+(** The maximum watermark, i.e. when the last state change happened;
+    [None] if nothing ever reported activity. *)
+
+(** {1 Monitor hook}
+
+    A monitor piggybacks on event execution rather than scheduling its
+    own periodic events, so it never keeps an otherwise-idle run
+    alive.  The hook fires with [~quiescent:false] at most once per
+    [cadence] of virtual time (after the event that crossed the
+    boundary), and with [~quiescent:true] whenever {!run} drains the
+    queue. *)
+
+val set_monitor : t -> cadence:Time.t -> (quiescent:bool -> unit) -> unit
+(** Replaces any previous monitor.
+    @raise Invalid_argument if [cadence <= 0]. *)
+
+val clear_monitor : t -> unit

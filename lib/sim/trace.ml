@@ -1,4 +1,12 @@
-type entry = { time : Time.t; actor : string; tag : string; detail : string }
+type entry = {
+  time : Time.t;
+  actor : string;
+  tag : string;
+  detail : string;
+  trace_id : string option;
+  span : int option;
+  parent : int option;
+}
 
 type sink = Unbounded | Ring of int | Jsonl of string | Null
 
@@ -64,11 +72,20 @@ let json_escape s =
   Buffer.contents b
 
 let entry_to_json e =
-  Printf.sprintf "{\"time\": %.17g, \"actor\": \"%s\", \"tag\": \"%s\", \"detail\": \"%s\"}"
-    (Time.to_seconds e.time) (json_escape e.actor) (json_escape e.tag) (json_escape e.detail)
+  let b = Buffer.create 96 in
+  Printf.bprintf b "{\"time\": %.17g, \"actor\": \"%s\", \"tag\": \"%s\", \"detail\": \"%s\""
+    (Time.to_seconds e.time) (json_escape e.actor) (json_escape e.tag) (json_escape e.detail);
+  (match e.trace_id with
+  | Some id -> Printf.bprintf b ", \"trace_id\": \"%s\"" (json_escape id)
+  | None -> ());
+  (match e.span with Some s -> Printf.bprintf b ", \"span\": %d" s | None -> ());
+  (match e.parent with Some p -> Printf.bprintf b ", \"parent\": %d" p | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
 
-(* A minimal scanner for the exact shape [entry_to_json] emits: four
-   known keys, string values with backslash escapes. *)
+(* A minimal scanner for the exact shape [entry_to_json] emits: known
+   keys in a fixed order, string values with backslash escapes.  The
+   causality keys are optional so pre-span trace files still load. *)
 let entry_of_json line =
   let n = String.length line in
   let pos = ref 0 in
@@ -145,6 +162,18 @@ let entry_of_json line =
         error := true;
         0.0
   in
+  (* Try an optional trailing field; on failure rewind as if it were
+     absent, so lines written before the field existed still parse. *)
+  let attempt f =
+    let saved = !pos in
+    let v = f () in
+    if !error then begin
+      pos := saved;
+      error := false;
+      None
+    end
+    else Some v
+  in
   expect '{';
   parse_key "time";
   let time = parse_float () in
@@ -157,8 +186,22 @@ let entry_of_json line =
   expect ',';
   parse_key "detail";
   let detail = parse_string () in
+  let trace_id =
+    attempt (fun () ->
+        expect ',';
+        parse_key "trace_id";
+        parse_string ())
+  in
+  let parse_int key =
+    attempt (fun () ->
+        expect ',';
+        parse_key key;
+        int_of_float (parse_float ()))
+  in
+  let span = if trace_id = None then None else parse_int "span" in
+  let parent = if span = None then None else parse_int "parent" in
   expect '}';
-  if !error then None else Some { time; actor; tag; detail }
+  if !error then None else Some { time; actor; tag; detail; trace_id; span; parent }
 
 let load_jsonl path =
   let ic = open_in path in
@@ -187,14 +230,20 @@ let push t e =
       | None -> ())
   | S_null -> ()
 
-let record t ~time ~actor ~tag detail =
+let record t ~time ~actor ~tag ?span ?trace_id detail =
   if t.on then begin
-    push t { time; actor; tag; detail };
+    let trace_id, span, parent =
+      match span with
+      | Some s -> (Some s.Span.trace_id, Some s.Span.span, s.Span.parent)
+      | None -> (trace_id, None, None)
+    in
+    push t { time; actor; tag; detail; trace_id; span; parent };
     t.count <- t.count + 1
   end
 
-let recordf t ~time ~actor ~tag fmt =
-  if t.on then Format.kasprintf (fun detail -> record t ~time ~actor ~tag detail) fmt
+let recordf t ~time ~actor ~tag ?span ?trace_id fmt =
+  if t.on then
+    Format.kasprintf (fun detail -> record t ~time ~actor ~tag ?span ?trace_id detail) fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let entries t =

@@ -10,7 +10,15 @@
     drops (but counts) records.  Every record accepted while the trace
     is enabled increments {!length}, whatever the sink retains. *)
 
-type entry = { time : Time.t; actor : string; tag : string; detail : string }
+type entry = {
+  time : Time.t;
+  actor : string;
+  tag : string;
+  detail : string;
+  trace_id : string option;  (** causal chain this entry belongs to *)
+  span : int option;  (** span id within the chain *)
+  parent : int option;  (** parent span id within the chain *)
+}
 
 type sink =
   | Unbounded  (** keep every entry in memory (the default) *)
@@ -34,10 +42,22 @@ val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 (** Disabled traces drop records (used by the large Figure-2 runs). *)
 
-val record : t -> time:Time.t -> actor:string -> tag:string -> string -> unit
+val record :
+  t -> time:Time.t -> actor:string -> tag:string -> ?span:Span.t -> ?trace_id:string -> string -> unit
+(** [?span] stamps the entry with the span's trace id, span id and
+    parent; [?trace_id] alone links an entry to a chain without a span
+    of its own (invariant violations do this).  [?span] wins when both
+    are given. *)
 
 val recordf :
-  t -> time:Time.t -> actor:string -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+  t ->
+  time:Time.t ->
+  actor:string ->
+  tag:string ->
+  ?span:Span.t ->
+  ?trace_id:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
 (** Format-string convenience; when the trace is disabled the arguments
     are consumed without any formatting work. *)
 
@@ -69,10 +89,12 @@ val pp : Format.formatter -> t -> unit
 
 val entry_to_json : entry -> string
 (** One JSON object, no trailing newline:
-    [{"time": t, "actor": ..., "tag": ..., "detail": ...}]. *)
+    [{"time": t, "actor": ..., "tag": ..., "detail": ...}] plus
+    [trace_id]/[span]/[parent] when present. *)
 
 val entry_of_json : string -> entry option
-(** Parse a line produced by {!entry_to_json}. *)
+(** Parse a line produced by {!entry_to_json}; lines written before the
+    causality fields existed parse with those fields [None]. *)
 
 val load_jsonl : string -> entry list
 (** Read a file written by a [Jsonl] sink back into entries (lines that

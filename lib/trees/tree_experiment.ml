@@ -12,6 +12,7 @@ type params = {
   trials : int;
   root_placement : root_placement;
   topology : [ `Power_law | `Transit_stub ];
+  check_invariants : bool;
   seed : int;
 }
 
@@ -23,6 +24,7 @@ let default_params =
     trials = 20;
     root_placement = Root_at_initiator;
     topology = `Power_law;
+    check_invariants = false;
     seed = 1998;
   }
 
@@ -36,7 +38,13 @@ type point = {
   hy_max : float;
 }
 
-type result = { points : point list; worst_uni : float; worst_bi : float; worst_hy : float }
+type result = {
+  points : point list;
+  worst_uni : float;
+  worst_bi : float;
+  worst_hy : float;
+  invariant_violations : int;
+}
 
 let make_topology p rng =
   match p.topology with
@@ -58,6 +66,14 @@ let run p =
      across trials or group sizes are never recomputed. *)
   let spf = Spf.make_cache topo in
   let worst_uni = ref 0.0 and worst_bi = ref 0.0 and worst_hy = ref 0.0 in
+  (* Per-trial sanity predicates: a tree path can never beat the
+     shortest path (every ratio >= 1), and every receiver must be
+     reachable and evaluated.  The trial fills [pending]; the registered
+     check drains it so detections land in the shared metrics. *)
+  let invariants = Invariant.create () in
+  let pending = ref [] in
+  let violations = ref 0 in
+  Invariant.register invariants ~name:"tree-ratio" (fun () -> !pending);
   let points =
     (* Group sizes are capped by the topology: at most n-1 receivers. *)
     let sizes = List.filter (fun s -> s <= n - 2) p.group_sizes in
@@ -86,17 +102,38 @@ let run p =
               ~from_root:(Spf.bfs_cached spf root) topo
               { Path_eval.source; root; receivers }
           in
-          let record stats_avg stats_max worst tree_paths =
+          let record label stats_avg stats_max worst tree_paths =
             let s = Path_eval.ratios ~baseline:paths.Path_eval.spt tree_paths in
             if s.Path_eval.receivers_counted > 0 then begin
               Stats.add stats_avg s.Path_eval.avg_ratio;
               Stats.add stats_max s.Path_eval.max_ratio;
               if s.Path_eval.max_ratio > !worst then worst := s.Path_eval.max_ratio
+            end;
+            if p.check_invariants then begin
+              if s.Path_eval.receivers_counted <> size then
+                pending :=
+                  ( Printf.sprintf "%s tree: only %d of %d receivers evaluated" label
+                      s.Path_eval.receivers_counted size,
+                    None )
+                  :: !pending;
+              if
+                s.Path_eval.receivers_counted > 0
+                && (s.Path_eval.avg_ratio < 0.999999 || s.Path_eval.max_ratio < 0.999999)
+              then
+                pending :=
+                  ( Printf.sprintf "%s tree: ratio below 1 (avg %.6f, max %.6f)" label
+                      s.Path_eval.avg_ratio s.Path_eval.max_ratio,
+                    None )
+                  :: !pending
             end
           in
-          record ua um worst_uni paths.Path_eval.unidirectional;
-          record ba bm worst_bi paths.Path_eval.bidirectional;
-          record ha hm worst_hy paths.Path_eval.hybrid
+          record "unidirectional" ua um worst_uni paths.Path_eval.unidirectional;
+          record "bidirectional" ba bm worst_bi paths.Path_eval.bidirectional;
+          record "hybrid" ha hm worst_hy paths.Path_eval.hybrid;
+          if p.check_invariants then begin
+            violations := !violations + List.length (Invariant.check ~quiescent:false invariants);
+            pending := []
+          end
         done;
         {
           group_size = size;
@@ -112,7 +149,13 @@ let run p =
   Metrics.set m_worst_uni !worst_uni;
   Metrics.set m_worst_bi !worst_bi;
   Metrics.set m_worst_hy !worst_hy;
-  { points; worst_uni = !worst_uni; worst_bi = !worst_bi; worst_hy = !worst_hy }
+  {
+    points;
+    worst_uni = !worst_uni;
+    worst_bi = !worst_bi;
+    worst_hy = !worst_hy;
+    invariant_violations = !violations;
+  }
 
 let series_of_result r =
   let mk label f =

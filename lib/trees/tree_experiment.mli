@@ -24,6 +24,10 @@ type params = {
   trials : int;  (** independent groups per size *)
   root_placement : root_placement;
   topology : [ `Power_law | `Transit_stub ];
+  check_invariants : bool;
+      (** evaluate the ["tree-ratio"] invariant after every trial: all
+          ratios vs SPT are >= 1 and every receiver was evaluated;
+          default [false] *)
   seed : int;
 }
 
@@ -48,6 +52,9 @@ type result = {
   worst_uni : float;  (** absolute worst ratio seen across the run *)
   worst_bi : float;
   worst_hy : float;
+  invariant_violations : int;
+      (** 0 unless [check_invariants]; also counted in
+          {!Metrics.default} *)
 }
 
 val run : params -> result

@@ -18,7 +18,8 @@ let test_router_join_creates_entry_and_propagates () =
   let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
   let actions = Bgmp_router.handle_join r ~group:g ~from:Bgmp_router.Migp_target in
   (match actions with
-  | [ Bgmp_router.To_peer (55, Bgmp_msg.Join g') ] -> check Alcotest.int "join for group" g g'
+  | [ Bgmp_router.To_peer (55, Bgmp_msg.Join { group = g'; _ }) ] ->
+      check Alcotest.int "join for group" g g'
   | _ -> Alcotest.fail "expected a single upstream join");
   match Bgmp_router.star_entry r g with
   | Some e ->

@@ -276,6 +276,163 @@ let test_churn_sequence_invariant () =
   check Alcotest.bool "transient duplicates bounded" true
     (Bgmp_fabric.duplicate_deliveries fabric < 60)
 
+let test_invariants_clean_and_converged () =
+  (* The full Figure-1 session with the live monitor installed (the
+     scenario default): no predicate may fire, and every subsystem must
+     have reported a convergence watermark. *)
+  let s = Scenario.figure1 () in
+  let inet = s.Scenario.inet in
+  check Alcotest.int "no violations across the whole run" 0
+    (List.length (Internet.invariant_violations inet));
+  check (Alcotest.list Alcotest.string) "all four predicates installed"
+    [ "masc-sibling-overlap"; "bgmp-acyclic"; "bgmp-tree-settled"; "grib-nexthop" ]
+    (Invariant.names (Internet.invariants inet));
+  check Alcotest.int "an explicit full check is also clean" 0
+    (List.length (Internet.check_invariants ~quiescent:false inet));
+  let classes = List.map fst (Engine.watermarks (Internet.engine inet)) in
+  List.iter
+    (fun c -> check Alcotest.bool (c ^ " watermark present") true (List.mem c classes))
+    [ "bgmp"; "bgp"; "masc" ];
+  match Engine.converged_at (Internet.engine inet) with
+  | Some t ->
+      check Alcotest.bool "convergence time within the run" true
+        (t > 0.0 && t <= Engine.now (Internet.engine inet))
+  | None -> Alcotest.fail "stack never reported convergence"
+
+let test_seeded_overlap_violation_detected () =
+  let s = Scenario.figure1 ~check_invariants:false () in
+  let inet = s.Scenario.inet in
+  (* The root domain holds an acquired range; forge an overlapping
+     sibling claim in the node's own registry — exactly the state
+     collision resolution exists to prevent. *)
+  let node = Internet.masc_node inet s.Scenario.root in
+  let claim =
+    match
+      List.filter
+        (fun c ->
+          c.Masc_node.claim_state = Masc_node.Acquired && c.Masc_node.claim_arena = Masc_node.Up)
+        (Masc_node.all_claims node)
+    with
+    | c :: _ -> c
+    | [] -> Alcotest.fail "root domain holds no acquired claim"
+  in
+  let forged =
+    Prefix.make (Prefix.base claim.Masc_node.claim_prefix)
+      (Prefix.len claim.Masc_node.claim_prefix + 1)
+  in
+  let before = Metrics.snapshot Metrics.default in
+  Address_space.register (Masc_node.space_view node) ~owner:9999 forged;
+  let vs = Internet.check_invariants ~quiescent:false inet in
+  let v =
+    match List.filter (fun v -> v.Invariant.inv = "masc-sibling-overlap") vs with
+    | v :: _ -> v
+    | [] -> Alcotest.fail "seeded overlap not detected"
+  in
+  check (Alcotest.option Alcotest.string) "violation names the claim's causal chain"
+    (Some claim.Masc_node.claim_span.Span.trace_id) v.Invariant.trace_id;
+  let delta name =
+    match Metrics.find (Metrics.diff ~before ~after:(Metrics.snapshot Metrics.default)) name with
+    | Some (Metrics.Counter_v n) -> n
+    | _ -> 0
+  in
+  check Alcotest.bool "counted in invariant.violations" true (delta "invariant.violations" >= 1);
+  check Alcotest.bool "counted under the predicate's name" true
+    (delta "invariant.violations.masc-sibling-overlap" >= 1);
+  check Alcotest.bool "recorded as a trace entry on the same chain" true
+    (List.exists
+       (fun e -> e.Trace.trace_id = Some claim.Masc_node.claim_span.Span.trace_id)
+       (Trace.find (Internet.trace inet) ~tag:"violation"));
+  (* Removing the forged claim repairs the stack. *)
+  Address_space.unregister (Masc_node.space_view node) forged;
+  check Alcotest.int "clean after repair" 0
+    (List.length (Internet.check_invariants ~quiescent:false inet))
+
+let test_partition_collision_resolves_with_full_chain () =
+  (* The §4.4 start-up partition: two top-level domains, isolated from
+     each other, both claim the first free sub-prefix of 224/4 and
+     graduate.  While partitioned the overlap invariant must see the
+     conflict; after healing, the next claim renewal forces the duel,
+     the higher-id top yields, and the winner's causal chain carries
+     claim, collision, G-RIB update and join end to end. *)
+  let topo = Topo.create () in
+  let p0 = Topo.add_domain topo ~name:"P0" ~kind:Domain.Backbone in
+  let p1 = Topo.add_domain topo ~name:"P1" ~kind:Domain.Backbone in
+  let c0 = Topo.add_domain topo ~name:"C0" ~kind:Domain.Stub in
+  let c1 = Topo.add_domain topo ~name:"C1" ~kind:Domain.Stub in
+  Topo.add_link topo p0 p1 Topo.Peer;
+  Topo.add_link topo p0 c0 Topo.Provider_customer;
+  Topo.add_link topo p1 c1 Topo.Provider_customer;
+  let config =
+    {
+      Internet.quick_config with
+      Internet.masc =
+        {
+          Internet.quick_config.Internet.masc with
+          Masc_node.claim_lifetime = Time.days 1.0;
+          renew_margin = Time.hours 2.0;
+        };
+    }
+  in
+  let inet = Internet.create ~config topo in
+  Masc_network.partition (Internet.masc_network inet) p0 p1;
+  Internet.start inet;
+  Internet.run_for inet (Time.hours 1.0);
+  (* Claims are demand-driven: a group allocated at each top makes both
+     claim out of 224/4 blind to each other (and keeps both claims
+     renewing later).  First-fit placement lands them on the same
+     sub-prefix, so the overlap invariant must expose the conflict
+     while the partition lasts. *)
+  let alloc = get_address inet p0 in
+  ignore (get_address inet p1);
+  Internet.run_for inet (Time.hours 1.0);
+  let during = Internet.check_invariants ~quiescent:false inet in
+  check Alcotest.bool "overlap visible during the partition" true
+    (List.exists (fun v -> v.Invariant.inv = "masc-sibling-overlap") during);
+  Masc_network.heal (Internet.masc_network inet) p0 p1;
+  Internet.run_for inet (Time.days 2.0);
+  let tr = Internet.trace inet in
+  check Alcotest.bool "a collision was fought" true (Trace.find tr ~tag:"collision-sent" <> []);
+  check Alcotest.bool "the loser yielded" true (Trace.find tr ~tag:"collision-yield" <> []);
+  check Alcotest.int "overlap resolved after healing" 0
+    (List.length
+       (List.filter
+          (fun v -> v.Invariant.inv = "masc-sibling-overlap")
+          (Internet.check_invariants ~quiescent:false inet)));
+  (* The surviving allocation still roots P0's group; join from the far
+     side and stitch the chain. *)
+  let g = alloc.Maas.address in
+  check (Alcotest.option Alcotest.int) "group still rooted at the winner" (Some p0)
+    (Internet.root_domain_of inet g);
+  Internet.join inet ~host:(Host_ref.make c1 0) ~group:g;
+  Internet.run_for inet (Time.minutes 30.0);
+  let id =
+    match Speaker.lookup (Internet.speaker inet p0) g with
+    | Some r -> (
+        match r.Route.span with
+        | Some s -> s.Span.trace_id
+        | None -> Alcotest.fail "covering route carries no span")
+    | None -> Alcotest.fail "no covering route for the group"
+  in
+  let chain = Trace_report.chain (Trace.entries tr) ~id in
+  let tags = List.map (fun e -> e.Trace.tag) chain in
+  List.iter
+    (fun t -> check Alcotest.bool (t ^ " on the chain") true (List.mem t tags))
+    [ "claim"; "acquired"; "collision-sent"; "grib-update"; "join" ];
+  (* And the [trace] subcommand's renderer reconstructs the same story. *)
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Trace_report.pp_chain_for ppf (Trace.entries tr) ~id;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let mem needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun t -> check Alcotest.bool (t ^ " rendered") true (mem t))
+    [ "claim"; "collision-sent"; "grib-update"; "join" ]
+
 let suite =
   [
     ("root at initiator domain", `Quick, test_root_at_initiator_domain);
@@ -290,4 +447,9 @@ let suite =
     ("withdraw on expiry", `Quick, test_masc_bgp_glue_withdraw_on_expiry);
     ("fallback allocation roots at parent", `Quick, test_fallback_allocation_roots_at_parent);
     ("churn sequence invariant", `Quick, test_churn_sequence_invariant);
+    ("invariants clean and converged on figure 1", `Quick, test_invariants_clean_and_converged);
+    ("seeded overlap violation detected", `Quick, test_seeded_overlap_violation_detected);
+    ( "partition collision resolves with full chain",
+      `Quick,
+      test_partition_collision_resolves_with_full_chain );
   ]

@@ -21,4 +21,5 @@ let () =
       ("repair", Test_repair.suite);
       ("failures", Test_failures.suite);
       ("conformance", Test_conformance.suite);
+      ("artifacts", Test_artifacts.suite);
     ]

@@ -171,6 +171,152 @@ let test_trace_jsonl_roundtrip () =
   check Alcotest.bool "garbage line skipped" true
     (Trace.entry_of_json "not json at all" = None)
 
+(* Spans: the causal identities threaded through protocol messages. *)
+
+let test_span_minting () =
+  let m = Span.create_minter () in
+  let a = Span.root ~minter:m "claim:1:224.0.0.0/24" in
+  let b = Span.child ~minter:m a in
+  let c = Span.child ~minter:m b in
+  check Alcotest.int "root span id" 0 a.Span.span;
+  check (Alcotest.option Alcotest.int) "root has no parent" None a.Span.parent;
+  check Alcotest.int "child id increments" 1 b.Span.span;
+  check (Alcotest.option Alcotest.int) "child parented on root" (Some 0) b.Span.parent;
+  check (Alcotest.option Alcotest.int) "grandchild parent" (Some 1) c.Span.parent;
+  check Alcotest.string "chain keeps its trace id" a.Span.trace_id c.Span.trace_id;
+  (* Counters are per trace id, so chains stay dense. *)
+  let other = Span.root ~minter:m "group:224.0.0.1" in
+  check Alcotest.int "fresh counter per trace id" 0 other.Span.span;
+  check Alcotest.string "kind before the colon" "claim" (Span.kind a);
+  check Alcotest.string "claim id shape" "claim:7:224.0.0.0/24"
+    (Span.claim_id ~owner:7 "224.0.0.0/24");
+  check Alcotest.string "join id shape" "join:224.0.0.1:3"
+    (Span.join_id ~group:"224.0.0.1" ~member:"3");
+  Span.reset ~minter:m ();
+  check Alcotest.int "reset restarts the counters" 0
+    (Span.root ~minter:m "claim:1:224.0.0.0/24").Span.span
+
+let test_trace_span_jsonl_roundtrip () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  let tr = Trace.create ~sink:(Trace.Jsonl path) () in
+  let m = Span.create_minter () in
+  let s0 = Span.root ~minter:m "claim:2:224.0.4.0/24" in
+  let s1 = Span.child ~minter:m s0 in
+  Trace.record tr ~time:1.0 ~actor:"masc-2" ~tag:"claim" ~span:s0 "224.0.4.0/24 (new)";
+  Trace.record tr ~time:2.0 ~actor:"masc-2" ~tag:"acquired" ~span:s1 "224.0.4.0/24";
+  (* A bare [?trace_id] links without a span (how violations are recorded). *)
+  Trace.record tr ~time:3.0 ~actor:"invariant" ~tag:"violation"
+    ~trace_id:"claim:2:224.0.4.0/24" "overlap";
+  Trace.record tr ~time:4.0 ~actor:"x" ~tag:"plain" "no chain";
+  Trace.close tr;
+  let entries = Trace.load_jsonl path in
+  Sys.remove path;
+  check Alcotest.int "four entries" 4 (List.length entries);
+  let e0 = List.nth entries 0
+  and e1 = List.nth entries 1
+  and e2 = List.nth entries 2
+  and e3 = List.nth entries 3 in
+  check (Alcotest.option Alcotest.string) "span stamps the trace id"
+    (Some "claim:2:224.0.4.0/24") e0.Trace.trace_id;
+  check (Alcotest.option Alcotest.int) "root span id" (Some 0) e0.Trace.span;
+  check (Alcotest.option Alcotest.int) "root parent absent" None e0.Trace.parent;
+  check (Alcotest.option Alcotest.int) "child span id" (Some 1) e1.Trace.span;
+  check (Alcotest.option Alcotest.int) "child parent" (Some 0) e1.Trace.parent;
+  check (Alcotest.option Alcotest.string) "bare trace id survives"
+    (Some "claim:2:224.0.4.0/24") e2.Trace.trace_id;
+  check (Alcotest.option Alcotest.int) "bare trace id has no span" None e2.Trace.span;
+  check (Alcotest.option Alcotest.string) "unchained entry stays unchained" None
+    e3.Trace.trace_id;
+  (* A line written before the causality fields existed still parses. *)
+  match Trace.entry_of_json {|{"time": 1.5, "actor": "a", "tag": "t", "detail": "old"}|} with
+  | Some e ->
+      check Alcotest.string "legacy detail" "old" e.Trace.detail;
+      check (Alcotest.option Alcotest.string) "legacy trace id absent" None e.Trace.trace_id;
+      check (Alcotest.option Alcotest.int) "legacy span absent" None e.Trace.span;
+      check (Alcotest.option Alcotest.int) "legacy parent absent" None e.Trace.parent
+  | None -> Alcotest.fail "legacy 4-key line did not parse"
+
+let test_trace_jsonl_sink_replacement () =
+  let p1 = Filename.temp_file "trace1" ".jsonl" in
+  let p2 = Filename.temp_file "trace2" ".jsonl" in
+  let tr = Trace.create ~sink:(Trace.Jsonl p1) () in
+  Trace.record tr ~time:1.0 ~actor:"a" ~tag:"t" "one";
+  Trace.record tr ~time:2.0 ~actor:"a" ~tag:"t" "two";
+  (* Replacing the sink must flush and close the old channel: the file
+     is complete and immediately re-openable. *)
+  Trace.set_sink tr (Trace.Jsonl p2);
+  let old = Trace.load_jsonl p1 in
+  check Alcotest.int "replaced file is complete" 2 (List.length old);
+  check Alcotest.string "last record flushed" "two" (List.nth old 1).Trace.detail;
+  let oc = open_out p1 in
+  output_string oc "reopenable\n";
+  close_out oc;
+  Trace.record tr ~time:3.0 ~actor:"a" ~tag:"t" "three";
+  Trace.close tr;
+  let fresh = Trace.load_jsonl p2 in
+  check Alcotest.int "new sink receives later records" 1 (List.length fresh);
+  check Alcotest.string "routed to the new file" "three" (List.hd fresh).Trace.detail;
+  Sys.remove p1;
+  Sys.remove p2
+
+let test_trace_set_sink_after_close () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  let tr = Trace.create ~sink:(Trace.Jsonl path) () in
+  Trace.record tr ~time:1.0 ~actor:"a" ~tag:"t" "x";
+  Trace.close tr;
+  (* The channel is already closed; switching sinks must not raise by
+     closing it a second time, and the trace stays usable. *)
+  Trace.set_sink tr (Trace.Ring 1);
+  Trace.record tr ~time:2.0 ~actor:"a" ~tag:"t" "y";
+  check Alcotest.int "usable after the switch" 1 (List.length (Trace.entries tr));
+  (* Close after close is equally harmless. *)
+  Trace.close tr;
+  Trace.close tr;
+  Sys.remove path
+
+(* The invariant monitor: named predicates, quiescent gating, counters. *)
+
+let test_invariant_monitor () =
+  let r = Metrics.create () in
+  let inv = Invariant.create ~registry:r () in
+  let transient = ref [] in
+  Invariant.register inv ~name:"always" (fun () -> !transient);
+  Invariant.register inv ~quiescent_only:true ~name:"settled" (fun () ->
+      [ ("never settles", Some "chain-1") ]);
+  check (Alcotest.list Alcotest.string) "names in registration order" [ "always"; "settled" ]
+    (Invariant.names inv);
+  check Alcotest.bool "duplicate name rejected" true
+    (try
+       Invariant.register inv ~name:"always" (fun () -> []);
+       false
+     with Invalid_argument _ -> true);
+  (* Mid-run checks skip the quiescent-only predicate. *)
+  check Alcotest.int "clean mid-run" 0 (List.length (Invariant.check ~quiescent:false inv));
+  transient := [ ("boom", None) ];
+  (match Invariant.check ~quiescent:false inv with
+  | [ v ] ->
+      check Alcotest.string "names the invariant" "always" v.Invariant.inv;
+      check Alcotest.string "carries the detail" "boom" v.Invariant.detail;
+      check (Alcotest.option Alcotest.string) "no chain attached" None v.Invariant.trace_id
+  | vs -> Alcotest.fail (Printf.sprintf "expected one violation, got %d" (List.length vs)));
+  (* A quiescent check runs everything. *)
+  transient := [];
+  (match Invariant.check inv with
+  | [ v ] ->
+      check Alcotest.string "settled predicate ran" "settled" v.Invariant.inv;
+      check (Alcotest.option Alcotest.string) "chain attached" (Some "chain-1")
+        v.Invariant.trace_id
+  | vs -> Alcotest.fail (Printf.sprintf "expected one violation, got %d" (List.length vs)));
+  let count name =
+    match Metrics.find (Metrics.snapshot r) name with
+    | Some (Metrics.Counter_v n) -> n
+    | _ -> 0
+  in
+  check Alcotest.int "checks counted" 3 (count "invariant.checks");
+  check Alcotest.int "violations counted" 2 (count "invariant.violations");
+  check Alcotest.int "per-invariant counter" 1 (count "invariant.violations.settled");
+  check Alcotest.int "per-invariant counter (other)" 1 (count "invariant.violations.always")
+
 let test_json_shape () =
   let r = Metrics.create () in
   Metrics.incr (Metrics.counter ~registry:r "only.counter");
@@ -189,5 +335,10 @@ let suite =
     ("registry determinism across seeded runs", `Quick, test_registry_determinism_across_runs);
     ("trace ring eviction", `Quick, test_trace_ring_eviction);
     ("trace jsonl roundtrip", `Quick, test_trace_jsonl_roundtrip);
+    ("span minting", `Quick, test_span_minting);
+    ("trace span jsonl roundtrip", `Quick, test_trace_span_jsonl_roundtrip);
+    ("trace jsonl sink replacement", `Quick, test_trace_jsonl_sink_replacement);
+    ("trace set_sink after close", `Quick, test_trace_set_sink_after_close);
+    ("invariant monitor", `Quick, test_invariant_monitor);
     ("json shape", `Quick, test_json_shape);
   ]

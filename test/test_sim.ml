@@ -155,6 +155,94 @@ let test_engine_pending_periodic_self_cancel () =
   check Alcotest.int "fired twice" 2 !count;
   check Alcotest.int "no pending left" 0 (Engine.pending e)
 
+let test_engine_watermarks () =
+  let e = Engine.create () in
+  check (Alcotest.option (Alcotest.float 1e-9)) "no activity yet" None (Engine.converged_at e);
+  check Alcotest.int "no watermarks yet" 0 (List.length (Engine.watermarks e));
+  ignore (Engine.schedule_at e 1.0 (fun () -> Engine.note_activity e "bgp"));
+  ignore (Engine.schedule_at e 2.0 (fun () -> Engine.note_activity e "masc"));
+  ignore (Engine.schedule_at e 3.0 (fun () -> Engine.note_activity e "bgp"));
+  Engine.run_until_idle e;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9)))
+    "per-class watermarks, sorted by class"
+    [ ("bgp", 3.0); ("masc", 2.0) ]
+    (Engine.watermarks e);
+  check (Alcotest.option (Alcotest.float 1e-9)) "converged at the last state change" (Some 3.0)
+    (Engine.converged_at e)
+
+let test_engine_monitor () =
+  let e = Engine.create () in
+  check Alcotest.bool "non-positive cadence rejected" true
+    (try
+       Engine.set_monitor e ~cadence:0.0 (fun ~quiescent:_ -> ());
+       false
+     with Invalid_argument _ -> true);
+  let ticks = ref 0 and quiesces = ref 0 in
+  Engine.set_monitor e ~cadence:1.0 (fun ~quiescent ->
+      if quiescent then incr quiesces else incr ticks);
+  (* Five events 0.5 apart with cadence 1.0: the hook fires after the
+     events that cross 1.0 and 2.0, then once with [~quiescent:true]
+     when the queue drains. *)
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e (0.5 *. float_of_int i) (fun () -> ()))
+  done;
+  Engine.run_until_idle e;
+  check Alcotest.int "cadence-limited ticks" 2 !ticks;
+  check Alcotest.int "quiescent fire on drain" 1 !quiesces;
+  Engine.clear_monitor e;
+  ignore (Engine.schedule_at e 10.0 (fun () -> ()));
+  Engine.run_until_idle e;
+  check Alcotest.int "cleared monitor stays silent" 2 !ticks;
+  check Alcotest.int "no further quiescent fires" 1 !quiesces
+
+let test_trace_report_chains_and_latencies () =
+  let entry time tag span parent =
+    {
+      Trace.time;
+      actor = "a";
+      tag;
+      detail = tag;
+      trace_id = Some "claim:1:224.0.0.0/24";
+      span = Some span;
+      parent;
+    }
+  in
+  let other = { (entry 5.0 "grib-update" 0 None) with Trace.trace_id = Some "group:224.0.0.1" } in
+  let unchained = { (entry 6.0 "noise" 0 None) with Trace.trace_id = None; span = None } in
+  let entries =
+    [ entry 1.0 "claim" 0 None; other; entry 4.0 "acquired" 1 (Some 0); unchained ]
+  in
+  check (Alcotest.list Alcotest.string) "chain ids in first-appearance order"
+    [ "claim:1:224.0.0.0/24"; "group:224.0.0.1" ]
+    (Trace_report.chain_ids entries);
+  let chain = Trace_report.chain entries ~id:"claim:1:224.0.0.0/24" in
+  check (Alcotest.list Alcotest.string) "chain selects and time-orders" [ "claim"; "acquired" ]
+    (List.map (fun e -> e.Trace.tag) chain);
+  check Alcotest.string "kind of id" "claim" (Trace_report.kind_of_id "claim:1:224.0.0.0/24");
+  (match Trace_report.latencies entries with
+  | [ c; g ] ->
+      check Alcotest.string "claim kind first" "claim" c.Trace_report.kind;
+      check Alcotest.int "one claim chain" 1 c.Trace_report.chains;
+      check (Alcotest.float 1e-9) "end-to-end duration" 3.0 c.Trace_report.max_s;
+      check Alcotest.string "group kind second" "group" g.Trace_report.kind;
+      check (Alcotest.float 1e-9) "single-entry chain has zero latency" 0.0 g.Trace_report.max_s
+  | l -> Alcotest.fail (Printf.sprintf "expected two latency rows, got %d" (List.length l)));
+  (* The renderer indents children under parents and keeps span refs. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Trace_report.pp_chain_for ppf entries ~id:"claim:1:224.0.0.0/24";
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let mem needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "header names the chain" true (mem "claim:1:224.0.0.0/24");
+  check Alcotest.bool "root span rendered" true (mem "(#0)");
+  check Alcotest.bool "child span ref rendered" true (mem "(#1<-0)")
+
 let test_trace_basics () =
   let tr = Trace.create () in
   Trace.record tr ~time:1.0 ~actor:"x" ~tag:"join" "detail-1";
@@ -243,6 +331,9 @@ let suite =
     ("engine pending counts live events", `Quick, test_engine_pending_counts_live_events);
     ("engine pending with periodic", `Quick, test_engine_pending_periodic);
     ("engine pending periodic self-cancel", `Quick, test_engine_pending_periodic_self_cancel);
+    ("engine watermarks and converged_at", `Quick, test_engine_watermarks);
+    ("engine monitor hook", `Quick, test_engine_monitor);
+    ("trace report chains and latencies", `Quick, test_trace_report_chains_and_latencies);
     ("trace basics", `Quick, test_trace_basics);
     ("trace disabled drops", `Quick, test_trace_disabled_drops);
     ("trace disabled skips formatting", `Quick, test_trace_disabled_skips_formatting);
