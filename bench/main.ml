@@ -365,7 +365,44 @@ let write_json ~micro ~figures ~overhead ~inv_overhead ~convergence ~counters =
   close_out oc;
   Format.printf "@.wrote %s@." json_file
 
+(* ------------------------------------------------------------------ *)
+(* Smoke mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* `bench/main.exe --smoke`: a CI-sized canary on the transport hot
+   path.  Runs the Figure-1 stack end-to-end — every inter-domain
+   message crossing the Net substrate — asserts the expected
+   deliveries, and fails if the run blows a generous wall-clock budget,
+   catching pathological slowdowns in the channel layer without the
+   full Bechamel session. *)
+let run_smoke () =
+  let budget_s = 60.0 in
+  let (deliveries, transported), wall_s =
+    timed (fun () ->
+        let s = Scenario.figure1 () in
+        let topo = Internet.topo s.Scenario.inet in
+        let e = Option.get (Topo.find_by_name topo "E") in
+        let got = Scenario.send s ~source:(Host_ref.make e 1) in
+        let net = Internet.net s.Scenario.inet in
+        let delivered =
+          List.fold_left
+            (fun acc p -> acc + Net.delivered net ~protocol:p)
+            0 [ "masc"; "bgp"; "bgmp" ]
+        in
+        (List.length got, delivered))
+  in
+  Format.printf "bench smoke: %d deliveries, %d transport messages, %.2f s wall@." deliveries
+    transported wall_s;
+  let fail fmt = Format.kasprintf (fun m -> Format.eprintf "bench smoke: %s@." m; exit 1) fmt in
+  if deliveries <> 4 then fail "expected 4 member deliveries, got %d" deliveries;
+  if transported = 0 then fail "no messages crossed the transport";
+  if wall_s > budget_s then fail "took %.1f s (budget %.0f s)" wall_s budget_s
+
 let () =
+  if Array.exists (( = ) "--smoke") Sys.argv then begin
+    run_smoke ();
+    exit 0
+  end;
   Format.printf "=== Micro-benchmarks (Bechamel) ===@.";
   let micro = run_benchmarks () in
   Format.printf "@.=== Instrumentation overhead vs baseline ===@.";

@@ -23,7 +23,7 @@ let () =
   Topo.add_link topo c gc Topo.Provider_customer;
 
   let engine = Engine.create () in
-  let bgp = Bgp_network.create ~engine ~topo in
+  let bgp = Bgp_network.create ~engine ~topo () in
   let range = Prefix.of_string "224.10.0.0/16" in
   let group = Ipv4.of_string "224.10.0.1" in
 

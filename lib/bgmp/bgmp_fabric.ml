@@ -3,13 +3,14 @@ type root_route = Root_here | Via of Domain.id | Unroutable
 let m_ctl_msgs = Metrics.counter "bgmp.ctl_msgs_sent"
 let m_data_msgs = Metrics.counter "bgmp.data_msgs_sent"
 
-type config = { branching : bool; link_delay_override : Time.t option }
+type config = { branching : bool }
 
-let default_config = { branching = true; link_delay_override = None }
+let default_config = { branching = true }
 
 type t = {
   engine : Engine.t;
   topo : Topo.t;
+  net : Net.t;
   cfg : config;
   route_to_root : Domain.id -> Ipv4.t -> root_route;
   trace : Trace.t option;
@@ -20,10 +21,10 @@ type t = {
   routers : Bgmp_router.t array;
   domain_routers : int list array;  (** router ids per domain *)
   router_neighbor : Domain.id array;  (** the domain across router i's link *)
-  router_delay : Time.t array;
+  mutable peer_chan : Bgmp_msg.t Net.channel array;
+      (** router i's transport lane to its external peer across the link *)
   toward_tbl : (Domain.id * Domain.id, int) Hashtbl.t;  (** (dom, neighbor) -> router id *)
   ucast_cache : (Domain.id, Spf.paths) Hashtbl.t;  (** BFS from a target domain *)
-  link_down : (Domain.id * Domain.id, unit) Hashtbl.t;
   delivered : (int, (Host_ref.t * int) list ref) Hashtbl.t;
   seen : (int * Host_ref.t, unit) Hashtbl.t;
   mutable dup_count : int;
@@ -149,7 +150,7 @@ let rec exec_actions t rid actions = List.iter (exec_action t rid) actions
 
 and exec_action t rid action =
   match action with
-  | Bgmp_router.To_peer (p, msg) ->
+  | Bgmp_router.To_peer (_, msg) ->
       (match msg with
       | Bgmp_msg.Data _ ->
           t.data_msgs <- t.data_msgs + 1;
@@ -157,19 +158,10 @@ and exec_action t rid action =
       | Bgmp_msg.Join _ | Bgmp_msg.Prune _ | Bgmp_msg.Join_sg _ | Bgmp_msg.Prune_sg _ ->
           t.ctl_msgs <- t.ctl_msgs + 1;
           Metrics.incr m_ctl_msgs);
-      let delay =
-        match t.cfg.link_delay_override with
-        | Some d -> d
-        | None -> t.router_delay.(rid)
-      in
-      let a = Bgmp_router.domain t.routers.(rid) and b = t.router_neighbor.(rid) in
-      let pair = (min a b, max a b) in
-      if not (Hashtbl.mem t.link_down pair) then
-        ignore
-          (Engine.schedule_after t.engine delay (fun () ->
-               (* Messages in flight when the link died are lost. *)
-               if not (Hashtbl.mem t.link_down pair) then
-                 dispatch_peer_msg t ~to_:p ~from_rid:rid msg))
+      (* The peer target is always the external peer across router
+         [rid]'s link — exactly where its fixed transport lane goes. *)
+      let span = match msg with Bgmp_msg.Join { span; _ } -> span | _ -> None in
+      Net.send t.peer_chan.(rid) ?span msg
   | Bgmp_router.Migp_join { group; span } -> (
       let dom = Bgmp_router.domain t.routers.(rid) in
       match exit_router_for_group t dom group with
@@ -315,8 +307,9 @@ and internal_distribute t ~dom ~entry ~group ~source ~payload ~hops =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp.Dvmrp) ?trace
-    ?(span_of_group = fun _ _ -> None) ~route_to_root () =
+let create ~engine ~topo ?net ?(config = default_config) ?(migp_style = fun _ -> Migp.Dvmrp)
+    ?trace ?(span_of_group = fun _ _ -> None) ~route_to_root () =
+  let net = match net with Some n -> n | None -> Net.create ~engine ?trace () in
   let n = Topo.domain_count topo in
   let links = Topo.links topo in
   let router_count = 2 * List.length links in
@@ -349,6 +342,7 @@ let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp
     {
       engine;
       topo;
+      net;
       cfg = config;
       route_to_root;
       trace;
@@ -357,9 +351,8 @@ let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp
       routers;
       domain_routers;
       router_neighbor;
-      router_delay;
+      peer_chan = [||];
       toward_tbl;
-      link_down = Hashtbl.create 4;
       ucast_cache = Hashtbl.create 16;
       delivered = Hashtbl.create 64;
       seen = Hashtbl.create 256;
@@ -374,6 +367,14 @@ let create ~engine ~topo ?(config = default_config) ?(migp_style = fun _ -> Migp
       Bgmp_router.set_classify_root router (fun group -> classify_root_for t rid group);
       Bgmp_router.set_classify_source router (fun sd -> classify_source_for t rid sd))
     routers;
+  (* One transport lane per router, to its external peer across the
+     link (delivered there as coming from [rid]). *)
+  t.peer_chan <-
+    Array.init router_count (fun rid ->
+        Net.channel net ~protocol:"bgmp"
+          ~src:(Bgmp_router.domain routers.(rid))
+          ~dst:router_neighbor.(rid) ~delay:router_delay.(rid)
+          ~recv:(fun msg -> dispatch_peer_msg t ~to_:(peer_of rid) ~from_rid:rid msg));
   (* Domain-Wide-Report wiring: first member in a domain sends a join
      via the best exit router; last member leaving sends the prune. *)
   Array.iteri
@@ -466,11 +467,13 @@ let tree_domains t ~group =
     t.domain_routers;
   List.sort compare !doms
 
+let net t = t.net
+
 let fail_link t a b =
   if Topo.link_between t.topo a b = None then invalid_arg "Bgmp_fabric.fail_link: no such link";
-  Hashtbl.replace t.link_down (min a b, max a b) ()
+  Net.fail_link t.net a b
 
-let restore_link t a b = Hashtbl.remove t.link_down (min a b, max a b)
+let restore_link t a b = Net.restore_link t.net a b
 
 let active_groups t =
   let acc = Hashtbl.create 8 in

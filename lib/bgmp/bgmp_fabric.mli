@@ -26,7 +26,6 @@ type config = {
   branching : bool;
       (** build source-specific branches automatically when a strict-RPF
           MIGP would otherwise keep encapsulating (§5.3) *)
-  link_delay_override : Time.t option;  (** use instead of per-link delays *)
 }
 
 val default_config : config
@@ -36,6 +35,7 @@ type t
 val create :
   engine:Engine.t ->
   topo:Topo.t ->
+  ?net:Net.t ->
   ?config:config ->
   ?migp_style:(Domain.id -> Migp.style) ->
   ?trace:Trace.t ->
@@ -43,7 +43,13 @@ val create :
   route_to_root:(Domain.id -> Ipv4.t -> root_route) ->
   unit ->
   t
-(** [migp_style] defaults to DVMRP everywhere.  [trace] receives
+(** Peer messages travel over {!Net} channels (one per border router,
+    toward its external peer) with the link's delay; [net] is the
+    transport to use — pass the internet-wide one to share link state
+    with BGP and MASC, or a [Net.t] whose config overrides delays or
+    injects loss (the old [link_delay_override] lives in [Net.config]
+    now).  By default the fabric gets a private [Net.t] on the same
+    engine.  [migp_style] defaults to DVMRP everywhere.  [trace] receives
     join-chain entries ("join" at the originating domain, "join-hop"
     per tree hop).  [span_of_group] supplies the causal span of the
     G-RIB route a domain uses for a group (the integrated stack wires
@@ -72,12 +78,16 @@ val duplicate_deliveries : t -> int
 (** Copies delivered to a host that had already received that payload —
     0 in a correct run. *)
 
+val net : t -> Net.t
+(** The transport peer messages travel over. *)
+
 val fail_link : t -> Domain.id -> Domain.id -> unit
-(** Take the inter-domain link down for the multicast data/control
-    plane: BGMP messages over it (joins, prunes, data) are silently
-    lost until {!restore_link}.  Combine with {!rebuild_group} (or use
-    [Internet.fail_link], which orchestrates BGP and BGMP together) to
-    move trees off the dead link. *)
+(** [Net.fail_link] on the transport: messages over the link (joins,
+    prunes, data — and, on a shared transport, every other protocol's
+    traffic) are lost until {!restore_link}, including ones already in
+    flight.  Combine with {!rebuild_group} (or use [Internet.fail_link],
+    which orchestrates BGP and BGMP together) to move trees off the dead
+    link. *)
 
 val restore_link : t -> Domain.id -> Domain.id -> unit
 

@@ -1,9 +1,9 @@
 type t = {
   engine : Engine.t;
   topo : Topo.t;
+  net : Net.t;
   speakers : Speaker.t array;
-  mutable delivered : int;
-  down : (Domain.id * Domain.id, unit) Hashtbl.t;
+  channels : (Domain.id * Domain.id, Update.t Net.channel) Hashtbl.t;
 }
 
 let relation_from_link ~self ~(link : Topo.link) =
@@ -12,16 +12,43 @@ let relation_from_link ~self ~(link : Topo.link) =
   | Topo.Provider_customer ->
       if link.Topo.a = self then Speaker.To_customer else Speaker.To_provider
 
-let create ~engine ~topo =
+let update_span = function
+  | Update.Advertise r -> r.Route.span
+  | Update.Withdraw _ -> None
+
+let create ~engine ?net ~topo () =
+  let net = match net with Some n -> n | None -> Net.create ~engine () in
   let n = Topo.domain_count topo in
   let speakers = Array.init n (fun id -> Speaker.create ~id) in
-  let t = { engine; topo; speakers; delivered = 0; down = Hashtbl.create 4 } in
+  let t = { engine; topo; net; speakers; channels = Hashtbl.create (2 * n) } in
+  let add_channel src dst delay =
+    Hashtbl.add t.channels (src, dst)
+      (Net.channel net ~protocol:"bgp" ~src ~dst ~delay ~recv:(fun update ->
+           Speaker.receive speakers.(dst) ~from_:src update))
+  in
   List.iter
     (fun (link : Topo.link) ->
       let sa = speakers.(link.Topo.a) and sb = speakers.(link.Topo.b) in
       Speaker.add_peer sa link.Topo.b (relation_from_link ~self:link.Topo.a ~link);
-      Speaker.add_peer sb link.Topo.a (relation_from_link ~self:link.Topo.b ~link))
+      Speaker.add_peer sb link.Topo.a (relation_from_link ~self:link.Topo.b ~link);
+      add_channel link.Topo.a link.Topo.b link.Topo.delay;
+      add_channel link.Topo.b link.Topo.a link.Topo.delay)
     (Topo.links topo);
+  (* Peering sessions follow the transport's link state: when a link
+     with a topology peering fails, both sessions drop (routes learned
+     over it flush and withdrawals ripple out); on restore they re-form
+     and exchange full tables.  Overlay pairs (MASC's) have no session
+     to drop. *)
+  Net.on_link_change net (fun a b ~up ->
+      if a < n && b < n && Topo.link_between topo a b <> None then
+        if up then begin
+          Speaker.peer_up t.speakers.(a) b;
+          Speaker.peer_up t.speakers.(b) a
+        end
+        else begin
+          Speaker.peer_down t.speakers.(a) b;
+          Speaker.peer_down t.speakers.(b) a
+        end);
   Array.iteri
     (fun src speaker ->
       (* Convergence watermark: a G-RIB change is the BGP layer's
@@ -29,20 +56,9 @@ let create ~engine ~topo =
          the same watermark. *)
       Speaker.set_on_grib_change speaker (fun _ -> Engine.note_activity engine "bgp");
       Speaker.set_send speaker (fun ~dst update ->
-          let link =
-            match Topo.link_between topo src dst with
-            | Some l -> l
-            | None -> invalid_arg "Bgp_network: send to non-adjacent domain"
-          in
-          let pair = if src < dst then (src, dst) else (dst, src) in
-          if not (Hashtbl.mem t.down pair) then
-            ignore
-              (Engine.schedule_after engine link.Topo.delay (fun () ->
-                   (* Messages in flight when the link died are lost. *)
-                   if not (Hashtbl.mem t.down pair) then begin
-                     t.delivered <- t.delivered + 1;
-                     Speaker.receive speakers.(dst) ~from_:src update
-                   end))))
+          match Hashtbl.find_opt t.channels (src, dst) with
+          | Some ch -> Net.send ch ?span:(update_span update) update
+          | None -> invalid_arg "Bgp_network: send to non-adjacent domain"))
     speakers;
   t
 
@@ -52,6 +68,8 @@ let engine t = t.engine
 
 let topo t = t.topo
 
+let net t = t.net
+
 let originate ?lifetime_end ?span t id prefix =
   Speaker.originate ?lifetime_end ?span t.speakers.(id) prefix
 
@@ -59,17 +77,15 @@ let withdraw t id prefix = Speaker.withdraw_origin t.speakers.(id) prefix
 
 let fail_link t a b =
   if Topo.link_between t.topo a b = None then invalid_arg "Bgp_network.fail_link: no such link";
-  Hashtbl.replace t.down (min a b, max a b) ();
-  Speaker.peer_down t.speakers.(a) b;
-  Speaker.peer_down t.speakers.(b) a
+  Net.fail_link t.net a b
 
 let restore_link t a b =
-  Hashtbl.remove t.down (min a b, max a b);
-  Speaker.peer_up t.speakers.(a) b;
-  Speaker.peer_up t.speakers.(b) a
+  if Topo.link_between t.topo a b = None then
+    invalid_arg "Bgp_network.restore_link: no such link";
+  Net.restore_link t.net a b
 
 let converge t = Engine.run_until_idle t.engine
 
-let update_count t = t.delivered
+let update_count t = Net.delivered t.net ~protocol:"bgp"
 
 let grib_sizes t = Array.map Speaker.grib_size t.speakers

@@ -2,21 +2,28 @@
     updates over the simulation engine.
 
     Peerings mirror the topology's links; relationships are derived from
-    the link's provider/customer/peer annotation.  Updates are delivered
-    with the link's delay; sessions are FIFO (the engine breaks
-    equal-time ties in scheduling order), which stands in for the TCP
-    peering sessions of real BGP. *)
+    the link's provider/customer/peer annotation.  Updates travel over
+    {!Net} channels (two per link, one per direction) with the link's
+    delay; channels are FIFO, which stands in for the TCP peering
+    sessions of real BGP, and session state follows the transport's link
+    state. *)
 
 type t
 
-val create : engine:Engine.t -> topo:Topo.t -> t
-(** Build one speaker per domain and peer them along every link. *)
+val create : engine:Engine.t -> ?net:Net.t -> topo:Topo.t -> unit -> t
+(** Build one speaker per domain and peer them along every link.  [net]
+    is the transport to send over — pass the internet-wide one to share
+    link state with MASC and BGMP; by default the network gets a private
+    [Net.t] on the same engine. *)
 
 val speaker : t -> Domain.id -> Speaker.t
 
 val engine : t -> Engine.t
 
 val topo : t -> Topo.t
+
+val net : t -> Net.t
+(** The transport updates travel over. *)
 
 val originate : ?lifetime_end:Time.t -> ?span:Span.t -> t -> Domain.id -> Prefix.t -> unit
 (** Inject a group route at its root domain (what a MASC node does after
@@ -25,13 +32,15 @@ val originate : ?lifetime_end:Time.t -> ?span:Span.t -> t -> Domain.id -> Prefix
 val withdraw : t -> Domain.id -> Prefix.t -> unit
 
 val fail_link : t -> Domain.id -> Domain.id -> unit
-(** Take the inter-domain link down: both BGP sessions drop (routes
+(** [Net.fail_link] on the transport: both BGP sessions drop (routes
     learned over it are flushed and withdrawals ripple out) and any
-    in-flight updates on the link are lost. *)
+    in-flight updates on the link are lost.
+    @raise Invalid_argument if no such topology link exists. *)
 
 val restore_link : t -> Domain.id -> Domain.id -> unit
-(** Bring the link back: the sessions re-form and both sides exchange
-    full tables. *)
+(** [Net.restore_link] on the transport: the sessions re-form and both
+    sides exchange full tables.
+    @raise Invalid_argument if no such topology link exists. *)
 
 val converge : t -> unit
 (** Run the engine until no BGP activity remains. *)

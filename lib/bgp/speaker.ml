@@ -13,6 +13,9 @@ type t = {
   grib : Route.t Prefix_trie.t;
   exported : (Domain.id * Prefix.t, Route.t) Hashtbl.t;
       (** what each peer last heard from us, keyed (peer, prefix) *)
+  down_peers : (Domain.id, unit) Hashtbl.t;
+      (** peers whose session is down: nothing is exported (or recorded
+          as exported) to them until {!peer_up} *)
   mutable send : dst:Domain.id -> Update.t -> unit;
   mutable extra_filter : dst:Domain.id -> Route.t -> bool;
   mutable on_grib_change : Prefix.t -> unit;
@@ -27,6 +30,7 @@ let create ~id =
     originated_tbl = Hashtbl.create 4;
     grib = Prefix_trie.create ();
     exported = Hashtbl.create 16;
+    down_peers = Hashtbl.create 2;
     send = (fun ~dst:_ _ -> ());
     extra_filter = (fun ~dst:_ _ -> true);
     on_grib_change = (fun _ -> ());
@@ -126,6 +130,8 @@ let reconsider t prefix =
   end;
   List.iter
     (fun peer ->
+      if Hashtbl.mem t.down_peers peer then ()
+      else
       let desired =
         match best with
         | Some r when exportable t ~dst:peer r -> Some (Route.through r t.self)
@@ -189,6 +195,7 @@ let peer_down t peer =
     | Some tbl -> tbl
     | None -> invalid_arg "Speaker.peer_down: unknown peer"
   in
+  Hashtbl.replace t.down_peers peer ();
   let prefixes = Hashtbl.fold (fun p _ acc -> p :: acc) tbl [] in
   Hashtbl.reset tbl;
   (* Also forget what we exported to the dead session; a fresh session
@@ -201,6 +208,7 @@ let peer_down t peer =
 
 let peer_up t peer =
   if not (Hashtbl.mem t.peers peer) then invalid_arg "Speaker.peer_up: unknown peer";
+  Hashtbl.remove t.down_peers peer;
   (* Re-run the decision for everything we know; the export diff against
      the (empty) session state re-sends the full table. *)
   let known =

@@ -56,7 +56,8 @@ val set_on_grib_change : t -> (Prefix.t -> unit) -> unit
 
 val peer_down : t -> Domain.id -> unit
 (** The peering session dropped: flush every route learned from that
-    peer (and stop exporting to it) as real BGP does when the TCP
+    peer and stop exporting to it — no updates are sent (or recorded as
+    sent) to the peer until {!peer_up} — as real BGP does when the TCP
     session dies.  @raise Invalid_argument on an unknown peer. *)
 
 val peer_up : t -> Domain.id -> unit

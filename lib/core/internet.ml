@@ -3,6 +3,7 @@ type config = {
   bgmp : Bgmp_fabric.config;
   maas_block : int;
   seed : int;
+  loss : float;
 }
 
 let default_config =
@@ -11,6 +12,7 @@ let default_config =
     bgmp = Bgmp_fabric.default_config;
     maas_block = 256;
     seed = 1998;
+    loss = 0.0;
   }
 
 let quick_config =
@@ -29,6 +31,7 @@ type t = {
   engine : Engine.t;
   net_topo : Topo.t;
   net_trace : Trace.t;
+  net : Net.t;
   bgp_net : Bgp_network.t;
   masc_net : Masc_network.t;
   bgmp_fabric : Bgmp_fabric.t;
@@ -43,6 +46,8 @@ let engine t = t.engine
 let topo t = t.net_topo
 
 let trace t = t.net_trace
+
+let net t = t.net
 
 let speaker t d = Bgp_network.speaker t.bgp_net d
 
@@ -255,9 +260,23 @@ let create ?(config = default_config) ?migp_style net_topo =
   let engine = Engine.create () in
   let rng = Rng.create config.seed in
   let net_trace = Trace.create () in
-  let bgp_net = Bgp_network.create ~engine ~topo:net_topo in
+  (* The one transport under all three protocols: link state (failures,
+     partitions, loss) has a single source of truth.  The loss seed is
+     decorrelated from the MASC rng (same [config.seed]) so enabling
+     loss never replays MASC's claim randomness. *)
+  let net =
+    Net.create ~engine
+      ~config:
+        {
+          Net.loss_rate = config.loss;
+          Net.loss_seed = config.seed lxor 0x6e6574;
+          Net.delay_override = None;
+        }
+      ~trace:net_trace ()
+  in
+  let bgp_net = Bgp_network.create ~engine ~net ~topo:net_topo () in
   let masc_net =
-    Masc_network.of_topo ~engine ~rng ~config:config.masc ~trace:net_trace net_topo
+    Masc_network.of_topo ~engine ~rng ~config:config.masc ~trace:net_trace ~net net_topo
   in
   (* MASC -> BGP glue: acquired ranges become group routes injected at
      their root domain; lost ranges are withdrawn (§4.2).  The route
@@ -279,8 +298,8 @@ let create ?(config = default_config) ?migp_style net_topo =
         r.Route.span)
   in
   let bgmp_fabric =
-    Bgmp_fabric.create ~engine ~topo:net_topo ~config:config.bgmp ?migp_style ~trace:net_trace
-      ~span_of_group ~route_to_root ()
+    Bgmp_fabric.create ~engine ~topo:net_topo ~net ~config:config.bgmp ?migp_style
+      ~trace:net_trace ~span_of_group ~route_to_root ()
   in
   let maases =
     Array.init (Topo.domain_count net_topo) (fun d ->
@@ -325,6 +344,7 @@ let create ?(config = default_config) ?migp_style net_topo =
       engine;
       net_topo;
       net_trace;
+      net;
       bgp_net;
       masc_net;
       bgmp_fabric;
@@ -345,21 +365,30 @@ let rebuild_all_groups t =
     (Bgmp_fabric.active_groups t.bgmp_fabric)
 
 let fail_link t a b =
-  Bgp_network.fail_link t.bgp_net a b;
-  Bgmp_fabric.fail_link t.bgmp_fabric a b;
+  if Topo.link_between t.net_topo a b = None then
+    invalid_arg "Internet.fail_link: no such link";
+  (* One transport call takes the link down for every protocol at once:
+     the BGP sessions drop via the net's link-change listener
+     (withdrawals ripple, alternates get selected) and in-flight
+     messages of all three protocols are lost. *)
+  Net.fail_link t.net a b;
   (* Rebuild once the withdrawals settle; the grib-change hook also
      fires rebuilds during reconvergence, but a group whose routes are
      unaffected can still have tree edges over the dead link. *)
   ignore (Engine.schedule_after t.engine (Time.seconds 1.0) (fun () -> rebuild_all_groups t))
 
 let restore_link t a b =
-  Bgp_network.restore_link t.bgp_net a b;
-  Bgmp_fabric.restore_link t.bgmp_fabric a b;
+  if Topo.link_between t.net_topo a b = None then
+    invalid_arg "Internet.restore_link: no such link";
+  Net.restore_link t.net a b;
   ignore (Engine.schedule_after t.engine (Time.seconds 1.0) (fun () -> rebuild_all_groups t))
 
 let run_for t duration = Engine.run ~until:(Engine.now t.engine +. duration) t.engine
 
-let settle t = Engine.run_until_idle t.engine
+(* Above the 48 h collision wait (so graduation storms count as
+   activity, not silence), below the ~30 d renewal cycle (so steady
+   renewals do not keep the run alive forever). *)
+let settle ?(quiet_for = Time.days 7.0) t = Engine.run_until_quiescent ~grace:quiet_for t.engine
 
 let request_address t dom = Maas.allocate t.maases.(dom) ()
 

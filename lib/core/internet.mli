@@ -24,6 +24,10 @@ type config = {
   bgmp : Bgmp_fabric.config;
   maas_block : int;  (** space requested from MASC when a MAAS runs dry *)
   seed : int;
+  loss : float;
+      (** per-message loss probability on every inter-domain channel, for
+          all three protocols (deterministic: drawn from a seeded RNG
+          private to the transport); 0 by default *)
 }
 
 val default_config : config
@@ -47,22 +51,35 @@ val topo : t -> Topo.t
 
 val trace : t -> Trace.t
 
+val net : t -> Net.t
+(** The one transport all three protocols send over: MASC claims, BGP
+    updates and BGMP joins/prunes/data share its link state, loss
+    process, and [net.*] accounting. *)
+
 val run_for : t -> Time.t -> unit
 (** Advance the simulation by the given duration. *)
 
-val settle : t -> unit
-(** Run until no events remain (careful: periodic MASC housekeeping
-    never drains; prefer {!run_for}). *)
+val settle : ?quiet_for:Time.t -> t -> unit
+(** Run until the stack has been quiescent for [quiet_for] of virtual
+    time (default 7 days): periodic MASC housekeeping used to make
+    "run until the queue drains" spin forever, so this stops once every
+    remaining event lies beyond the protocol-activity watermark plus the
+    grace period.  The default sits above the 48 h collision wait and
+    below the 30 d renewal cycle. *)
 
 val fail_link : t -> Domain.id -> Domain.id -> unit
-(** Take an inter-domain link down across the whole stack: the BGP
-    sessions drop (withdrawals ripple, alternates get selected), BGMP
-    messages over the link are lost, and every active group's tree is
-    rebuilt under the surviving routes. *)
+(** [Net.fail_link] on the shared transport — one call takes the link
+    down across the whole stack: the BGP sessions drop (withdrawals
+    ripple, alternates get selected), in-flight messages of all three
+    protocols are lost, and every active group's tree is rebuilt under
+    the surviving routes.
+    @raise Invalid_argument if no such topology link exists. *)
 
 val restore_link : t -> Domain.id -> Domain.id -> unit
-(** Bring the link back: sessions re-form with full table exchange and
-    the trees are rebuilt onto the (possibly shorter) restored paths. *)
+(** [Net.restore_link] on the shared transport: sessions re-form with
+    full table exchange and the trees are rebuilt onto the (possibly
+    shorter) restored paths.
+    @raise Invalid_argument if no such topology link exists. *)
 
 (** {1 Addresses and groups} *)
 

@@ -5,9 +5,9 @@ type session = {
   members : Domain.id list;
 }
 
-let figure1 ?(seed = 1998) ?(check_invariants = true) () =
+let figure1 ?(seed = 1998) ?(loss = 0.0) ?(check_invariants = true) () =
   let topo = Gen.figure1 () in
-  let config = { Internet.quick_config with Internet.seed } in
+  let config = { Internet.quick_config with Internet.seed; Internet.loss } in
   let inet = Internet.create ~config topo in
   if check_invariants then Internet.enable_invariant_checks inet;
   Internet.start inet;
@@ -49,10 +49,15 @@ type walkthrough = {
   walkthrough_trace : Trace.t;
 }
 
-let figure3 ?migp_style () =
+let figure3 ?migp_style ?(loss = 0.0) () =
   let topo = Gen.figure3 () in
   let engine = Engine.create () in
   let walkthrough_trace = Trace.create () in
+  let net =
+    Net.create ~engine
+      ~config:{ Net.loss_rate = loss; loss_seed = 1998; delay_override = None }
+      ~trace:walkthrough_trace ()
+  in
   let b = Option.get (Topo.find_by_name topo "B") in
   let paths = Spf.bfs topo b in
   let route_to_root d _g =
@@ -63,7 +68,7 @@ let figure3 ?migp_style () =
       | None -> Bgmp_fabric.Unroutable
   in
   let fabric =
-    Bgmp_fabric.create ~engine ~topo ?migp_style ~trace:walkthrough_trace ~route_to_root ()
+    Bgmp_fabric.create ~engine ~topo ~net ?migp_style ~trace:walkthrough_trace ~route_to_root ()
   in
   let group = Ipv4.of_string "224.0.128.1" in
   List.iter

@@ -10,13 +10,14 @@ type session = {
   members : Domain.id list;
 }
 
-val figure1 : ?seed:int -> ?check_invariants:bool -> unit -> session
+val figure1 : ?seed:int -> ?loss:float -> ?check_invariants:bool -> unit -> session
 (** The Figure-1 flow end-to-end on the integrated stack: build the
     seven-domain topology, run MASC until domain B holds a range,
     allocate the group address at B (so B is the root), and join
     members in C, D, F and G.  Runs the engine until ready.
     [check_invariants] (default [true]) installs the live invariant
-    monitor ({!Internet.enable_invariant_checks}). *)
+    monitor ({!Internet.enable_invariant_checks}).  [loss] is the
+    transport's per-message drop probability (default 0). *)
 
 val send : session -> source:Host_ref.t -> (Host_ref.t * int) list
 (** Send one packet and return the deliveries (host, inter-domain
@@ -30,10 +31,12 @@ type walkthrough = {
   walkthrough_trace : Trace.t;  (** join-chain entries from the fabric *)
 }
 
-val figure3 : ?migp_style:(Domain.id -> Migp.style) -> unit -> walkthrough
+val figure3 : ?migp_style:(Domain.id -> Migp.style) -> ?loss:float -> unit -> walkthrough
 (** Figure 3(a): the eight-domain topology with group 224.0.128.1
     statically rooted at B and members joined in B, C, D, F and H
-    (DVMRP inside every domain unless overridden). *)
+    (DVMRP inside every domain unless overridden).  [loss] sets the
+    fabric transport's per-message drop probability (default 0) —
+    dropped joins show up as missing tree branches. *)
 
 val figure3_branch_demo : walkthrough -> before:int list -> after:int list -> bool
 (** Figure 3(b): send twice from a source in D and compare F's delivery

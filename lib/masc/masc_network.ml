@@ -1,14 +1,32 @@
 type t = {
   engine : Engine.t;
+  net : Net.t;
   nodes : (Domain.id, Masc_node.t) Hashtbl.t;
   node_ids : Domain.id list;
-  blocked : (Domain.id * Domain.id, unit) Hashtbl.t;
-  mutable sent : int;
-  mutable dropped : int;
+  (* MASC talks along overlay edges (parent/child, top-sibling) that
+     need not be topology links; channels are created on first use per
+     directed pair. *)
+  channels : (Domain.id * Domain.id, Masc_message.t Net.channel) Hashtbl.t;
   delay : Time.t;
 }
 
-let norm_pair a b = if a < b then (a, b) else (b, a)
+let message_span = function
+  | Masc_message.Claim_announce { span; _ } | Masc_message.Collision_announce { span; _ } -> span
+  | Masc_message.Space_advertise _ | Masc_message.Claim_release _ | Masc_message.Need_space _ ->
+      None
+
+let channel_to t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        Net.channel t.net ~protocol:"masc" ~src ~dst ~delay:t.delay ~recv:(fun msg ->
+            match Hashtbl.find_opt t.nodes dst with
+            | Some receiver -> Masc_node.receive receiver ~from_:src msg
+            | None -> ())
+      in
+      Hashtbl.add t.channels (src, dst) ch;
+      ch
 
 let exchange_partition ~tops ~exchanges =
   let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
@@ -27,15 +45,15 @@ let exchange_partition ~tops ~exchanges =
     | None -> Prefix.class_d
 
 let create ~engine ~rng ?(config = Masc_node.default_config) ?(trace = Trace.create ())
-    ?(top_space = fun _ -> Prefix.class_d) ~parent_of ~ids () =
+    ?(top_space = fun _ -> Prefix.class_d) ?net ~parent_of ~ids () =
+  let net = match net with Some n -> n | None -> Net.create ~engine ~trace () in
   let t =
     {
       engine;
+      net;
       nodes = Hashtbl.create (List.length ids);
       node_ids = ids;
-      blocked = Hashtbl.create 4;
-      sent = 0;
-      dropped = 0;
+      channels = Hashtbl.create 16;
       delay = Time.seconds 0.05;
     }
   in
@@ -65,25 +83,18 @@ let create ~engine ~rng ?(config = Masc_node.default_config) ?(trace = Trace.cre
           Masc_node.set_top_siblings node (List.filter (fun s -> s <> id) tops)
       | Masc_node.Child _ -> ());
       Masc_node.set_transport node (fun ~dst msg ->
-          t.sent <- t.sent + 1;
-          if Hashtbl.mem t.blocked (norm_pair id dst) then t.dropped <- t.dropped + 1
-          else
-            ignore
-              (Engine.schedule_after t.engine t.delay (fun () ->
-                   match Hashtbl.find_opt t.nodes dst with
-                   | Some receiver -> Masc_node.receive receiver ~from_:id msg
-                   | None -> ()))))
+          Net.send (channel_to t ~src:id ~dst) ?span:(message_span msg) msg))
     ids;
   t
 
-let of_topo ~engine ~rng ?config ?trace topo =
+let of_topo ~engine ~rng ?config ?trace ?net topo =
   let parent_of id =
     match Topo.providers_of topo id with
     | [] -> None
     | p :: _ -> Some p
   in
   let ids = List.map (fun d -> d.Domain.id) (Topo.domains topo) in
-  create ~engine ~rng ?config ?trace ~parent_of ~ids ()
+  create ~engine ~rng ?config ?trace ?net ~parent_of ~ids ()
 
 let node t id =
   match Hashtbl.find_opt t.nodes id with
@@ -134,20 +145,21 @@ let reparent t ~child ~new_parent =
   Masc_node.set_children parent_node siblings;
   Masc_node.start parent_node;
   (* Push the new parent's space to all its children (including the
-     newcomer) right away. *)
-  ignore
-    (Engine.schedule_after t.engine Time.zero (fun () ->
-         Masc_node.receive child_node ~from_:new_parent
-           (Masc_message.Space_advertise
-              (Address_space.covers (Masc_node.children_view parent_node)))))
+     newcomer) right away — over the transport, like any other
+     advertisement. *)
+  Net.send
+    (channel_to t ~src:new_parent ~dst:child)
+    (Masc_message.Space_advertise (Address_space.covers (Masc_node.children_view parent_node)))
 
-let partition t a b = Hashtbl.replace t.blocked (norm_pair a b) ()
+let net t = t.net
 
-let heal t a b = Hashtbl.remove t.blocked (norm_pair a b)
+let partition t a b = Net.fail_link t.net a b
 
-let messages_sent t = t.sent
+let heal t a b = Net.restore_link t.net a b
 
-let messages_dropped t = t.dropped
+let messages_sent t = Net.sent t.net ~protocol:"masc"
+
+let messages_dropped t = Net.dropped t.net ~protocol:"masc"
 
 let total_collisions t =
   List.fold_left (fun acc id -> acc + Masc_node.collisions_suffered (node t id)) 0 t.node_ids

@@ -164,3 +164,28 @@ let run ?until t =
       drain ()
 
 let run_until_idle t = run t
+
+let run_until_quiescent ~grace t =
+  if grace <= 0.0 then invalid_arg "Engine.run_until_quiescent: non-positive grace";
+  let quiet_until () =
+    (match converged_at t with Some w -> w | None -> t.clock) +. grace
+  in
+  let rec drain () =
+    match Heap.peek t.queue with
+    | None -> ()
+    | Some e when e.cancelled ->
+        (* Cancelled events drain lazily; skip them here so a stale
+           timestamp cannot end the run early. *)
+        ignore (Heap.pop t.queue);
+        drain ()
+    | Some e when e.time > quiet_until () ->
+        (* Everything still queued lies beyond the quiet window: no
+           actor has reported a state change for [grace] of virtual
+           time, so what remains is periodic housekeeping. *)
+        ()
+    | Some _ ->
+        ignore (step t);
+        drain ()
+  in
+  drain ();
+  monitor_quiescent t

@@ -48,6 +48,16 @@ val run : ?until:Time.t -> t -> unit
 val run_until_idle : t -> unit
 (** [run] with no horizon. *)
 
+val run_until_quiescent : grace:Time.t -> t -> unit
+(** Fire events until the run has been {e quiescent} for [grace] of
+    virtual time: stop once every remaining event lies more than [grace]
+    past the latest {!note_activity} watermark (or past the current
+    clock, if nothing ever reported activity).  Unlike {!run_until_idle}
+    this terminates in the presence of periodic housekeeping that never
+    drains — the housekeeping keeps firing only as long as it keeps
+    producing activity.  The monitor's quiescent hook runs at the stop
+    point.  @raise Invalid_argument if [grace <= 0]. *)
+
 (** {1 Convergence watermarks}
 
     Protocol code calls {!note_activity} whenever an actor class

@@ -270,7 +270,7 @@ let test_fabric_no_branch_without_branching () =
   let topo = Gen.figure3 () in
   let engine, fabric =
     make_fabric
-      ~config:{ Bgmp_fabric.default_config with Bgmp_fabric.branching = false }
+      ~config:{ Bgmp_fabric.branching = false }
       ~root_name:"B" topo
   in
   join_all topo fabric [ "B"; "C"; "D"; "F"; "H" ];

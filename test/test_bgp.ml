@@ -34,7 +34,7 @@ let line_network n =
   (* 0 -P- 1 -P- 2 ... provider chain, 0 at the top. *)
   let topo = Gen.line ~n in
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   (topo, engine, net)
 
 let test_propagation_line () =
@@ -82,7 +82,7 @@ let test_gao_rexford_policy () =
   Topo.add_link topo p1 c Topo.Provider_customer;
   Topo.add_link topo p2 c Topo.Provider_customer;
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   Bgp_network.originate net p1 (p "224.0.0.0/16");
   Bgp_network.converge net;
   check Alcotest.bool "customer has the route" true
@@ -100,7 +100,7 @@ let test_peer_routes_not_transited () =
   Topo.add_link topo p1 p2 Topo.Peer;
   Topo.add_link topo p2 p3 Topo.Peer;
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   Bgp_network.originate net p1 (p "224.0.0.0/16");
   Bgp_network.converge net;
   check Alcotest.bool "direct peer hears it" true
@@ -119,7 +119,7 @@ let test_customer_routes_go_everywhere () =
   Topo.add_link topo prov c1 Topo.Provider_customer;
   Topo.add_link topo prov c2 Topo.Provider_customer;
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   Bgp_network.originate net c1 (p "224.1.0.0/16");
   Bgp_network.converge net;
   let g = Ipv4.of_string "224.1.2.3" in
@@ -154,7 +154,7 @@ let test_aggregation_suppresses_specifics () =
   Topo.add_link topo a b Topo.Provider_customer;
   Topo.add_link topo a s Topo.Provider_customer;
   let engine = Engine.create () in
-  let net2 = Bgp_network.create ~engine ~topo in
+  let net2 = Bgp_network.create ~engine ~topo () in
   Bgp_network.originate net2 a (p "224.0.0.0/16");
   Bgp_network.originate net2 b (p "224.0.128.0/24");
   Bgp_network.converge net2;
@@ -180,7 +180,7 @@ let test_custom_export_filter () =
   Topo.add_link topo a b Topo.Provider_customer;
   Topo.add_link topo a c Topo.Provider_customer;
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   Speaker.set_export_filter (Bgp_network.speaker net a) (fun ~dst _route -> dst <> c);
   Bgp_network.originate net a (p "224.0.0.0/16");
   Bgp_network.converge net;
@@ -202,7 +202,7 @@ let test_best_path_selection_in_mesh () =
   Topo.add_link topo d1 d3 Topo.Provider_customer;
   Topo.add_link topo d2 d3 Topo.Provider_customer;
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   Bgp_network.originate net d0 (p "224.0.0.0/16");
   Bgp_network.converge net;
   match Speaker.lookup (Bgp_network.speaker net d3) (Ipv4.of_string "224.0.0.1") with
@@ -239,7 +239,7 @@ let prop_converged_next_hops_reach_origin =
       let rng = Rng.create seed in
       let topo = Gen.transit_stub ~rng ~backbones:2 ~regionals_per_backbone:2 ~stubs_per_regional:2 in
       let engine = Engine.create () in
-      let net = Bgp_network.create ~engine ~topo in
+      let net = Bgp_network.create ~engine ~topo () in
       let origin = Rng.int rng (Topo.domain_count topo) in
       Bgp_network.originate net origin (p "224.0.0.0/16");
       Bgp_network.converge net;

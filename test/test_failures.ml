@@ -26,7 +26,7 @@ let diamond () =
 let test_bgp_reroutes_around_failed_link () =
   let topo, top, left, right, bottom = diamond () in
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   Bgp_network.originate net top (p "224.0.0.0/16");
   Bgp_network.converge net;
   let g = Ipv4.of_string "224.0.0.1" in
@@ -52,7 +52,7 @@ let test_bgp_reroutes_around_failed_link () =
 let test_bgp_fail_unknown_link_rejected () =
   let topo, top, _, _, bottom = diamond () in
   let engine = Engine.create () in
-  let net = Bgp_network.create ~engine ~topo in
+  let net = Bgp_network.create ~engine ~topo () in
   Alcotest.check_raises "no such link" (Invalid_argument "Bgp_network.fail_link: no such link")
     (fun () -> Bgp_network.fail_link net top bottom)
 

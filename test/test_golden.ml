@@ -1,0 +1,44 @@
+(* Golden-figure regression: pin the paper figures' CLI output
+   byte-for-byte.  The copies under [golden/] were captured before the
+   transport substrate landed, so these tests prove the refactor is
+   output-identical at loss zero — any change to scheduling order, RNG
+   consumption, or delivery timing shows up here as a diff. *)
+
+let check = Alcotest.check
+
+(* The test runs with cwd [_build/default/test]; the binary and the
+   golden copies are declared as deps in [test/dune]. *)
+let exe = Filename.concat ".." (Filename.concat "bin" "main.exe")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_figure ~args ~golden () =
+  let out = Filename.temp_file "golden" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args (Filename.quote out)
+      in
+      let rc = Sys.command cmd in
+      check Alcotest.int (args ^ ": exit code") 0 rc;
+      check Alcotest.string
+        (args ^ ": output identical to golden/" ^ golden)
+        (read_file (Filename.concat "golden" golden))
+        (read_file out))
+
+let suite =
+  [
+    ("fig1 demo", `Quick, check_figure ~args:"demo" ~golden:"fig1_demo.txt");
+    ("fig3 dot", `Quick, check_figure ~args:"dot" ~golden:"fig3_dot.txt");
+    ( "fig2 summary",
+      `Quick,
+      check_figure ~args:"fig2 --summary --days 450" ~golden:"fig2_summary.txt" );
+    ( "fig4 summary",
+      `Quick,
+      check_figure ~args:"fig4 --summary --nodes 1000 --trials 5" ~golden:"fig4_summary.txt" );
+  ]

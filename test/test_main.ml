@@ -7,6 +7,7 @@ let () =
       ("obs", Test_obs.suite);
       ("addr", Test_addr.suite);
       ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
       ("topo", Test_topo.suite);
       ("spf_equiv", Test_spf_equiv.suite);
       ("bgp", Test_bgp.suite);
@@ -21,5 +22,6 @@ let () =
       ("repair", Test_repair.suite);
       ("failures", Test_failures.suite);
       ("conformance", Test_conformance.suite);
+      ("golden", Test_golden.suite);
       ("artifacts", Test_artifacts.suite);
     ]

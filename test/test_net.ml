@@ -1,0 +1,183 @@
+(* Tests for mcast_net: the link-transport substrate shared by MASC,
+   BGP and BGMP — FIFO channels, unified up/down state, deterministic
+   loss, and the engine's quiescence runner the stack settles with. *)
+
+let check = Alcotest.check
+
+let make ?config () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ?config () in
+  (engine, net)
+
+let test_channel_fifo_per_link () =
+  let engine, net = make () in
+  let got = ref [] in
+  let ch =
+    Net.channel net ~protocol:"t" ~src:0 ~dst:1 ~delay:1.0 ~recv:(fun m -> got := m :: !got)
+  in
+  for i = 1 to 5 do
+    Net.send ch i
+  done;
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.int) "delivered in send order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !got);
+  check Alcotest.int "sent" 5 (Net.sent net ~protocol:"t");
+  check Alcotest.int "delivered" 5 (Net.delivered net ~protocol:"t");
+  check Alcotest.int "dropped" 0 (Net.dropped net ~protocol:"t")
+
+let test_equal_time_tie_break_is_send_order () =
+  (* Two channels with the same delay, interleaved sends at the same
+     instant: deliveries fire in exactly the send sequence (the engine
+     heap breaks equal-time ties by scheduling order), so multi-channel
+     runs are deterministic. *)
+  let engine, net = make () in
+  let got = ref [] in
+  let lane tag src dst =
+    Net.channel net ~protocol:"t" ~src ~dst ~delay:2.0 ~recv:(fun m ->
+        got := (tag, m) :: !got)
+  in
+  let ab = lane "ab" 0 1 and ba = lane "ba" 1 0 and ac = lane "ac" 0 2 in
+  Net.send ab 1;
+  Net.send ba 2;
+  Net.send ac 3;
+  Net.send ab 4;
+  Engine.run_until_idle engine;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "equal-time deliveries follow send order"
+    [ ("ab", 1); ("ba", 2); ("ac", 3); ("ab", 4) ]
+    (List.rev !got)
+
+let test_asymmetric_block () =
+  let engine, net = make () in
+  let got = ref [] in
+  let mk src dst tag =
+    Net.channel net ~protocol:"t" ~src ~dst ~delay:1.0 ~recv:(fun () -> got := tag :: !got)
+  in
+  let ab = mk 0 1 "a->b" and ba = mk 1 0 "b->a" in
+  let notified = ref 0 in
+  Net.on_link_change net (fun _ _ ~up:_ -> incr notified);
+  Net.block net ~from_:0 ~to_:1;
+  check Alcotest.bool "pair not fully up" false (Net.link_up net 0 1);
+  check Alcotest.bool "blocked direction down" false (Net.direction_up net ~from_:0 ~to_:1);
+  check Alcotest.bool "reverse direction still up" true (Net.direction_up net ~from_:1 ~to_:0);
+  Net.send ab ();
+  Net.send ba ();
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "only the open direction delivers" [ "b->a" ] !got;
+  check Alcotest.int "block does not notify listeners" 0 !notified;
+  Net.unblock net ~from_:0 ~to_:1;
+  check Alcotest.bool "pair up again" true (Net.link_up net 0 1);
+  Net.send ab ();
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "unblocked direction delivers" [ "a->b"; "b->a" ] !got;
+  check Alcotest.int "still no notifications" 0 !notified
+
+let loss_pattern ~seed =
+  let engine, net =
+    make ~config:{ Net.loss_rate = 0.3; loss_seed = seed; delay_override = None } ()
+  in
+  let got = ref [] in
+  let ch =
+    Net.channel net ~protocol:"t" ~src:0 ~dst:1 ~delay:1.0 ~recv:(fun m -> got := m :: !got)
+  in
+  for i = 1 to 200 do
+    Net.send ch i
+  done;
+  Engine.run_until_idle engine;
+  (List.rev !got, Net.dropped net ~protocol:"t")
+
+let test_seeded_loss_is_reproducible () =
+  let d1, n1 = loss_pattern ~seed:7 in
+  let d2, n2 = loss_pattern ~seed:7 in
+  check (Alcotest.list Alcotest.int) "same seed, same survivors" d1 d2;
+  check Alcotest.int "same seed, same drop count" n1 n2;
+  check Alcotest.bool "rate 0.3 actually drops some" true (n1 > 0);
+  check Alcotest.int "every message accounted for" 200 (List.length d1 + n1);
+  let d3, _ = loss_pattern ~seed:8 in
+  check Alcotest.bool "different seed, different pattern" true (d1 <> d3)
+
+let test_fail_link_drops_in_flight () =
+  let engine, net = make () in
+  let got = ref [] in
+  let ch =
+    Net.channel net ~protocol:"t" ~src:0 ~dst:1 ~delay:10.0 ~recv:(fun m -> got := m :: !got)
+  in
+  Net.send ch 1;
+  ignore (Engine.schedule_at engine 5.0 (fun () -> Net.fail_link net 0 1));
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.int) "in-flight message lost" [] !got;
+  check Alcotest.int "counted as dropped" 1 (Net.dropped net ~protocol:"t");
+  (* Restoring before the would-be delivery time does not resurrect a
+     message that was on the wire when the link died. *)
+  Net.restore_link net 0 1;
+  Net.send ch 2;
+  ignore (Engine.schedule_at engine (Engine.now engine +. 1.0) (fun () ->
+      Net.fail_link net 0 1;
+      Net.restore_link net 0 1));
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.int) "fail+restore inside the flight still loses it" [] !got;
+  Net.send ch 3;
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.int) "healthy link delivers again" [ 3 ] !got
+
+let test_fail_restore_notify_on_transition_only () =
+  let _engine, net = make () in
+  let log = ref [] in
+  Net.on_link_change net (fun a b ~up -> log := (a, b, up) :: !log);
+  Net.fail_link net 2 3;
+  Net.fail_link net 2 3;
+  Net.fail_link net 3 2;
+  Net.restore_link net 2 3;
+  Net.restore_link net 2 3;
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int Alcotest.bool))
+    "one notification per actual transition"
+    [ (2, 3, false); (2, 3, true) ]
+    (List.rev !log)
+
+let test_delay_override () =
+  let engine, net =
+    make ~config:{ Net.loss_rate = 0.0; loss_seed = 0; delay_override = Some 0.25 } ()
+  in
+  let at = ref nan in
+  let ch =
+    Net.channel net ~protocol:"t" ~src:0 ~dst:1 ~delay:10.0 ~recv:(fun () ->
+        at := Engine.now engine)
+  in
+  check (Alcotest.float 1e-9) "override wins over channel delay" 0.25 (Net.channel_delay ch);
+  Net.send ch ();
+  Engine.run_until_idle engine;
+  check (Alcotest.float 1e-9) "delivered at overridden delay" 0.25 !at
+
+let test_run_until_quiescent_outlives_housekeeping () =
+  (* The Internet.settle shape: protocol activity stops but a periodic
+     housekeeping timer keeps the queue non-empty forever.  The
+     quiescence runner must stop once every remaining event lies beyond
+     the activity watermark plus the grace period. *)
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.periodic engine ~interval:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule_at engine 1.5 (fun () -> Engine.note_activity engine "proto"));
+  ignore (Engine.schedule_at engine 3.5 (fun () -> Engine.note_activity engine "proto"));
+  Engine.run_until_quiescent ~grace:4.0 engine;
+  check Alcotest.bool "terminated despite the immortal periodic" true (Engine.pending engine > 0);
+  check (Alcotest.float 1e-9) "stopped at watermark + grace" 7.0 (Engine.now engine);
+  check Alcotest.int "housekeeping ran through the grace window" 7 !fired;
+  check Alcotest.bool "non-positive grace rejected" true
+    (try
+       Engine.run_until_quiescent ~grace:0.0 engine;
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ("channel fifo per link", `Quick, test_channel_fifo_per_link);
+    ("equal-time tie-break is send order", `Quick, test_equal_time_tie_break_is_send_order);
+    ("asymmetric block", `Quick, test_asymmetric_block);
+    ("seeded loss is reproducible", `Quick, test_seeded_loss_is_reproducible);
+    ("fail_link drops in-flight", `Quick, test_fail_link_drops_in_flight);
+    ("fail/restore notify on transition only", `Quick, test_fail_restore_notify_on_transition_only);
+    ("net-wide delay override", `Quick, test_delay_override);
+    ("run_until_quiescent outlives housekeeping", `Quick, test_run_until_quiescent_outlives_housekeeping);
+  ]
