@@ -9,15 +9,17 @@
    experiments end-to-end and prints the same series the paper plots
    (also available individually via bin/main.exe).
 
-   Besides the human-readable report, the harness writes BENCH_3.json
+   Besides the human-readable report, the harness writes BENCH_5.json
    (per-benchmark ns/run, wall-clock seconds for the figure
    regenerations, the micro-benchmark trajectory against the
-   BENCH_2.json baseline, the live invariant-check overhead measured by
+   BENCH_3.json baseline, the live invariant-check overhead measured by
    running the Figure-4 experiment and a scaled Figure-2 run with the
-   checks off and on, the convergence times the new watermarks report,
-   and the metrics-registry counters accumulated across the
-   regenerations) into the working directory so successive PRs can
-   track the performance trajectory. *)
+   checks off and on, the profiler's disabled- and enabled-path cost on
+   the Figure-4 experiment with the per-kernel span breakdown of the
+   profiled run, the convergence times the watermarks report, and the
+   metrics-registry counters accumulated across the regenerations) into
+   the working directory so successive PRs can track the performance
+   trajectory. *)
 
 module M = Metrics
 module Sim_time = Time
@@ -274,18 +276,15 @@ let convergence_report () =
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_3.json"
+let json_file = "BENCH_5.json"
 
-let baseline_file = "BENCH_2.json"
+let baseline_file = "BENCH_3.json"
 
-(* ns/run entries of the previous PR's baseline, scanned with Str (no
-   JSON dependency in the image). *)
-let load_baseline () =
+(* Entries of the previous PR's baseline, scanned with Str (no JSON
+   dependency in the image). *)
+let scan_baseline re =
   if not (Sys.file_exists baseline_file) then []
   else begin
-    let re =
-      Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"ns_per_run\": \\([0-9.]+\\)}"
-    in
     let ic = open_in baseline_file in
     let rec loop acc =
       match input_line ic with
@@ -301,6 +300,40 @@ let load_baseline () =
     close_in ic;
     entries
   end
+
+let load_baseline () =
+  scan_baseline (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"ns_per_run\": \\([0-9.]+\\)}")
+
+let load_baseline_figures () =
+  scan_baseline (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"wall_clock_s\": \\([0-9.]+\\)}")
+
+(* Wall-clock cost of the hierarchical profiler on the Figure-4
+   experiment: disabled (the shipping default — every span is one flag
+   test plus a tail call) and enabled (two clock and two allocation
+   reads per span).  The disabled run is also compared against the
+   baseline file's fig4 regeneration so the flag test itself stays
+   visible in the trajectory; the enabled cost is reported, not
+   bounded.  Returns the profiled run's span tree as the per-kernel
+   breakdown. *)
+let profiling_overhead () =
+  Format.printf "@.=== Profiling overhead (disabled vs enabled) ===@.";
+  let run () = ignore (Tree_experiment.run Tree_experiment.default_params) in
+  let _, off_s = timed run in
+  Prof.enable ();
+  let _, on_s = timed run in
+  let kernels = Prof.rows () in
+  Prof.disable ();
+  let enabled_pct = if off_s > 0.0 then (on_s -. off_s) /. off_s *. 100.0 else 0.0 in
+  Format.printf "fig4         %7.3f s disabled, %7.3f s enabled: %+.1f%% enabled-path@." off_s
+    on_s enabled_pct;
+  let baseline_s = List.assoc_opt "fig4-regeneration" (load_baseline_figures ()) in
+  (match baseline_s with
+  | Some b when b > 0.0 ->
+      Format.printf "fig4         disabled-path vs %s: %+.1f%% (%.3f -> %.3f s)@." baseline_file
+        ((off_s -. b) /. b *. 100.0)
+        b off_s
+  | _ -> ());
+  ((off_s, on_s, enabled_pct, baseline_s), kernels)
 
 (* The instrumented hot kernels whose overhead vs the pre-metrics
    baseline the issue bounds at 5%. *)
@@ -320,7 +353,8 @@ let overhead_report micro =
       | _ -> None)
     overhead_watchlist
 
-let write_json ~micro ~figures ~overhead ~inv_overhead ~convergence ~counters =
+let write_json ~micro ~figures ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~convergence
+    ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"benchmarks\": [\n";
@@ -349,6 +383,26 @@ let write_json ~micro ~figures ~overhead ~inv_overhead ~convergence ~counters =
         name off_s on_s pct
         (if i = List.length inv_overhead - 1 then "" else ","))
     inv_overhead;
+  out "  ],\n";
+  let off_s, on_s, enabled_pct, baseline_s = prof_overhead in
+  out
+    "  \"profiling_overhead\": {\"fig4_disabled_s\": %.3f, \"fig4_enabled_s\": %.3f, \
+     \"enabled_pct\": %.1f, \"fig4_baseline_s\": %s, \"disabled_vs_baseline_pct\": %s},\n"
+    off_s on_s enabled_pct
+    (match baseline_s with Some b -> Printf.sprintf "%.3f" b | None -> "null")
+    (match baseline_s with
+    | Some b when b > 0.0 -> Printf.sprintf "%.1f" ((off_s -. b) /. b *. 100.0)
+    | _ -> "null");
+  out "  \"profile_kernels\": [\n";
+  List.iteri
+    (fun i (r : Prof.row) ->
+      out
+        "    {\"path\": %S, \"count\": %d, \"total_s\": %.6f, \"self_s\": %.6f, \"self_bytes\": \
+         %.0f}%s\n"
+        (String.concat ";" r.Prof.path)
+        r.Prof.count r.Prof.total_s r.Prof.self_s r.Prof.self_bytes
+        (if i = List.length prof_kernels - 1 then "" else ","))
+    prof_kernels;
   out "  ],\n  \"convergence\": [\n";
   List.iteri
     (fun i (name, v) ->
@@ -374,12 +428,23 @@ let write_json ~micro ~figures ~overhead ~inv_overhead ~convergence ~counters =
    message crossing the Net substrate — asserts the expected
    deliveries, and fails if the run blows a generous wall-clock budget,
    catching pathological slowdowns in the channel layer without the
-   full Bechamel session. *)
+   full Bechamel session.  With `--profile`, the run is profiled and
+   sampled: profile.jsonl and timeseries.jsonl land in the working
+   directory (CI uploads them as artifacts). *)
 let run_smoke () =
+  let profile = Array.exists (( = ) "--profile") Sys.argv in
+  if profile then Prof.enable ();
+  let ts =
+    if profile then Some (Timeseries.create ~sink:(Timeseries.Jsonl "timeseries.jsonl") ())
+    else None
+  in
   let budget_s = 60.0 in
   let (deliveries, transported), wall_s =
     timed (fun () ->
         let s = Scenario.figure1 () in
+        Option.iter
+          (fun ts -> Internet.enable_sampling ~every:(Sim_time.minutes 1.0) s.Scenario.inet ts)
+          ts;
         let topo = Internet.topo s.Scenario.inet in
         let e = Option.get (Topo.find_by_name topo "E") in
         let got = Scenario.send s ~source:(Host_ref.make e 1) in
@@ -391,6 +456,12 @@ let run_smoke () =
         in
         (List.length got, delivered))
   in
+  if profile then begin
+    Prof.write_jsonl "profile.jsonl";
+    Prof.disable ();
+    Option.iter Timeseries.close ts;
+    Format.printf "bench smoke: wrote profile.jsonl and timeseries.jsonl@."
+  end;
   Format.printf "bench smoke: %d deliveries, %d transport messages, %.2f s wall@." deliveries
     transported wall_s;
   let fail fmt = Format.kasprintf (fun m -> Format.eprintf "bench smoke: %s@." m; exit 1) fmt in
@@ -417,7 +488,8 @@ let () =
       (M.snapshot M.default)
   in
   let inv_overhead = invariant_overhead () in
+  let prof_overhead, prof_kernels = profiling_overhead () in
   let convergence = convergence_report () in
   write_json ~micro
     ~figures:[ ("fig2-regeneration", fig2_s); ("fig4-regeneration", fig4_s) ]
-    ~overhead ~inv_overhead ~convergence ~counters
+    ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~convergence ~counters

@@ -8,6 +8,7 @@
      ablate-root      root-domain placement sensitivity (A4)
      ablate-claim     claim-collide vs query-response robustness (A1)
      trace            inspect a JSONL trace: timelines, latencies, causal chains
+     report           summarize profile/telemetry/metrics artifacts of a run
      demo             end-to-end run on the Figure-1 topology
 
    Every experiment accepts --check-invariants: live invariant
@@ -16,19 +17,41 @@
 
 let print_series ppf series = List.iter (Stats.pp_series ppf) series
 
-(* ---------------- metrics export ------------------------------------- *)
+(* ---------------- observability flags -------------------------------- *)
 
-(* Every subcommand runs under [with_metrics dest]: the default registry
-   is reset up front so back-to-back invocations in one process would
-   start clean, and at exit the snapshot goes to stderr (dest = "-") or
-   to a JSON file.  Stdout stays byte-identical with metrics on: the
-   figure outputs are diffed in tests. *)
-let with_metrics dest f =
+(* Every subcommand runs under [with_obs]: the shared --metrics /
+   --profile / --sample handling lives in this one record, one cmdliner
+   term and one exit path, so each experiment only wires the sinks it
+   feeds.  The registry is reset up front so back-to-back invocations in
+   one process would start clean; at exit the metrics snapshot goes to
+   stderr (dest = "-") or to a JSON file, the profile tree goes to its
+   JSONL file, and the telemetry sink is flushed.  Stdout stays
+   byte-identical with everything on: the figure outputs are diffed in
+   tests. *)
+
+type obs = {
+  obs_metrics : string option;  (* --metrics[=FILE]; "-" = stderr table *)
+  obs_profile : string option;  (* --profile[=FILE]: Prof tree as JSONL *)
+  obs_sample : float option;  (* --sample EVERY: telemetry cadence, sim seconds *)
+}
+
+let timeseries_file = "timeseries.jsonl"
+
+(* [f] receives [Some (sink, every)] when --sample was given; the
+   experiment decides how to drive the sink (engine sampler, figure
+   cadence, per-point). *)
+let with_obs obs f =
   Metrics.reset Metrics.default;
   Span.reset ();
+  if obs.obs_profile <> None then Prof.enable ();
+  let sampling =
+    Option.map
+      (fun every -> (Timeseries.create ~sink:(Timeseries.Jsonl timeseries_file) (), every))
+      obs.obs_sample
+  in
   let t0 = Sys.time () in
   let finish () =
-    match dest with
+    (match obs.obs_metrics with
     | None -> ()
     | Some target ->
         Metrics.set (Metrics.gauge "harness.wall_seconds") (Sys.time () -. t0);
@@ -39,9 +62,15 @@ let with_metrics dest f =
           output_string oc (Metrics.to_json snap);
           output_char oc '\n';
           close_out oc
-        end
+        end);
+    (match obs.obs_profile with
+    | None -> ()
+    | Some file ->
+        Prof.write_jsonl file;
+        Prof.disable ());
+    Option.iter (fun (ts, _) -> Timeseries.close ts) sampling
   in
-  Fun.protect ~finally:finish f
+  Fun.protect ~finally:finish (fun () -> f sampling)
 
 (* ---------------- invariant reporting -------------------------------- *)
 
@@ -88,7 +117,7 @@ let fig2_summary r =
   Format.printf "failed block requests  : %d@." r.Allocation_sim.failed_requests;
   Format.printf "claims made            : %d@." r.Allocation_sim.claims_made
 
-let run_fig2 check summary_only days hetero seed =
+let run_fig2 check summary_only days hetero seed sampling =
   let p =
     {
       Allocation_sim.default_params with
@@ -96,6 +125,7 @@ let run_fig2 check summary_only days hetero seed =
       hetero_spread = hetero;
       check_invariants = check;
       seed;
+      telemetry = Option.map fst sampling;
     }
   in
   Format.printf "# MASC claim simulation: 50 top-level domains, 50 (+/- %d) children each, %d days@."
@@ -125,7 +155,7 @@ let fig4_summary (r : Tree_experiment.result) =
     "(paper, in-text: unidirectional avg ~2x / max up to 6x; bidirectional avg <1.3x / max \
      4.5x; hybrid avg <1.2x / max 4x)@."
 
-let run_fig4 check summary_only nodes trials topology seed =
+let run_fig4 check summary_only nodes trials topology seed sampling =
   let topology = if topology = "transit-stub" then `Transit_stub else `Power_law in
   let p =
     {
@@ -135,6 +165,7 @@ let run_fig4 check summary_only nodes trials topology seed =
       topology;
       check_invariants = check;
       seed;
+      telemetry = Option.map fst sampling;
     }
   in
   Format.printf "# Tree quality: %d-node %s topology, %d trials per group size@." nodes
@@ -429,13 +460,16 @@ let net_total inet counter =
 (* A randomized long-run stress of the integrated stack: group churn,
    random senders, and occasional link failures/restores, checking the
    exact-delivery invariant continuously. *)
-let run_soak check trace_out steps seed loss =
+let run_soak check trace_out steps seed loss sampling =
   Format.printf "# soak: %d randomized steps over a transit-stub internetwork (seed %d)@." steps
     seed;
   let rng = Rng.create seed in
   let topo = Gen.transit_stub ~rng ~backbones:2 ~regionals_per_backbone:3 ~stubs_per_regional:3 in
   let inet = Internet.create ~config:{ Internet.quick_config with Internet.loss } topo in
   Option.iter (fun f -> Trace.set_sink (Internet.trace inet) (Trace.Jsonl f)) trace_out;
+  (match sampling with
+  | Some (ts, every) -> Internet.enable_sampling ~every:(Time.seconds every) inet ts
+  | None -> ());
   if check then Internet.enable_invariant_checks inet;
   Internet.start inet;
   Internet.run_for inet (Time.hours 2.0);
@@ -546,10 +580,13 @@ let run_soak check trace_out steps seed loss =
 
 (* ---------------- demo ----------------------------------------------- *)
 
-let run_demo check trace_out loss () =
+let run_demo check trace_out loss sampling () =
   let topo = Gen.figure1 () in
   let inet = Internet.create ~config:{ Internet.quick_config with Internet.loss } topo in
   Option.iter (fun f -> Trace.set_sink (Internet.trace inet) (Trace.Jsonl f)) trace_out;
+  (match sampling with
+  | Some (ts, every) -> Internet.enable_sampling ~every:(Time.seconds every) inet ts
+  | None -> ());
   if check then Internet.enable_invariant_checks inet;
   Internet.start inet;
   Internet.run_for inet (Time.hours 2.0);
@@ -603,6 +640,117 @@ let run_trace file id =
       Trace_report.pp_timelines Format.std_formatter entries;
       Trace_report.pp_latencies Format.std_formatter entries
 
+(* ---------------- report ---------------------------------------------- *)
+
+(* Offline viewer for the other two observability artifacts: the
+   --profile JSONL (per-phase wall-clock/allocation tree) and the
+   --sample JSONL (sim-time telemetry series), plus a re-tabulation of a
+   --metrics=FILE snapshot. *)
+
+(* Text between the first occurrence of [pre] and the next occurrence of
+   [post] after it — enough to re-read the flat one-object-per-line
+   metrics JSON without a JSON dependency. *)
+let extract_between s pre post =
+  let find_from sub from =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+    in
+    go from
+  in
+  match find_from pre 0 with
+  | None -> None
+  | Some i -> (
+      let start = i + String.length pre in
+      match find_from post start with
+      | None -> None
+      | Some j -> Some (String.sub s start (j - start)))
+
+let report_profile ppf file fold =
+  let rows = Prof.load_jsonl file in
+  if rows = [] then Format.fprintf ppf "profile %s: no rows@." file
+  else begin
+    Format.fprintf ppf "--- profile: %s ---@." file;
+    Prof.pp_rows ppf rows
+  end;
+  match fold with
+  | None -> ()
+  | Some out ->
+      let oc = open_out out in
+      output_string oc (Prof.folded rows);
+      close_out oc;
+      Format.fprintf ppf "folded stacks written to %s@." out
+
+let report_timeseries ppf file series =
+  let points = Timeseries.load_jsonl file in
+  if points = [] then Format.fprintf ppf "telemetry %s: no rows@." file
+  else
+    let all = Timeseries.series_of points in
+    match series with
+    | Some name -> (
+        match List.assoc_opt name all with
+        | None -> Format.fprintf ppf "series %s: not present in %s@." name file
+        | Some pts ->
+            Format.fprintf ppf "--- series %s (%s) ---@." name file;
+            Array.iter (fun (t, v) -> Format.fprintf ppf "%14.1f %14g@." t v) pts)
+    | None ->
+        Format.fprintf ppf "--- telemetry: %s ---@." file;
+        Format.fprintf ppf "%-26s %5s %11s %11s %12s %12s %12s %12s@." "series" "n" "t-first"
+          "t-last" "first" "last" "min" "max";
+        List.iter
+          (fun (name, pts) ->
+            let n = Array.length pts in
+            let vmin = Array.fold_left (fun a (_, v) -> min a v) infinity pts in
+            let vmax = Array.fold_left (fun a (_, v) -> max a v) neg_infinity pts in
+            Format.fprintf ppf "%-26s %5d %11.1f %11.1f %12g %12g %12g %12g@." name n
+              (fst pts.(0))
+              (fst pts.(n - 1))
+              (snd pts.(0))
+              (snd pts.(n - 1))
+              vmin vmax)
+          all
+
+let report_metrics ppf file =
+  let ic = open_in file in
+  let n = ref 0 in
+  Format.fprintf ppf "--- metrics: %s ---@." file;
+  (try
+     while true do
+       let line = input_line ic in
+       match extract_between line "\"name\": \"" "\"" with
+       | None -> ()
+       | Some name ->
+           incr n;
+           let kind = Option.value ~default:"?" (extract_between line "\"kind\": \"" "\"") in
+           let detail =
+             match kind with
+             | "counter" | "gauge" ->
+                 Option.value ~default:"" (extract_between line "\"value\": " "}")
+             | "histogram" -> (
+                 match extract_between line "\"count\": " "," with
+                 | Some c -> c ^ " observations"
+                 | None -> "")
+             | _ -> ""
+           in
+           Format.fprintf ppf "%-36s %-10s %s@." name kind detail
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Format.fprintf ppf "%d instrument(s)@." !n
+
+let run_report profile timeseries metrics series fold =
+  let ppf = Format.std_formatter in
+  if Sys.file_exists profile then report_profile ppf profile fold
+  else Format.fprintf ppf "profile %s: not found (produce it with --profile)@." profile;
+  if Sys.file_exists timeseries then report_timeseries ppf timeseries series
+  else
+    Format.fprintf ppf "telemetry %s: not found (produce it with --sample EVERY)@." timeseries;
+  match metrics with
+  | None -> ()
+  | Some file ->
+      if Sys.file_exists file then report_metrics ppf file
+      else Format.fprintf ppf "metrics %s: not found (produce it with --metrics=FILE)@." file
+
 (* ---------------- cmdliner wiring ------------------------------------ *)
 
 open Cmdliner
@@ -619,6 +767,42 @@ let metrics_arg =
           "Collect runtime metrics and export a snapshot at exit: a JSON document written to \
            $(docv), or a human-readable table on standard error when $(docv) is \"-\" (the \
            value used when the option is given bare).")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "profile.jsonl") (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Profile the run: hierarchical wall-clock and allocation spans are collected and \
+           written as JSON lines to $(docv) at exit (default profile.jsonl when the option is \
+           given bare); inspect them with the $(b,report) subcommand.  Standard output is \
+           unchanged.")
+
+let sample_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sample" ] ~docv:"EVERY"
+        ~doc:
+          "Record sim-time telemetry series (pending events, per-protocol in-flight messages, \
+           G-RIB size, outstanding claims, tree entries) as JSON lines to timeseries.jsonl, \
+           sampled every $(docv) simulated seconds; inspect them with the $(b,report) \
+           subcommand.  fig2 samples at its figure cadence and fig4 once per group-size \
+           point, ignoring $(docv).")
+
+(* The full observability record for experiments that can drive a
+   telemetry sink; [obs_basic_term] for the rest (same --metrics /
+   --profile handling, no --sample). *)
+let obs_term =
+  Term.(
+    const (fun m p s -> { obs_metrics = m; obs_profile = p; obs_sample = s })
+    $ metrics_arg $ profile_arg $ sample_arg)
+
+let obs_basic_term =
+  Term.(
+    const (fun m p -> { obs_metrics = m; obs_profile = p; obs_sample = None })
+    $ metrics_arg $ profile_arg)
 
 let seed_arg = Arg.(value & opt int 1998 & info [ "seed" ] ~doc:"Random seed.")
 
@@ -662,9 +846,9 @@ let fig2_cmd =
   Cmd.v
     (Cmd.info "fig2" ~doc)
     Term.(
-      const (fun m check summary days hetero seed ->
-          with_metrics m (fun () -> run_fig2 check summary days hetero seed))
-      $ metrics_arg $ check_arg $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
+      const (fun obs check summary days hetero seed ->
+          with_obs obs (run_fig2 check summary days hetero seed))
+      $ obs_term $ check_arg $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
 
 let fig4_cmd =
   let doc = "Reproduce Figure 4: path-length overhead of shared trees vs shortest-path trees." in
@@ -679,27 +863,27 @@ let fig4_cmd =
   Cmd.v
     (Cmd.info "fig4" ~doc)
     Term.(
-      const (fun m check summary nodes trials topology seed ->
-          with_metrics m (fun () -> run_fig4 check summary nodes trials topology seed))
-      $ metrics_arg $ check_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
+      const (fun obs check summary nodes trials topology seed ->
+          with_obs obs (run_fig4 check summary nodes trials topology seed))
+      $ obs_term $ check_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
 
 let ablate_placement_cmd =
   Cmd.v
     (Cmd.info "ablate-placement"
        ~doc:"A2: first-sub-prefix vs random claim placement (aggregation impact).")
     Term.(
-      const (fun m check days seed ->
-          with_metrics m (fun () -> run_ablate_placement check days seed))
-      $ metrics_arg $ check_arg $ days_arg 400 $ seed_arg)
+      const (fun obs check days seed ->
+          with_obs obs (fun _ -> run_ablate_placement check days seed))
+      $ obs_basic_term $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_threshold_cmd =
   Cmd.v
     (Cmd.info "ablate-threshold"
        ~doc:"A3: occupancy-threshold sweep (utilization/aggregation trade-off).")
     Term.(
-      const (fun m check days seed ->
-          with_metrics m (fun () -> run_ablate_threshold check days seed))
-      $ metrics_arg $ check_arg $ days_arg 400 $ seed_arg)
+      const (fun obs check days seed ->
+          with_obs obs (fun _ -> run_ablate_threshold check days seed))
+      $ obs_basic_term $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_root_cmd =
   let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
@@ -707,26 +891,26 @@ let ablate_root_cmd =
   Cmd.v
     (Cmd.info "ablate-root" ~doc:"A4: root-domain placement sensitivity for tree quality.")
     Term.(
-      const (fun m check nodes trials seed ->
-          with_metrics m (fun () -> run_ablate_root check nodes trials seed))
-      $ metrics_arg $ check_arg $ nodes $ trials $ seed_arg)
+      const (fun obs check nodes trials seed ->
+          with_obs obs (fun _ -> run_ablate_root check nodes trials seed))
+      $ obs_basic_term $ check_arg $ nodes $ trials $ seed_arg)
 
 let ablate_kampai_cmd =
   Cmd.v
     (Cmd.info "ablate-kampai"
        ~doc:"A5: contiguous CIDR claims vs Kampai non-contiguous masks.")
     Term.(
-      const (fun m check days seed ->
-          with_metrics m (fun () -> run_ablate_kampai check days seed))
-      $ metrics_arg $ check_arg $ days_arg 400 $ seed_arg)
+      const (fun obs check days seed ->
+          with_obs obs (fun _ -> run_ablate_kampai check days seed))
+      $ obs_basic_term $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_claim_cmd =
   Cmd.v
     (Cmd.info "ablate-claim"
        ~doc:"A1: claim-collide vs query-response allocation under partition.")
     Term.(
-      const (fun m check seed -> with_metrics m (fun () -> run_ablate_claim check seed))
-      $ metrics_arg $ check_arg $ seed_arg)
+      const (fun obs check seed -> with_obs obs (fun _ -> run_ablate_claim check seed))
+      $ obs_basic_term $ check_arg $ seed_arg)
 
 let baselines_cmd =
   let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
@@ -734,16 +918,16 @@ let baselines_cmd =
   Cmd.v
     (Cmd.info "baselines" ~doc:"Related-work baselines (HPIM, HDVMRP) vs BGMP trees.")
     Term.(
-      const (fun m check nodes trials seed ->
-          with_metrics m (fun () -> run_baselines check nodes trials seed))
-      $ metrics_arg $ check_arg $ nodes $ trials $ seed_arg)
+      const (fun obs check nodes trials seed ->
+          with_obs obs (fun _ -> run_baselines check nodes trials seed))
+      $ obs_basic_term $ check_arg $ nodes $ trials $ seed_arg)
 
 let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT of the Figure-3 topology with its shared tree.")
     Term.(
-      const (fun m check loss () -> with_metrics m (fun () -> run_dot check loss ()))
-      $ metrics_arg $ check_arg $ loss_arg $ const ())
+      const (fun obs check loss () -> with_obs obs (fun _ -> run_dot check loss ()))
+      $ obs_basic_term $ check_arg $ loss_arg $ const ())
 
 let soak_cmd =
   let steps = Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Randomized steps.") in
@@ -751,16 +935,17 @@ let soak_cmd =
     (Cmd.info "soak"
        ~doc:"Randomized churn + failure soak of the integrated stack with invariant checking.")
     Term.(
-      const (fun m check tr steps seed loss ->
-          with_metrics m (fun () -> run_soak check tr steps seed loss))
-      $ metrics_arg $ check_arg $ trace_out_arg $ steps $ seed_arg $ loss_arg)
+      const (fun obs check tr steps seed loss ->
+          with_obs obs (run_soak check tr steps seed loss))
+      $ obs_term $ check_arg $ trace_out_arg $ steps $ seed_arg $ loss_arg)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"End-to-end MASC+BGP+BGMP run on the Figure-1 topology.")
     Term.(
-      const (fun m check tr loss () -> with_metrics m (fun () -> run_demo check tr loss ()))
-      $ metrics_arg $ check_arg $ trace_out_arg $ loss_arg $ const ())
+      const (fun obs check tr loss () ->
+          with_obs obs (fun sampling -> run_demo check tr loss sampling ()))
+      $ obs_term $ check_arg $ trace_out_arg $ loss_arg $ const ())
 
 let trace_cmd =
   let file =
@@ -783,7 +968,55 @@ let trace_cmd =
        ~doc:
          "Inspect a JSONL trace: per-chain timelines, end-to-end claim/join latency summaries, \
           and causal chains for a given trace id.")
-    Term.(const (fun m file id -> with_metrics m (fun () -> run_trace file id)) $ metrics_arg $ file $ id)
+    Term.(
+      const (fun obs file id -> with_obs obs (fun _ -> run_trace file id))
+      $ obs_basic_term $ file $ id)
+
+let report_cmd =
+  let profile =
+    Arg.(
+      value & opt string "profile.jsonl"
+      & info [ "profile" ] ~docv:"FILE" ~doc:"Profile JSONL to read (written by --profile).")
+  in
+  let timeseries =
+    Arg.(
+      value
+      & opt string "timeseries.jsonl"
+      & info [ "timeseries" ] ~docv:"FILE"
+          ~doc:"Telemetry JSONL to read (written by --sample).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Metrics JSON snapshot to re-tabulate (written by --metrics=FILE).")
+  in
+  let series =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series" ] ~docv:"NAME"
+          ~doc:
+            "Dump one telemetry series as (time, value) pairs instead of the summary table \
+             (e.g. grib.routes, engine.pending, alloc.utilization).")
+  in
+  let fold =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fold" ] ~docv:"FILE"
+          ~doc:
+            "Also write flamegraph folded stacks (one \"a;b;c self-microseconds\" line per \
+             span) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize a run's observability artifacts: the per-phase wall-clock/allocation \
+          breakdown from a --profile JSONL, sim-time telemetry series from a --sample JSONL, \
+          and a --metrics JSON snapshot.")
+    Term.(const run_report $ profile $ timeseries $ metrics $ series $ fold)
 
 let main_cmd =
   let doc = "Experiments for the MASC/BGMP inter-domain multicast architecture (SIGCOMM 1998)." in
@@ -801,6 +1034,7 @@ let main_cmd =
       soak_cmd;
       dot_cmd;
       trace_cmd;
+      report_cmd;
       demo_cmd;
     ]
 

@@ -195,7 +195,7 @@ let add_child e target =
 let remove_child e target =
   e.children <- List.filter (fun c -> not (target_equal c target)) e.children
 
-let handle_join ?span t ~group ~from =
+let handle_join_impl ?span t ~group ~from =
   Metrics.incr m_joins;
   match Hashtbl.find_opt t.star group with
   | Some e ->
@@ -218,7 +218,11 @@ let handle_join ?span t ~group ~from =
       note_entries t;
       upstream
 
-let handle_prune t ~group ~from =
+let handle_join ?span t ~group ~from =
+  if Prof.is_enabled () then Prof.span "bgmp.join" (fun () -> handle_join_impl ?span t ~group ~from)
+  else handle_join_impl ?span t ~group ~from
+
+let handle_prune_impl t ~group ~from =
   Metrics.incr m_prunes;
   match Hashtbl.find_opt t.star group with
   | None -> []
@@ -262,7 +266,11 @@ let sg_downstream_empty t group st =
   in
   minus tree_children st.removed = [] && minus st.added st.removed = []
 
-let handle_join_sg t ~source ~group ~from =
+let handle_prune t ~group ~from =
+  if Prof.is_enabled () then Prof.span "bgmp.prune" (fun () -> handle_prune_impl t ~group ~from)
+  else handle_prune_impl t ~group ~from
+
+let handle_join_sg_impl t ~source ~group ~from =
   Metrics.incr m_sg_joins;
   match Hashtbl.find_opt t.sg (source, group) with
   | Some st ->
@@ -300,6 +308,11 @@ let handle_join_sg t ~source ~group ~from =
           Hashtbl.replace t.sg (source, group) st;
           note_entries t;
           upstream)
+
+let handle_join_sg t ~source ~group ~from =
+  if Prof.is_enabled () then
+    Prof.span "bgmp.join_sg" (fun () -> handle_join_sg_impl t ~source ~group ~from)
+  else handle_join_sg_impl t ~source ~group ~from
 
 let handle_prune_sg t ~source ~group ~from =
   Metrics.incr m_sg_prunes;

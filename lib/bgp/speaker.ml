@@ -95,7 +95,7 @@ let exportable t ~dst route =
 (* Re-run the decision process for one prefix and push any change to the
    G-RIB and to peers.  [desired] per peer is what that peer should hear
    from us; diffing against [exported] yields the minimal update. *)
-let reconsider t prefix =
+let reconsider_impl t prefix =
   let candidates =
     let own =
       match Hashtbl.find_opt t.originated_tbl prefix with
@@ -128,28 +128,35 @@ let reconsider t prefix =
     Metrics.set_max m_grib_max (float_of_int (Prefix_trie.cardinal t.grib));
     t.on_grib_change prefix
   end;
-  List.iter
-    (fun peer ->
-      if Hashtbl.mem t.down_peers peer then ()
-      else
-      let desired =
-        match best with
-        | Some r when exportable t ~dst:peer r -> Some (Route.through r t.self)
-        | Some _ | None -> None
-      in
-      let previous = Hashtbl.find_opt t.exported (peer, prefix) in
-      match (previous, desired) with
-      | None, None -> ()
-      | Some old_r, Some new_r when Route.equal old_r new_r -> ()
-      | _, Some new_r ->
-          Hashtbl.replace t.exported (peer, prefix) new_r;
-          Metrics.incr m_advertises;
-          t.send ~dst:peer (Update.Advertise new_r)
-      | Some _, None ->
-          Hashtbl.remove t.exported (peer, prefix);
-          Metrics.incr m_withdraws;
-          t.send ~dst:peer (Update.Withdraw prefix))
-    t.peer_order
+  let export () =
+    List.iter
+      (fun peer ->
+        if Hashtbl.mem t.down_peers peer then ()
+        else
+        let desired =
+          match best with
+          | Some r when exportable t ~dst:peer r -> Some (Route.through r t.self)
+          | Some _ | None -> None
+        in
+        let previous = Hashtbl.find_opt t.exported (peer, prefix) in
+        match (previous, desired) with
+        | None, None -> ()
+        | Some old_r, Some new_r when Route.equal old_r new_r -> ()
+        | _, Some new_r ->
+            Hashtbl.replace t.exported (peer, prefix) new_r;
+            Metrics.incr m_advertises;
+            t.send ~dst:peer (Update.Advertise new_r)
+        | Some _, None ->
+            Hashtbl.remove t.exported (peer, prefix);
+            Metrics.incr m_withdraws;
+            t.send ~dst:peer (Update.Withdraw prefix))
+      t.peer_order
+  in
+  if Prof.is_enabled () then Prof.span "bgp.export" export else export ()
+
+let reconsider t prefix =
+  if Prof.is_enabled () then Prof.span "bgp.decide" (fun () -> reconsider_impl t prefix)
+  else reconsider_impl t prefix
 
 let originate ?lifetime_end ?span t prefix =
   let r = Route.originate ?lifetime_end ?span t.self prefix in

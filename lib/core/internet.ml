@@ -252,6 +252,39 @@ let check_invariants ?(quiescent = true) t =
 let enable_invariant_checks ?(cadence = Time.hours 1.0) t =
   Engine.set_monitor t.engine ~cadence (fun ~quiescent -> ignore (check_invariants ~quiescent t))
 
+(* Telemetry: register the stack's convergence-curve sources on [ts] and
+   drive them from the engine's sampler hook, mirroring how invariant
+   checks ride the monitor — no events of its own, so sampling never
+   changes scheduling order or keeps a drained run alive. *)
+let enable_sampling ?(every = Time.minutes 1.0) t ts =
+  Timeseries.register ts "engine.pending" (fun () -> float_of_int (Engine.pending t.engine));
+  List.iter
+    (fun proto ->
+      Timeseries.register ts ("net.inflight." ^ proto) (fun () ->
+          float_of_int (Net.in_flight t.net ~protocol:proto)))
+    [ "masc"; "bgp"; "bgmp" ];
+  let domains () = Topo.domains t.net_topo in
+  Timeseries.register ts "grib.routes" (fun () ->
+      List.fold_left
+        (fun acc (d : Domain.t) ->
+          acc +. float_of_int (Speaker.grib_size (Bgp_network.speaker t.bgp_net d.Domain.id)))
+        0.0 (domains ()));
+  Timeseries.register ts "masc.claims_outstanding" (fun () ->
+      List.fold_left
+        (fun acc id ->
+          acc +. float_of_int (List.length (Masc_node.all_claims (Masc_network.node t.masc_net id))))
+        0.0
+        (Masc_network.ids t.masc_net));
+  Timeseries.register ts "bgmp.tree_entries" (fun () ->
+      List.fold_left
+        (fun acc (d : Domain.t) ->
+          List.fold_left
+            (fun acc r -> acc +. float_of_int (Bgmp_router.entry_count r))
+            acc
+            (Bgmp_fabric.routers_of t.bgmp_fabric d.Domain.id))
+        0.0 (domains ()));
+  Engine.set_sampler t.engine ~every (fun time -> Timeseries.sample ts ~time)
+
 let invariant_violations t = List.rev t.seen_violations
 
 let invariants t = t.invariants
@@ -314,7 +347,7 @@ let create ?(config = default_config) ?migp_style net_topo =
     if not (Hashtbl.mem pending_rebuild group) then begin
       Hashtbl.replace pending_rebuild group ();
       ignore
-        (Engine.schedule_after engine Time.zero (fun () ->
+        (Engine.schedule_after ~label:"core.rebuild" engine Time.zero (fun () ->
              Hashtbl.remove pending_rebuild group;
              Bgmp_fabric.rebuild_group bgmp_fabric ~group))
     end
@@ -375,13 +408,17 @@ let fail_link t a b =
   (* Rebuild once the withdrawals settle; the grib-change hook also
      fires rebuilds during reconvergence, but a group whose routes are
      unaffected can still have tree edges over the dead link. *)
-  ignore (Engine.schedule_after t.engine (Time.seconds 1.0) (fun () -> rebuild_all_groups t))
+  ignore
+    (Engine.schedule_after ~label:"core.rebuild" t.engine (Time.seconds 1.0) (fun () ->
+         rebuild_all_groups t))
 
 let restore_link t a b =
   if Topo.link_between t.net_topo a b = None then
     invalid_arg "Internet.restore_link: no such link";
   Net.restore_link t.net a b;
-  ignore (Engine.schedule_after t.engine (Time.seconds 1.0) (fun () -> rebuild_all_groups t))
+  ignore
+    (Engine.schedule_after ~label:"core.rebuild" t.engine (Time.seconds 1.0) (fun () ->
+         rebuild_all_groups t))
 
 let run_for t duration = Engine.run ~until:(Engine.now t.engine +. duration) t.engine
 

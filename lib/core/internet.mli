@@ -142,6 +142,16 @@ val invariant_violations : t -> Invariant.violation list
 
 val invariants : t -> Invariant.t
 
+val enable_sampling : ?every:Time.t -> t -> Timeseries.t -> unit
+(** Register the stack's convergence-curve sources on the sink —
+    ["engine.pending"], ["net.inflight.masc/bgp/bgmp"],
+    ["grib.routes"] (G-RIB entries summed over domains),
+    ["masc.claims_outstanding"], ["bgmp.tree_entries"] — and install an
+    engine sampler that snapshots them every [every] of simulated time
+    (default 1 min) plus once when the run stops.  Like the invariant
+    monitor, the sampler piggybacks on event execution: it schedules
+    nothing, so the run's event order and stdout are untouched. *)
+
 val join : t -> host:Host_ref.t -> group:Ipv4.t -> unit
 
 val leave : t -> host:Host_ref.t -> group:Ipv4.t -> unit

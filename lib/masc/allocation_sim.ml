@@ -13,6 +13,7 @@ type params = {
   hetero_spread : int;
   check_invariants : bool;
   seed : int;
+  telemetry : Timeseries.t option;
 }
 
 let default_params =
@@ -31,6 +32,7 @@ let default_params =
     hetero_spread = 0;
     check_invariants = false;
     seed = 1998;
+    telemetry = None;
   }
 
 type sample = {
@@ -91,6 +93,7 @@ type sim = {
   mutable requests : int;
   mutable claims_made : int;
   mutable samples_rev : sample list;
+  mutable last_sample : sample option;
   mutable right_size_top : sim -> top -> unit;
   mutable right_size_child : sim -> child -> unit;
   mutable violations : int;
@@ -125,7 +128,7 @@ let top_used top = List.fold_left (fun acc c -> acc + c.used) 0 (live_claims top
 let rec schedule_claim_expiry sim ~(arena : Address_space.t) ~(holder : dom_claim)
     ~(may_renew : unit -> bool) ?(on_renew = fun () -> ()) ~(on_release : unit -> unit) () =
   ignore
-    (Engine.schedule_at sim.engine holder.expires (fun () ->
+    (Engine.schedule_at ~label:"alloc.claim_expiry" sim.engine holder.expires (fun () ->
          if holder.alive then begin
            if holder.used > 0 && may_renew () then begin
              holder.expires <- Engine.now sim.engine +. sim.p.claim_lifetime;
@@ -429,7 +432,7 @@ let expire_block sim child holder () =
 let rec child_request_loop sim child =
   let delay = Rng.float_in child.c_rng sim.p.request_min sim.p.request_max in
   ignore
-    (Engine.schedule_after sim.engine delay (fun () ->
+    (Engine.schedule_after ~label:"alloc.request" sim.engine delay (fun () ->
          sim.requests <- sim.requests + 1;
          Metrics.incr m_requests;
          (match child_satisfy sim child ~attempts:3 with
@@ -438,7 +441,7 @@ let rec child_request_loop sim child =
              sim.demanded <- sim.demanded + sim.p.block_size;
              sim.blocks <- sim.blocks + 1;
              ignore
-               (Engine.schedule_after sim.engine sim.p.block_lifetime
+               (Engine.schedule_after ~label:"alloc.block_expiry" sim.engine sim.p.block_lifetime
                   (fun () -> expire_block sim child holder ()))
          | None ->
              sim.failed <- sim.failed + 1;
@@ -575,6 +578,7 @@ let run p =
       requests = 0;
       claims_made = 0;
       samples_rev = [];
+      last_sample = None;
       right_size_top = (fun _ _ -> ());
       right_size_child = (fun _ _ -> ());
       violations = 0;
@@ -584,35 +588,60 @@ let run p =
   sim.right_size_top <- right_size_top;
   sim.right_size_child <- right_size_child;
   Invariant.register sim.invariants ~name:"allocation-overlap" (overlap_violations sim);
-  Array.iter (fun c -> child_request_loop sim c) child_doms;
+  (* Telemetry sources read the sim's running tallies plus the latest
+     figure sample, so the series ride the existing sampling cadence
+     with no extra events. *)
+  (match p.telemetry with
+  | Some ts ->
+      let of_last f = match sim.last_sample with Some s -> f s | None -> 0.0 in
+      Timeseries.register ts "alloc.pending_events" (fun () ->
+          float_of_int (Engine.pending engine));
+      Timeseries.register ts "alloc.outstanding_blocks" (fun () -> float_of_int sim.blocks);
+      Timeseries.register ts "alloc.claimed_addresses" (fun () -> float_of_int sim.claimed_top);
+      Timeseries.register ts "alloc.demanded_addresses" (fun () -> float_of_int sim.demanded);
+      Timeseries.register ts "alloc.utilization" (fun () -> of_last (fun s -> s.utilization));
+      Timeseries.register ts "alloc.grib_avg" (fun () -> of_last (fun s -> s.grib_avg));
+      Timeseries.register ts "alloc.grib_max" (fun () ->
+          of_last (fun s -> float_of_int s.grib_max));
+      Timeseries.register ts "alloc.top_prefixes" (fun () ->
+          of_last (fun s -> float_of_int s.top_prefixes))
+  | None -> ());
+  Prof.span "fig2.populate" (fun () ->
+      Array.iter (fun c -> child_request_loop sim c) child_doms);
   let rec sampling () =
     ignore
-      (Engine.schedule_after engine p.sample_interval (fun () ->
-           sim.samples_rev <- take_sample sim :: sim.samples_rev;
+      (Engine.schedule_after ~label:"alloc.sample" engine p.sample_interval (fun () ->
+           let s = take_sample sim in
+           sim.last_sample <- Some s;
+           sim.samples_rev <- s :: sim.samples_rev;
+           (match p.telemetry with
+           | Some ts -> Timeseries.sample ts ~time:(Time.to_seconds (Engine.now engine))
+           | None -> ());
            if Engine.now engine < p.horizon then sampling ()))
   in
   sampling ();
-  Engine.run ~until:p.horizon engine;
-  let snapshot claims =
-    List.map
-      (fun c -> { h_prefix = c.prefix; h_active = c.active; h_used = c.used })
-      (live_claims claims)
-  in
-  let top_converged_day =
-    Option.value ~default:0.0
-      (Option.map Time.to_days (List.assoc_opt "masc" (Engine.watermarks engine)))
-  in
-  Metrics.set m_converged top_converged_day;
-  {
-    samples = Array.of_list (List.rev sim.samples_rev);
-    failed_requests = sim.failed;
-    total_requests = sim.requests;
-    claims_made = sim.claims_made;
-    final_tops = Array.map (fun top -> snapshot top.t_claims) sim.top_doms;
-    final_children = Array.map (fun c -> snapshot c.c_claims) sim.child_doms;
-    invariant_violations = sim.violations;
-    top_converged_day;
-  }
+  Prof.span "fig2.run" (fun () -> Engine.run ~until:p.horizon engine);
+  Prof.span "fig2.summarize" (fun () ->
+      let snapshot claims =
+        List.map
+          (fun c -> { h_prefix = c.prefix; h_active = c.active; h_used = c.used })
+          (live_claims claims)
+      in
+      let top_converged_day =
+        Option.value ~default:0.0
+          (Option.map Time.to_days (List.assoc_opt "masc" (Engine.watermarks engine)))
+      in
+      Metrics.set m_converged top_converged_day;
+      {
+        samples = Array.of_list (List.rev sim.samples_rev);
+        failed_requests = sim.failed;
+        total_requests = sim.requests;
+        claims_made = sim.claims_made;
+        final_tops = Array.map (fun top -> snapshot top.t_claims) sim.top_doms;
+        final_children = Array.map (fun c -> snapshot c.c_claims) sim.child_doms;
+        invariant_violations = sim.violations;
+        top_converged_day;
+      })
 
 let steady_state result ~from_day =
   Array.to_list (Array.of_seq (Seq.filter (fun s -> s.day >= from_day) (Array.to_seq result.samples)))

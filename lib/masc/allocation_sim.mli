@@ -44,6 +44,11 @@ type params = {
           hold overlapping live claims) at every sample; default [false]
           — the O(claims²) sweep is measurable on the full 50×50 run *)
   seed : int;
+  telemetry : Timeseries.t option;
+      (** when set, every figure sample also lands one [alloc.*] row per
+          series in the sink (pending events, outstanding blocks,
+          claimed/demanded addresses, utilization, G-RIB avg/max, top
+          prefixes), timestamped in sim seconds; default [None] *)
 }
 
 val default_params : params

@@ -102,7 +102,7 @@ module Sim = struct
     let rec demand_loop i =
       let d = doms.(i) in
       ignore
-        (Engine.schedule_after engine
+        (Engine.schedule_after ~label:"kampai.request" engine
            (Rng.float_in rng p.request_min p.request_max)
            (fun () ->
              let rec ensure () =
@@ -117,7 +117,7 @@ module Sim = struct
              if ensure () then begin
                d.kused <- d.kused + p.block_size;
                ignore
-                 (Engine.schedule_after engine p.block_lifetime (fun () ->
+                 (Engine.schedule_after ~label:"kampai.block_expiry" engine p.block_lifetime (fun () ->
                       d.kused <- d.kused - p.block_size;
                       (* Release space eagerly: because regrowth can
                          never be blocked by a neighbour's buddy, Kampai
@@ -151,7 +151,7 @@ module Sim = struct
     in
     let rec sampling () =
       ignore
-        (Engine.schedule_after engine (Time.days 1.0) (fun () ->
+        (Engine.schedule_after ~label:"kampai.sample" engine (Time.days 1.0) (fun () ->
              sample ();
              if Engine.now engine < p.horizon then sampling ()))
     in
@@ -233,14 +233,14 @@ module Sim = struct
     let rec demand_loop i =
       let d = doms.(i) in
       ignore
-        (Engine.schedule_after engine
+        (Engine.schedule_after ~label:"kampai.request" engine
            (Rng.float_in rng p.request_min p.request_max)
            (fun () ->
              (match satisfy d 3 with
              | Some c ->
                  c.cused <- c.cused + p.block_size;
                  ignore
-                   (Engine.schedule_after engine p.block_lifetime (fun () ->
+                   (Engine.schedule_after ~label:"kampai.block_expiry" engine p.block_lifetime (fun () ->
                         c.cused <- c.cused - p.block_size;
                         release_if_empty d c))
              | None -> incr failures);
@@ -268,7 +268,7 @@ module Sim = struct
     in
     let rec sampling () =
       ignore
-        (Engine.schedule_after engine (Time.days 1.0) (fun () ->
+        (Engine.schedule_after ~label:"kampai.sample" engine (Time.days 1.0) (fun () ->
              sample ();
              if Engine.now engine < p.horizon then sampling ()))
     in

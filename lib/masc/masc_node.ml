@@ -235,7 +235,7 @@ let refresh_down_covers t =
 
 let signal_space_changed t =
   ignore
-    (Engine.schedule_after t.engine Time.zero (fun () ->
+    (Engine.schedule_after ~label:"masc.space_changed" t.engine Time.zero (fun () ->
          List.iter (fun f -> f ()) t.on_space_changed))
 
 (* ------------------------------------------------------------------ *)
@@ -281,7 +281,8 @@ let announce_claim t ctl =
 
 let rec schedule_renewal t ctl =
   let at = max (Engine.now t.engine) (ctl.claim.claim_lifetime_end -. t.config.renew_margin) in
-  ctl.renew_timer <- Some (Engine.schedule_at t.engine at (fun () -> renewal_decision t ctl))
+  ctl.renew_timer <-
+    Some (Engine.schedule_at ~label:"masc.renew" t.engine at (fun () -> renewal_decision t ctl))
 
 and renewal_decision t ctl =
   if List.memq ctl t.own then begin
@@ -310,7 +311,8 @@ and renewal_decision t ctl =
       ctl.claim.claim_active <- false;
       ctl.renew_timer <-
         Some
-          (Engine.schedule_at t.engine (max expiry (Engine.now t.engine)) (fun () ->
+          (Engine.schedule_at ~label:"masc.expire" t.engine (max expiry (Engine.now t.engine))
+             (fun () ->
                if List.memq ctl t.own && used_in t ctl = 0 then begin
                  trace t "expire" "%a" Prefix.pp ctl.claim.claim_prefix;
                  remove_own t ctl ~release:true ~lost:true
@@ -424,7 +426,9 @@ and start_claim t arena ~want_len ?(absorbing = None) ?(consolidating = false) (
         | None, false -> "new");
       announce_claim t ctl;
       ctl.wait_timer <-
-        Some (Engine.schedule_after t.engine t.config.claim_wait (fun () -> finish_wait t ctl));
+        Some
+          (Engine.schedule_after ~label:"masc.claim_wait" t.engine t.config.claim_wait (fun () ->
+               finish_wait t ctl));
       true
 
 and escalate_up t ~need =
@@ -612,7 +616,7 @@ let duel_own_claims t arena ~owner ~prefix =
       else (foreign_wins, ctl :: losers))
     (true, []) overlapping
 
-let handle_claim_announce t arena ~owner ~prefix ~lifetime_end ~span =
+let handle_claim_announce_impl t arena ~owner ~prefix ~lifetime_end ~span =
   if owner = t.self then ()
   else begin
     (* Parent validation: a child claim outside our space is rejected
@@ -665,7 +669,13 @@ let handle_claim_announce t arena ~owner ~prefix ~lifetime_end ~span =
     end
   end
 
-let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix ~span =
+let handle_claim_announce t arena ~owner ~prefix ~lifetime_end ~span =
+  if Prof.is_enabled () then
+    Prof.span "masc.claim_announce" (fun () ->
+        handle_claim_announce_impl t arena ~owner ~prefix ~lifetime_end ~span)
+  else handle_claim_announce_impl t arena ~owner ~prefix ~lifetime_end ~span
+
+let handle_collision_impl t ~victim ~victim_prefix ~winner ~winner_prefix ~span =
   if victim = t.self then begin
     match
       List.find_opt (fun c -> Prefix.equal c.claim.claim_prefix victim_prefix) t.own
@@ -703,6 +713,12 @@ let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix ~span =
     (* Relay a collision announcement toward our child. *)
     send t victim
       (Masc_message.Collision_announce { victim; victim_prefix; winner; winner_prefix; span })
+
+let handle_collision t ~victim ~victim_prefix ~winner ~winner_prefix ~span =
+  if Prof.is_enabled () then
+    Prof.span "masc.collision" (fun () ->
+        handle_collision_impl t ~victim ~victim_prefix ~winner ~winner_prefix ~span)
+  else handle_collision_impl t ~victim ~victim_prefix ~winner ~winner_prefix ~span
 
 let receive t ~from_ msg =
   let arena_of_sender () = if List.mem from_ t.children then Down else Up in
@@ -785,5 +801,5 @@ let start t =
     refresh_down_covers t;
     advertise_space_to_children t;
     let interval = max (Time.hours 1.0) (t.config.claim_lifetime /. 10.0) in
-    ignore (Engine.periodic t.engine ~interval (fun () -> sweep t))
+    ignore (Engine.periodic ~label:"masc.sweep" t.engine ~interval (fun () -> sweep t))
   end

@@ -9,9 +9,17 @@ type stats = {
   mutable n_sent : int;
   mutable n_delivered : int;
   mutable n_dropped : int;
+  mutable n_inflight : int;
   m_sent : Metrics.counter;
   m_delivered : Metrics.counter;
   m_dropped : Metrics.counter;
+  (* Queue depth across all the protocol's channels: up on enqueue,
+     down when the message leaves the wire — delivered or epoch-dropped
+     in flight.  At-source drops never enqueue, so they never touch it. *)
+  m_inflight : Metrics.gauge;
+  (* Profiler bucket for this protocol's delivery events, built once so
+     [send] does no string concatenation per message. *)
+  ev_label : string;
 }
 
 type t = {
@@ -70,9 +78,12 @@ let stats_for t protocol =
           n_sent = 0;
           n_delivered = 0;
           n_dropped = 0;
+          n_inflight = 0;
           m_sent = Metrics.counter ("net.sent." ^ protocol);
           m_delivered = Metrics.counter ("net.delivered." ^ protocol);
           m_dropped = Metrics.counter ("net.dropped." ^ protocol);
+          m_inflight = Metrics.gauge ("net.inflight." ^ protocol);
+          ev_label = "net.deliver." ^ protocol;
         }
       in
       Hashtbl.add t.by_protocol protocol s;
@@ -112,9 +123,13 @@ let drop ch ?span reason =
 
 let deliver ch =
   let msg, span, sent_epoch = Queue.pop ch.queue in
+  let st = ch.stats in
+  (* The message left the wire whether it lands or was caught by a
+     down-transition: the in-flight gauge drops on both paths. *)
+  st.n_inflight <- st.n_inflight - 1;
+  Metrics.set st.m_inflight (float_of_int st.n_inflight);
   if epoch_of ch.net ch.src ch.dst <> sent_epoch then drop ch ?span "in-flight"
   else begin
-    let st = ch.stats in
     st.n_delivered <- st.n_delivered + 1;
     Metrics.incr st.m_delivered;
     ch.recv msg
@@ -130,12 +145,14 @@ let send ch ?span msg =
     drop ch ?span "loss"
   else begin
     Queue.push (msg, span, epoch_of n ch.src ch.dst) ch.queue;
+    st.n_inflight <- st.n_inflight + 1;
+    Metrics.set st.m_inflight (float_of_int st.n_inflight);
     (* The clamp keeps delivery FIFO even if a future channel variant
        gets a per-message delay; with a constant delay it is a no-op,
        so schedule times are exactly [now + delay]. *)
     let at = Float.max (Engine.now n.engine +. ch.delay) ch.last_delivery in
     ch.last_delivery <- at;
-    ignore (Engine.schedule_at n.engine at (fun () -> deliver ch))
+    ignore (Engine.schedule_at ~label:st.ev_label n.engine at (fun () -> deliver ch))
   end
 
 (* Returns whether the direction changed state, so fail/restore notify
@@ -181,3 +198,9 @@ let delivered t ~protocol =
 
 let dropped t ~protocol =
   match Hashtbl.find_opt t.by_protocol protocol with Some s -> s.n_dropped | None -> 0
+
+let in_flight t ~protocol =
+  match Hashtbl.find_opt t.by_protocol protocol with Some s -> s.n_inflight | None -> 0
+
+let protocols t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.by_protocol [] |> List.sort String.compare

@@ -119,3 +119,13 @@ val delivered : t -> protocol:string -> int
 
 val dropped : t -> protocol:string -> int
 (** Loss + dropped-at-source + lost-in-flight. *)
+
+val in_flight : t -> protocol:string -> int
+(** Messages currently on the wire across the protocol's channels
+    (sent, not yet delivered or dropped).  Mirrored live in the
+    [net.inflight.<protocol>] gauge: incremented on enqueue,
+    decremented on delivery {e and} on an in-flight epoch drop; a drop
+    at the source never enqueues, so it never moves the gauge. *)
+
+val protocols : t -> string list
+(** Protocols that have sent at least once on this net, sorted. *)

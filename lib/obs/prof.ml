@@ -1,0 +1,296 @@
+(* A global tree of sections.  The same section name under two
+   different parents is two nodes, so total/self accounting stays a
+   strict tree and folded stacks come out for free.  All mutation is
+   behind the [on] flag: the disabled path of [span] is one load, one
+   branch and a tail call. *)
+
+type node = {
+  name : string;
+  mutable count : int;
+  mutable total_s : float;
+  mutable total_bytes : float;
+  children : (string, node) Hashtbl.t;
+  (* first-entered order, reversed; hashtable iteration order is
+     insertion-dependent but not specified, and reports must be
+     deterministic for a deterministic run. *)
+  mutable order : string list;
+}
+
+let make_node name =
+  { name; count = 0; total_s = 0.0; total_bytes = 0.0; children = Hashtbl.create 8; order = [] }
+
+let root = ref (make_node "")
+
+let current = ref !root
+
+let on = ref false
+
+let is_enabled () = !on
+
+let reset () =
+  root := make_node "";
+  current := !root
+
+let enable () =
+  reset ();
+  on := true
+
+let disable () = on := false
+
+let child_of parent name =
+  match Hashtbl.find_opt parent.children name with
+  | Some n -> n
+  | None ->
+      let n = make_node name in
+      Hashtbl.add parent.children name n;
+      parent.order <- name :: parent.order;
+      n
+
+let span name f =
+  if not !on then f ()
+  else begin
+    let parent = !current in
+    let node = child_of parent name in
+    node.count <- node.count + 1;
+    current := node;
+    let t0 = Unix.gettimeofday () in
+    let a0 = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.total_s <- node.total_s +. (Unix.gettimeofday () -. t0);
+        node.total_bytes <- node.total_bytes +. (Gc.allocated_bytes () -. a0);
+        current := parent)
+      f
+  end
+
+(* --- Reporting ------------------------------------------------------- *)
+
+type row = {
+  path : string list;
+  count : int;
+  total_s : float;
+  self_s : float;
+  total_bytes : float;
+  self_bytes : float;
+}
+
+let children_in_order (node : node) : node list =
+  List.rev_map (Hashtbl.find node.children) node.order
+
+let rows () =
+  let acc = ref [] in
+  let rec walk path (node : node) =
+    let kids = children_in_order node in
+    let kid_s = List.fold_left (fun s (k : node) -> s +. k.total_s) 0.0 kids in
+    let kid_b = List.fold_left (fun s (k : node) -> s +. k.total_bytes) 0.0 kids in
+    if node.name <> "" then begin
+      let path = path @ [ node.name ] in
+      acc :=
+        {
+          path;
+          count = node.count;
+          total_s = node.total_s;
+          self_s = Float.max 0.0 (node.total_s -. kid_s);
+          total_bytes = node.total_bytes;
+          self_bytes = Float.max 0.0 (node.total_bytes -. kid_b);
+        }
+        :: !acc;
+      List.iter (walk path) kids
+    end
+    else List.iter (walk path) kids
+  in
+  walk [] !root;
+  List.rev !acc
+
+let pp_seconds ppf s =
+  if s >= 1.0 then Format.fprintf ppf "%8.3fs" s
+  else if s >= 1e-3 then Format.fprintf ppf "%7.3fms" (s *. 1e3)
+  else Format.fprintf ppf "%7.1fus" (s *. 1e6)
+
+let pp_bytes ppf b =
+  if Float.abs b >= 1048576.0 then Format.fprintf ppf "%7.1fMB" (b /. 1048576.0)
+  else if Float.abs b >= 1024.0 then Format.fprintf ppf "%7.1fkB" (b /. 1024.0)
+  else Format.fprintf ppf "%7.0fB " b
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "%-40s %10s %9s %9s %9s %9s@." "section" "count" "total" "self" "alloc"
+    "self-alloc";
+  List.iter
+    (fun r ->
+      let depth = List.length r.path - 1 in
+      let name =
+        String.make (2 * depth) ' ' ^ (match List.rev r.path with n :: _ -> n | [] -> "")
+      in
+      Format.fprintf ppf "%-40s %10d %a %a %a %a@." name r.count pp_seconds r.total_s pp_seconds
+        r.self_s pp_bytes r.total_bytes pp_bytes r.self_bytes)
+    rows
+
+let pp ppf () = pp_rows ppf (rows ())
+
+(* --- JSONL round-trip ------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let row_to_json r =
+  Printf.sprintf
+    "{\"path\": \"%s\", \"count\": %d, \"total_s\": %.17g, \"self_s\": %.17g, \"total_bytes\": \
+     %.17g, \"self_bytes\": %.17g}"
+    (json_escape (String.concat ";" r.path))
+    r.count r.total_s r.self_s r.total_bytes r.self_bytes
+
+(* Scanner for exactly the shape [row_to_json] emits: fixed key order,
+   escaped string path, plain numbers. *)
+let row_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let error = ref false in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && line.[!pos] = c then incr pos else error := true
+  in
+  let literal s =
+    skip_ws ();
+    let k = String.length s in
+    if !pos + k <= n && String.sub line !pos k = s then pos := !pos + k else error := true
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let fin = ref false in
+    while (not !fin) && not !error do
+      if !pos >= n then error := true
+      else begin
+        let c = line.[!pos] in
+        incr pos;
+        if c = '"' then fin := true
+        else if c = '\\' then begin
+          if !pos >= n then error := true
+          else begin
+            let e = line.[!pos] in
+            incr pos;
+            match e with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'u' ->
+                if !pos + 4 <= n then begin
+                  (match int_of_string_opt ("0x" ^ String.sub line !pos 4) with
+                  | Some code when code < 0x100 -> Buffer.add_char b (Char.chr code)
+                  | Some _ | None -> error := true);
+                  pos := !pos + 4
+                end
+                else error := true
+            | _ -> error := true
+          end
+        end
+        else Buffer.add_char b c
+      end
+    done;
+    Buffer.contents b
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None ->
+        error := true;
+        0.0
+  in
+  let field key =
+    literal ("\"" ^ key ^ "\"");
+    expect ':'
+  in
+  expect '{';
+  field "path";
+  let path = parse_string () in
+  expect ',';
+  field "count";
+  let count = parse_number () in
+  expect ',';
+  field "total_s";
+  let total_s = parse_number () in
+  expect ',';
+  field "self_s";
+  let self_s = parse_number () in
+  expect ',';
+  field "total_bytes";
+  let total_bytes = parse_number () in
+  expect ',';
+  field "self_bytes";
+  let self_bytes = parse_number () in
+  expect '}';
+  if !error then None
+  else
+    Some
+      {
+        path = String.split_on_char ';' path;
+        count = int_of_float count;
+        total_s;
+        self_s;
+        total_bytes;
+        self_bytes;
+      }
+
+let to_jsonl () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (row_to_json r);
+      Buffer.add_char b '\n')
+    (rows ());
+  Buffer.contents b
+
+let write_jsonl file =
+  let oc = open_out file in
+  output_string oc (to_jsonl ());
+  close_out oc
+
+let load_jsonl file =
+  let ic = open_in file in
+  let acc = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match row_of_json line with Some r -> acc := r :: !acc | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !acc
+
+let folded rows =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      let us = int_of_float (Float.round (r.self_s *. 1e6)) in
+      if us > 0 then Printf.bprintf b "%s %d\n" (String.concat ";" r.path) us)
+    rows;
+  Buffer.contents b
+
+let find rows path = List.find_opt (fun r -> r.path = path) rows

@@ -1,0 +1,68 @@
+(** Hierarchical scoped profiler.
+
+    [span "spf.dijkstra" f] times [f ()] (wall clock and GC-allocated
+    bytes) and charges it to the node ["spf.dijkstra"] under whatever
+    span is currently open, building a call tree per process.  The
+    profiler is global and off by default: when disabled, [span] is a
+    single flag test plus a tail call — no clock reads, no allocation,
+    no table lookups — so instrumented hot paths stay byte-identical in
+    behaviour and near-identical in cost.
+
+    All output goes through the caller's formatter or an explicit file,
+    never stdout, so seeded runs stay byte-identical on stdout. *)
+
+val is_enabled : unit -> bool
+
+val enable : unit -> unit
+(** Also resets any previously collected tree. *)
+
+val disable : unit -> unit
+(** Stops collection; the tree collected so far remains readable. *)
+
+val reset : unit -> unit
+
+val span : string -> (unit -> 'a) -> 'a
+(** Run the thunk under a named section.  Sections nest: the same name
+    under different parents is a different node.  Exceptions propagate;
+    the section is closed and charged either way. *)
+
+(** {1 Reporting} *)
+
+type row = {
+  path : string list;  (** root-to-node section names *)
+  count : int;  (** times the section was entered *)
+  total_s : float;  (** wall-clock including children *)
+  self_s : float;  (** wall-clock minus children *)
+  total_bytes : float;  (** GC-allocated bytes including children *)
+  self_bytes : float;  (** GC-allocated bytes minus children *)
+}
+
+val rows : unit -> row list
+(** Depth-first pre-order, children in first-entered order. *)
+
+val pp_rows : Format.formatter -> row list -> unit
+(** Indented table: count, total/self wall-clock, total/self allocation. *)
+
+val pp : Format.formatter -> unit -> unit
+(** [pp_rows] of the live tree. *)
+
+val row_to_json : row -> string
+(** One JSON object, path joined with [';']. *)
+
+val row_of_json : string -> row option
+
+val to_jsonl : unit -> string
+
+val write_jsonl : string -> unit
+(** Write the live tree to [file], one row per line. *)
+
+val load_jsonl : string -> row list
+(** Parse a file written by [write_jsonl]; unparseable lines are
+    skipped. *)
+
+val folded : row list -> string
+(** Flamegraph folded-stacks: one ["a;b;c <self-microseconds>"] line per
+    row with non-zero self time. *)
+
+val find : row list -> string list -> row option
+(** Look up a row by exact path. *)

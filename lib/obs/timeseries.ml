@@ -1,0 +1,204 @@
+type sink = Memory | Ring of int | Jsonl of string
+
+type store =
+  | S_memory of (float * (string * float) list) list ref  (* reversed *)
+  | S_ring of { cap : int; buf : (float * (string * float) list) option array; mutable next : int }
+  | S_jsonl of { file : string; mutable oc : out_channel option }
+
+type t = {
+  mutable srcs : (string * (unit -> float) ref) list;  (* reversed registration order *)
+  store : store;
+  mutable n : int;
+}
+
+let create ?(sink = Memory) () =
+  let store =
+    match sink with
+    | Memory -> S_memory (ref [])
+    | Ring cap ->
+        if cap <= 0 then invalid_arg "Timeseries.create: non-positive ring";
+        S_ring { cap; buf = Array.make cap None; next = 0 }
+    | Jsonl file -> S_jsonl { file; oc = None }
+  in
+  { srcs = []; store; n = 0 }
+
+let register t name read =
+  match List.assoc_opt name t.srcs with
+  | Some cell -> cell := read
+  | None -> t.srcs <- (name, ref read) :: t.srcs
+
+let register_gauge t name g = register t name (fun () -> Metrics.value g)
+
+let register_counter t name c = register t name (fun () -> float_of_int (Metrics.count c))
+
+let sources t = List.rev_map fst t.srcs
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sample t ~time =
+  let row = List.rev_map (fun (name, read) -> (name, !read ())) t.srcs in
+  t.n <- t.n + 1;
+  match t.store with
+  | S_memory cell -> cell := (time, row) :: !cell
+  | S_ring r ->
+      r.buf.(r.next) <- Some (time, row);
+      r.next <- (r.next + 1) mod r.cap
+  | S_jsonl j ->
+      let oc =
+        match j.oc with
+        | Some oc -> oc
+        | None ->
+            let oc = open_out j.file in
+            j.oc <- Some oc;
+            oc
+      in
+      List.iter
+        (fun (name, v) ->
+          Printf.fprintf oc "{\"at\": %.17g, \"series\": \"%s\", \"value\": %.17g}\n" time
+            (json_escape name) v)
+        row
+
+let samples t = t.n
+
+let rows t =
+  match t.store with
+  | S_memory cell -> List.rev !cell
+  | S_ring r ->
+      let out = ref [] in
+      for i = 1 to r.cap do
+        (* oldest slot first: [next] points at the oldest entry *)
+        match r.buf.((r.next + r.cap - i) mod r.cap) with
+        | Some row -> out := row :: !out
+        | None -> ()
+      done;
+      !out
+  | S_jsonl _ -> []
+
+let close t =
+  match t.store with
+  | S_jsonl j -> (
+      match j.oc with
+      | Some oc ->
+          close_out oc;
+          j.oc <- None
+      | None -> ())
+  | S_memory _ | S_ring _ -> ()
+
+(* --- Loading --------------------------------------------------------- *)
+
+type point = { at : float; series : string; value : float }
+
+(* Scanner for exactly the shape [sample] writes. *)
+let point_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let error = ref false in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && line.[!pos] = c then incr pos else error := true
+  in
+  let literal s =
+    skip_ws ();
+    let k = String.length s in
+    if !pos + k <= n && String.sub line !pos k = s then pos := !pos + k else error := true
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 24 in
+    let fin = ref false in
+    while (not !fin) && not !error do
+      if !pos >= n then error := true
+      else begin
+        let c = line.[!pos] in
+        incr pos;
+        if c = '"' then fin := true
+        else if c = '\\' then begin
+          if !pos >= n then error := true
+          else begin
+            let e = line.[!pos] in
+            incr pos;
+            match e with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | _ -> error := true
+          end
+        end
+        else Buffer.add_char b c
+      end
+    done;
+    Buffer.contents b
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None ->
+        error := true;
+        0.0
+  in
+  let field key =
+    literal ("\"" ^ key ^ "\"");
+    expect ':'
+  in
+  expect '{';
+  field "at";
+  let at = parse_number () in
+  expect ',';
+  field "series";
+  let series = parse_string () in
+  expect ',';
+  field "value";
+  let value = parse_number () in
+  expect '}';
+  if !error then None else Some { at; series; value }
+
+let load_jsonl file =
+  let ic = open_in file in
+  let acc = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match point_of_json line with Some p -> acc := p :: !acc | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !acc
+
+let series_of points =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt tbl p.series with
+      | Some cell -> cell := (p.at, p.value) :: !cell
+      | None ->
+          Hashtbl.add tbl p.series (ref [ (p.at, p.value) ]);
+          order := p.series :: !order)
+    points;
+  List.rev_map (fun name -> (name, Array.of_list (List.rev !(Hashtbl.find tbl name)))) !order

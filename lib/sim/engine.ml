@@ -1,7 +1,10 @@
 (* An event's [cancelled] flag doubles as "consumed": it is set when the
    event is cancelled AND when it fires, so the live-event accounting
    below decrements exactly once per scheduled event. *)
-type event = { time : Time.t; mutable cancelled : bool; action : unit -> unit }
+(* [label] buckets the event for the profiler ("net.deliver.bgp",
+   "masc.sweep", ...); the default "event" keeps unlabelled call sites
+   free of per-schedule string building. *)
+type event = { time : Time.t; mutable cancelled : bool; label : string; action : unit -> unit }
 
 (* A handle owns a cancellation closure: for a plain event it flips the
    event's flag; for a periodic schedule it also stops re-arming. *)
@@ -12,6 +15,11 @@ type handle = { mutable stop : unit -> unit }
    whenever the queue drains. *)
 type monitor = { cadence : Time.t; mutable last_check : Time.t; hook : quiescent:bool -> unit }
 
+(* A sampler is the telemetry twin of the monitor: it piggybacks on
+   event execution (never scheduling its own events), firing at most
+   once per [every] of virtual time plus once at quiescence. *)
+type sampler = { every : Time.t; mutable last_sample : Time.t; s_hook : Time.t -> unit }
+
 type t = {
   mutable clock : Time.t;
   queue : event Heap.t;
@@ -20,6 +28,7 @@ type t = {
      [note_activity]; the max is the convergence time of the run. *)
   watermarks : (string, Time.t) Hashtbl.t;
   mutable monitor : monitor option;
+  mutable sampler : sampler option;
 }
 
 let m_scheduled = Metrics.counter "sim.events_scheduled"
@@ -39,6 +48,7 @@ let create () =
     live = 0;
     watermarks = Hashtbl.create 8;
     monitor = None;
+    sampler = None;
   }
 
 let now t = t.clock
@@ -72,8 +82,28 @@ let monitor_quiescent t =
       m.hook ~quiescent:true
   | None -> ()
 
-let schedule_event t time action =
-  let e = { time; cancelled = false; action } in
+let set_sampler t ~every s_hook =
+  if every <= 0.0 then invalid_arg "Engine.set_sampler: non-positive cadence";
+  t.sampler <- Some { every; last_sample = t.clock; s_hook }
+
+let clear_sampler t = t.sampler <- None
+
+let sampler_tick t =
+  match t.sampler with
+  | Some s when t.clock -. s.last_sample >= s.every ->
+      s.last_sample <- t.clock;
+      s.s_hook t.clock
+  | Some _ | None -> ()
+
+let sampler_final t =
+  match t.sampler with
+  | Some s ->
+      s.last_sample <- t.clock;
+      s.s_hook t.clock
+  | None -> ()
+
+let schedule_event t time label action =
+  let e = { time; cancelled = false; label; action } in
   Heap.push t.queue e;
   t.live <- t.live + 1;
   Metrics.incr m_scheduled;
@@ -87,25 +117,25 @@ let cancel_event t e =
     Metrics.incr m_cancelled
   end
 
-let schedule_at t time action =
+let schedule_at ?(label = "event") t time action =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g before now %g" (Time.to_seconds time)
          (Time.to_seconds t.clock));
-  let e = schedule_event t time action in
+  let e = schedule_event t time label action in
   { stop = (fun () -> cancel_event t e) }
 
-let schedule_after t delay action =
+let schedule_after ?(label = "event") t delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule_at t (t.clock +. delay) action
+  schedule_at ~label t (t.clock +. delay) action
 
-let periodic t ~interval action =
+let periodic ?(label = "event") t ~interval action =
   if interval <= 0.0 then invalid_arg "Engine.periodic: non-positive interval";
   let handle = { stop = (fun () -> ()) } in
   let stopped = ref false in
   let rec arm () =
     let e =
-      schedule_event t (t.clock +. interval) (fun () ->
+      schedule_event t (t.clock +. interval) label (fun () ->
           if not !stopped then begin
             action ();
             if not !stopped then arm ()
@@ -137,8 +167,9 @@ let step t =
           Metrics.incr m_fired;
           t.clock <- e.time;
           Metrics.set m_virtual t.clock;
-          e.action ();
+          if Prof.is_enabled () then Prof.span e.label e.action else e.action ();
           monitor_tick t;
+          sampler_tick t;
           true
         end
   in
@@ -149,14 +180,18 @@ let run ?until t =
   | None ->
       let rec drain () = if step t then drain () in
       drain ();
-      monitor_quiescent t
+      monitor_quiescent t;
+      sampler_final t
   | Some horizon ->
       let rec drain () =
         match Heap.peek t.queue with
-        | None -> monitor_quiescent t
+        | None ->
+            monitor_quiescent t;
+            sampler_final t
         | Some e when e.time > horizon ->
             t.clock <- max t.clock horizon;
-            Metrics.set m_virtual t.clock
+            Metrics.set m_virtual t.clock;
+            sampler_final t
         | Some _ ->
             ignore (step t);
             drain ()
@@ -188,4 +223,5 @@ let run_until_quiescent ~grace t =
         drain ()
   in
   drain ();
-  monitor_quiescent t
+  monitor_quiescent t;
+  sampler_final t

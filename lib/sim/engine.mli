@@ -15,15 +15,18 @@ val create : unit -> t
 
 val now : t -> Time.t
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+val schedule_at : ?label:string -> t -> Time.t -> (unit -> unit) -> handle
 (** Schedule a closure at an absolute time.  Scheduling in the past
-    raises [Invalid_argument]. *)
+    raises [Invalid_argument].  [label] names the event kind for the
+    profiler: when {!Prof} is enabled, the action fires inside
+    [Prof.span label], bucketing dispatch time per kind (default
+    ["event"]). *)
 
-val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+val schedule_after : ?label:string -> t -> Time.t -> (unit -> unit) -> handle
 (** Schedule a closure [delay] after the current time (delay must be
     non-negative). *)
 
-val periodic : t -> interval:Time.t -> (unit -> unit) -> handle
+val periodic : ?label:string -> t -> interval:Time.t -> (unit -> unit) -> handle
 (** Run the closure every [interval], starting one interval from now,
     until cancelled.  @raise Invalid_argument if [interval <= 0]. *)
 
@@ -89,3 +92,18 @@ val set_monitor : t -> cadence:Time.t -> (quiescent:bool -> unit) -> unit
     @raise Invalid_argument if [cadence <= 0]. *)
 
 val clear_monitor : t -> unit
+
+(** {1 Sampler hook}
+
+    The telemetry twin of the monitor: a hook called with the current
+    virtual time at most once per [every] of virtual time (after the
+    event that crossed the boundary), and once more when a run stops —
+    queue drained, horizon reached, or quiescence detected — so a
+    telemetry series always carries a final point.  Like the monitor it
+    piggybacks on event execution and never keeps an idle run alive. *)
+
+val set_sampler : t -> every:Time.t -> (Time.t -> unit) -> unit
+(** Replaces any previous sampler.
+    @raise Invalid_argument if [every <= 0]. *)
+
+val clear_sampler : t -> unit

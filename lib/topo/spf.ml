@@ -117,7 +117,7 @@ let heap_remove_min ws =
 (* CSR kernels                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let bfs_csr ?ws (csr : Topo.csr) src =
+let bfs_kernel ?ws (csr : Topo.csr) src =
   let n = csr.Topo.csr_nodes in
   if src < 0 || src >= n then invalid_arg "Spf.bfs_csr: unknown source id";
   Metrics.incr m_bfs;
@@ -148,7 +148,7 @@ let bfs_csr ?ws (csr : Topo.csr) src =
 
 type weighted = { wsrc : Domain.id; wdist : float array; wvia : Domain.id array }
 
-let dijkstra_csr ?ws (csr : Topo.csr) src =
+let dijkstra_kernel ?ws (csr : Topo.csr) src =
   let n = csr.Topo.csr_nodes in
   if src < 0 || src >= n then invalid_arg "Spf.dijkstra_csr: unknown source id";
   Metrics.incr m_dijkstra;
@@ -185,7 +185,7 @@ let dijkstra_csr ?ws (csr : Topo.csr) src =
    provider->customer).  Transitions: Up -> Up (to provider), Up ->
    Peered (peer edge), Up/Peered/Down -> Down (to customer). *)
 
-let valley_free_dist_csr ?ws (csr : Topo.csr) src =
+let valley_free_kernel ?ws (csr : Topo.csr) src =
   let n = csr.Topo.csr_nodes in
   if src < 0 || src >= n then invalid_arg "Spf.valley_free_dist_csr: unknown source id";
   Metrics.incr m_valley_free;
@@ -226,6 +226,22 @@ let valley_free_dist_csr ?ws (csr : Topo.csr) src =
     done
   done;
   best
+
+(* The exported kernels carry a profiler section each; the disabled
+   path is one flag test, keeping the kernels bench-clean. *)
+
+let bfs_csr ?ws csr src =
+  if Prof.is_enabled () then Prof.span "spf.bfs" (fun () -> bfs_kernel ?ws csr src)
+  else bfs_kernel ?ws csr src
+
+let dijkstra_csr ?ws csr src =
+  if Prof.is_enabled () then Prof.span "spf.dijkstra" (fun () -> dijkstra_kernel ?ws csr src)
+  else dijkstra_kernel ?ws csr src
+
+let valley_free_dist_csr ?ws csr src =
+  if Prof.is_enabled () then
+    Prof.span "spf.valley_free" (fun () -> valley_free_kernel ?ws csr src)
+  else valley_free_kernel ?ws csr src
 
 (* ------------------------------------------------------------------ *)
 (* Default entry points: freeze (memoized) + a shared workspace        *)

@@ -14,6 +14,7 @@ type params = {
   topology : [ `Power_law | `Transit_stub ];
   check_invariants : bool;
   seed : int;
+  telemetry : Timeseries.t option;
 }
 
 let default_params =
@@ -26,6 +27,7 @@ let default_params =
     topology = `Power_law;
     check_invariants = false;
     seed = 1998;
+    telemetry = None;
   }
 
 type point = {
@@ -59,13 +61,23 @@ let make_topology p rng =
 
 let run p =
   let rng = Rng.create p.seed in
-  let topo = make_topology p rng in
+  let topo = Prof.span "fig4.topology" (fun () -> make_topology p rng) in
   let n = Topo.domain_count topo in
   (* One SPF cache for the whole run: the root BFS each trial needs twice
      (tree build + path eval) is computed once, and sources/roots redrawn
      across trials or group sizes are never recomputed. *)
   let spf = Spf.make_cache topo in
   let worst_uni = ref 0.0 and worst_bi = ref 0.0 and worst_hy = ref 0.0 in
+  (match p.telemetry with
+  | Some ts ->
+      (* The fig4 run has no engine; the series' time axis is the group
+         size just finished, one row per point. *)
+      Timeseries.register ts "trees.worst_uni" (fun () -> !worst_uni);
+      Timeseries.register ts "trees.worst_bi" (fun () -> !worst_bi);
+      Timeseries.register ts "trees.worst_hy" (fun () -> !worst_hy);
+      Timeseries.register ts "trees.trials_run" (fun () ->
+          float_of_int (Metrics.count m_trials))
+  | None -> ());
   (* Per-trial sanity predicates: a tree path can never beat the
      shortest path (every ratio >= 1), and every receiver must be
      reachable and evaluated.  The trial fills [pending]; the registered
@@ -82,6 +94,7 @@ let run p =
         let ua = Stats.create () and um = Stats.create () in
         let ba = Stats.create () and bm = Stats.create () in
         let ha = Stats.create () and hm = Stats.create () in
+        Prof.span "fig4.point" @@ fun () ->
         for _ = 1 to p.trials do
           Metrics.incr m_trials;
           let source = Rng.int rng n in
@@ -135,6 +148,9 @@ let run p =
             pending := []
           end
         done;
+        (match p.telemetry with
+        | Some ts -> Timeseries.sample ts ~time:(float_of_int size)
+        | None -> ());
         {
           group_size = size;
           uni_avg = Stats.mean ua;

@@ -29,6 +29,10 @@ type params = {
           ratios vs SPT are >= 1 and every receiver was evaluated;
           default [false] *)
   seed : int;
+  telemetry : Timeseries.t option;
+      (** when set, one [trees.*] row per series lands in the sink after
+          each group-size point (worst ratios so far, trials run), with
+          the group size as the time axis; default [None] *)
 }
 
 val default_params : params

@@ -32,7 +32,7 @@ let schedule profile ~rng ~horizon =
 let drive profile ~rng ~engine ~horizon ~on_request =
   let rec arm () =
     ignore
-      (Engine.schedule_after engine (draw_gap profile rng) (fun () ->
+      (Engine.schedule_after ~label:"workload.request" engine (draw_gap profile rng) (fun () ->
            if Engine.now engine <= horizon then begin
              on_request ~expires:(Engine.now engine +. profile.block_lifetime);
              arm ()

@@ -31,6 +31,42 @@ let check_figure ~args ~golden () =
         (read_file (Filename.concat "golden" golden))
         (read_file out))
 
+(* The --metrics key set: which instruments a figure run registers is
+   part of the observable contract.  Pinning the (sorted) names — not
+   the timing-dependent values — catches a renamed or lost instrument
+   without making the test flaky. *)
+let check_metric_keys ~args ~golden () =
+  let json = Filename.temp_file "metrics" ".json" in
+  let out = Filename.temp_file "golden" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ json; out ])
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s --metrics=%s > %s 2>&1" (Filename.quote exe) args
+          (Filename.quote json) (Filename.quote out)
+      in
+      let rc = Sys.command cmd in
+      check Alcotest.int (args ^ ": exit code") 0 rc;
+      let re = Str.regexp "\"name\": \"\\([^\"]+\\)\"" in
+      let keys = ref [] in
+      let ic = open_in json in
+      (try
+         while true do
+           let line = input_line ic in
+           try
+             ignore (Str.search_forward re line 0);
+             keys := Str.matched_group 1 line :: !keys
+           with Not_found -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let got = String.concat "\n" (List.rev !keys) ^ "\n" in
+      check Alcotest.string
+        (args ^ ": metric key set identical to golden/" ^ golden)
+        (read_file (Filename.concat "golden" golden))
+        got)
+
 let suite =
   [
     ("fig1 demo", `Quick, check_figure ~args:"demo" ~golden:"fig1_demo.txt");
@@ -41,4 +77,11 @@ let suite =
     ( "fig4 summary",
       `Quick,
       check_figure ~args:"fig4 --summary --nodes 1000 --trials 5" ~golden:"fig4_summary.txt" );
+    ( "fig2 metric keys",
+      `Quick,
+      check_metric_keys ~args:"fig2 --summary --days 30" ~golden:"fig2_metrics_keys.txt" );
+    ( "fig4 metric keys",
+      `Quick,
+      check_metric_keys ~args:"fig4 --summary --nodes 200 --trials 3"
+        ~golden:"fig4_metrics_keys.txt" );
   ]

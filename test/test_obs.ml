@@ -317,6 +317,192 @@ let test_invariant_monitor () =
   check Alcotest.int "per-invariant counter" 1 (count "invariant.violations.settled");
   check Alcotest.int "per-invariant counter (other)" 1 (count "invariant.violations.always")
 
+(* The hierarchical profiler.  Prof is process-global: every test
+   leaves it disabled. *)
+
+let with_prof f = Fun.protect ~finally:Prof.disable f
+
+let test_prof_disabled_is_passthrough () =
+  Prof.disable ();
+  Prof.reset ();
+  check Alcotest.int "value returned" 7 (Prof.span "x" (fun () -> 7));
+  check Alcotest.int "nothing recorded" 0 (List.length (Prof.rows ()));
+  check Alcotest.bool "reports disabled" false (Prof.is_enabled ())
+
+let test_prof_tree () =
+  with_prof @@ fun () ->
+  Prof.enable ();
+  for _ = 1 to 3 do
+    Prof.span "outer" (fun () ->
+        Prof.span "inner" (fun () -> Sys.opaque_identity (ignore (Array.make 64 0.0))))
+  done;
+  Prof.span "inner" (fun () -> ());
+  let rows = Prof.rows () in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "pre-order paths, same name under different parents distinct"
+    [ [ "outer" ]; [ "outer"; "inner" ]; [ "inner" ] ]
+    (List.map (fun (r : Prof.row) -> r.Prof.path) rows);
+  let outer = Option.get (Prof.find rows [ "outer" ]) in
+  let inner = Option.get (Prof.find rows [ "outer"; "inner" ]) in
+  check Alcotest.int "outer count" 3 outer.Prof.count;
+  check Alcotest.int "inner count" 3 inner.Prof.count;
+  check Alcotest.bool "child total within parent" true
+    (inner.Prof.total_s <= outer.Prof.total_s +. 1e-9);
+  check Alcotest.bool "self = total - children" true
+    (abs_float (outer.Prof.self_s -. (outer.Prof.total_s -. inner.Prof.total_s)) < 1e-9);
+  check Alcotest.bool "allocation charged to inner" true (inner.Prof.total_bytes > 0.0)
+
+let test_prof_exception_closes_span () =
+  with_prof @@ fun () ->
+  Prof.enable ();
+  (try Prof.span "boom" (fun () -> failwith "bang") with Failure _ -> ());
+  Prof.span "after" (fun () -> ());
+  let rows = Prof.rows () in
+  check Alcotest.bool "failing span still charged" true
+    (match Prof.find rows [ "boom" ] with Some r -> r.Prof.count = 1 | None -> false);
+  (* The span closed on the way out: "after" is a sibling of "boom",
+     not its child. *)
+  check Alcotest.bool "current restored" true (Prof.find rows [ "after" ] <> None)
+
+let test_prof_jsonl_roundtrip () =
+  with_prof @@ fun () ->
+  Prof.enable ();
+  Prof.span "a" (fun () -> Prof.span "b" (fun () -> ()));
+  let rows = Prof.rows () in
+  let path = Filename.temp_file "prof" ".jsonl" in
+  Prof.write_jsonl path;
+  let loaded = Prof.load_jsonl path in
+  Sys.remove path;
+  check Alcotest.int "row count survives" (List.length rows) (List.length loaded);
+  List.iter2
+    (fun (x : Prof.row) (y : Prof.row) ->
+      check (Alcotest.list Alcotest.string) "path survives" x.Prof.path y.Prof.path;
+      check Alcotest.int "count survives" x.Prof.count y.Prof.count;
+      check (Alcotest.float 1e-12) "total_s survives" x.Prof.total_s y.Prof.total_s;
+      check (Alcotest.float 1e-12) "self_bytes survives" x.Prof.self_bytes y.Prof.self_bytes)
+    rows loaded;
+  check Alcotest.bool "garbage line skipped" true (Prof.row_of_json "nope" = None);
+  (* Folded stacks: one "a;b self-us" line per row with self time. *)
+  List.iter
+    (fun line ->
+      check Alcotest.bool ("folded line has a space: " ^ line) true
+        (String.contains line ' '))
+    (String.split_on_char '\n'
+       (String.trim (Prof.folded [ { (List.hd rows) with Prof.self_s = 1e-3 } ])))
+
+let test_prof_enable_resets () =
+  with_prof @@ fun () ->
+  Prof.enable ();
+  Prof.span "old" (fun () -> ());
+  Prof.enable ();
+  Prof.span "new" (fun () -> ());
+  let rows = Prof.rows () in
+  check Alcotest.bool "old tree gone" true (Prof.find rows [ "old" ] = None);
+  check Alcotest.bool "new tree present" true (Prof.find rows [ "new" ] <> None)
+
+(* Sim-time telemetry series. *)
+
+let test_timeseries_memory () =
+  let ts = Timeseries.create () in
+  let v = ref 1.0 in
+  Timeseries.register ts "x" (fun () -> !v);
+  Timeseries.register ts "y" (fun () -> 10.0 *. !v);
+  (* Re-registering replaces the reader but keeps the order. *)
+  Timeseries.register ts "x" (fun () -> -. !v);
+  check (Alcotest.list Alcotest.string) "sources in first-registration order" [ "x"; "y" ]
+    (Timeseries.sources ts);
+  Timeseries.sample ts ~time:1.0;
+  v := 2.0;
+  Timeseries.sample ts ~time:2.0;
+  check Alcotest.int "two samples" 2 (Timeseries.samples ts);
+  check
+    (Alcotest.list
+       (Alcotest.pair (Alcotest.float 1e-9)
+          (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9)))))
+    "rows oldest first"
+    [ (1.0, [ ("x", -1.0); ("y", 10.0) ]); (2.0, [ ("x", -2.0); ("y", 20.0) ]) ]
+    (Timeseries.rows ts)
+
+let test_timeseries_ring () =
+  let ts = Timeseries.create ~sink:(Timeseries.Ring 2) () in
+  Timeseries.register ts "n" (fun () -> 0.0);
+  for i = 1 to 5 do
+    Timeseries.sample ts ~time:(float_of_int i)
+  done;
+  check Alcotest.int "all five counted" 5 (Timeseries.samples ts);
+  check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "newest two retained, oldest first" [ 4.0; 5.0 ]
+    (List.map fst (Timeseries.rows ts))
+
+let test_timeseries_jsonl_roundtrip () =
+  let path = Filename.temp_file "series" ".jsonl" in
+  let ts = Timeseries.create ~sink:(Timeseries.Jsonl path) () in
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "depth" in
+  let c = Metrics.counter ~registry:r "hits" in
+  Timeseries.register_gauge ts "depth" g;
+  Timeseries.register_counter ts "hits" c;
+  Metrics.set g 3.5;
+  Metrics.incr c;
+  Timeseries.sample ts ~time:10.0;
+  Metrics.set g 1.25;
+  Metrics.incr c;
+  Timeseries.sample ts ~time:20.0;
+  Timeseries.close ts;
+  let points = Timeseries.load_jsonl path in
+  Sys.remove path;
+  check Alcotest.int "four points" 4 (List.length points);
+  let by_series = Timeseries.series_of points in
+  check (Alcotest.list Alcotest.string) "series in first-appearance order" [ "depth"; "hits" ]
+    (List.map fst by_series);
+  check
+    (Alcotest.array (Alcotest.pair (Alcotest.float 1e-9) (Alcotest.float 1e-9)))
+    "gauge series" [| (10.0, 3.5); (20.0, 1.25) |]
+    (List.assoc "depth" by_series);
+  check
+    (Alcotest.array (Alcotest.pair (Alcotest.float 1e-9) (Alcotest.float 1e-9)))
+    "counter series" [| (10.0, 1.0); (20.0, 2.0) |]
+    (List.assoc "hits" by_series)
+
+(* The engine's sampler hook: event-driven cadence plus a final sample
+   when a run stops, never its own events. *)
+
+let test_engine_sampler_cadence () =
+  let e = Engine.create () in
+  check Alcotest.bool "non-positive cadence rejected" true
+    (try
+       Engine.set_sampler e ~every:0.0 (fun _ -> ());
+       false
+     with Invalid_argument _ -> true);
+  let hits = ref [] in
+  Engine.set_sampler e ~every:(Time.seconds 60.0) (fun t -> hits := t :: !hits);
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e (Time.seconds (float_of_int i *. 25.0)) (fun () -> ()))
+  done;
+  Engine.run ~until:(Time.seconds 1000.0) e;
+  (* Events at 25 s intervals with a 60 s cadence: samples land on the
+     first event at or past each multiple of 60, plus a final sample
+     when the run stops (the queue drains at 250 s, before the
+     horizon, and the clock stays at the last event). *)
+  check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "sampled on cadence, finished at the stop point"
+    [ 75.0; 150.0; 225.0; 250.0 ]
+    (List.rev !hits);
+  (* A drained run samples at the last event time, not twice. *)
+  let e2 = Engine.create () in
+  let n = ref 0 in
+  Engine.set_sampler e2 ~every:(Time.seconds 60.0) (fun _ -> incr n);
+  ignore (Engine.schedule_at e2 (Time.seconds 10.0) (fun () -> ()));
+  Engine.run e2;
+  check Alcotest.int "final sample on drain" 1 !n;
+  Engine.clear_sampler e2;
+  ignore (Engine.schedule_at e2 (Time.seconds 500.0) (fun () -> ()));
+  Engine.run e2;
+  check Alcotest.int "cleared sampler is silent" 1 !n
+
 let test_json_shape () =
   let r = Metrics.create () in
   Metrics.incr (Metrics.counter ~registry:r "only.counter");
@@ -340,5 +526,14 @@ let suite =
     ("trace jsonl sink replacement", `Quick, test_trace_jsonl_sink_replacement);
     ("trace set_sink after close", `Quick, test_trace_set_sink_after_close);
     ("invariant monitor", `Quick, test_invariant_monitor);
+    ("prof disabled passthrough", `Quick, test_prof_disabled_is_passthrough);
+    ("prof tree", `Quick, test_prof_tree);
+    ("prof exception closes span", `Quick, test_prof_exception_closes_span);
+    ("prof jsonl roundtrip", `Quick, test_prof_jsonl_roundtrip);
+    ("prof enable resets", `Quick, test_prof_enable_resets);
+    ("timeseries memory", `Quick, test_timeseries_memory);
+    ("timeseries ring", `Quick, test_timeseries_ring);
+    ("timeseries jsonl roundtrip", `Quick, test_timeseries_jsonl_roundtrip);
+    ("engine sampler cadence", `Quick, test_engine_sampler_cadence);
     ("json shape", `Quick, test_json_shape);
   ]

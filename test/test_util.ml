@@ -204,6 +204,44 @@ let test_stats_percentile_edges () =
   Alcotest.check_raises "empty rejected" (Invalid_argument "Stats.percentile: empty") (fun () ->
       ignore (Stats.percentile [||] 50.0))
 
+let test_stats_percentile_boundary () =
+  (* Ranks that land exactly on a sorted element must return that
+     element with no interpolation; ranks between elements interpolate
+     linearly. *)
+  let a = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check (Alcotest.float 1e-9) "p25 exact element" 20.0 (Stats.percentile a 25.0);
+  check (Alcotest.float 1e-9) "p75 exact element" 40.0 (Stats.percentile a 75.0);
+  check (Alcotest.float 1e-9) "p87.5 interpolates" 45.0 (Stats.percentile a 87.5);
+  let even = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check (Alcotest.float 1e-9) "even median interpolates" 2.5 (Stats.percentile even 50.0);
+  check (Alcotest.float 1e-9) "even p100 is max" 4.0 (Stats.percentile even 100.0);
+  (* Unsorted input must not matter. *)
+  check (Alcotest.float 1e-9) "unsorted input" 2.5 (Stats.percentile [| 4.0; 1.0; 3.0; 2.0 |] 50.0)
+
+let test_stats_merge_empty () =
+  let filled () =
+    let s = Stats.create () in
+    List.iter (Stats.add s) [ 1.0; 2.0; 3.0 ];
+    s
+  in
+  let expect name m =
+    check Alcotest.int (name ^ " count") 3 (Stats.count m);
+    check (Alcotest.float 1e-9) (name ^ " mean") 2.0 (Stats.mean m);
+    check (Alcotest.float 1e-9) (name ^ " min") 1.0 (Stats.min m);
+    check (Alcotest.float 1e-9) (name ^ " max") 3.0 (Stats.max m)
+  in
+  expect "empty-left" (Stats.merge (Stats.create ()) (filled ()));
+  expect "empty-right" (Stats.merge (filled ()) (Stats.create ()));
+  let both = Stats.merge (Stats.create ()) (Stats.create ()) in
+  check Alcotest.int "empty-both count" 0 (Stats.count both);
+  check (Alcotest.float 1e-9) "empty-both mean" 0.0 (Stats.mean both);
+  (* The merge must be a copy: mutating an input afterwards cannot leak
+     into the result. *)
+  let src = filled () in
+  let m = Stats.merge (Stats.create ()) src in
+  Stats.add src 1000.0;
+  expect "copy isolated" m
+
 let test_stats_variance_small_n () =
   let s = Stats.create () in
   check (Alcotest.float 1e-9) "variance of none" 0.0 (Stats.variance s);
@@ -267,6 +305,8 @@ let suite =
     ("stats merge", `Quick, test_stats_merge);
     ("stats percentile", `Quick, test_stats_percentile);
     ("stats percentile edges", `Quick, test_stats_percentile_edges);
+    ("stats percentile boundary", `Quick, test_stats_percentile_boundary);
+    ("stats merge empty", `Quick, test_stats_merge_empty);
     ("stats variance small n", `Quick, test_stats_variance_small_n);
     QCheck_alcotest.to_alcotest prop_stats_merge_matches_combined;
     QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
