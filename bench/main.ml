@@ -9,17 +9,31 @@
    experiments end-to-end and prints the same series the paper plots
    (also available individually via bin/main.exe).
 
-   Besides the human-readable report, the harness writes BENCH_5.json
-   (per-benchmark ns/run, wall-clock seconds for the figure
-   regenerations, the micro-benchmark trajectory against the
-   BENCH_3.json baseline, the live invariant-check overhead measured by
-   running the Figure-4 experiment and a scaled Figure-2 run with the
-   checks off and on, the profiler's disabled- and enabled-path cost on
-   the Figure-4 experiment with the per-kernel span breakdown of the
-   profiled run, the convergence times the watermarks report, and the
+   Methodology: every reported number is the median of [repeat_runs]
+   independent measurements taken after [warmup_runs] discarded ones,
+   with the min/max and spread printed alongside — a single noisy run
+   can neither hide nor fake a regression.  The Bechamel session is
+   repeated whole; for the figures, the printed regeneration doubles as
+   the warmup and the timed repeats run silently.
+
+   Besides the human-readable report, the harness writes BENCH_6.json
+   (per-benchmark ns/run medians with min/max/spread, wall-clock
+   medians for the figure regenerations, the micro-benchmark trajectory
+   against the BENCH_5.json baseline, the live invariant-check overhead
+   measured by running the Figure-4 experiment and a scaled Figure-2
+   run with the checks off and on, the profiler's disabled- and
+   enabled-path cost on the Figure-4 experiment with the per-kernel
+   span breakdown of the profiled run, a parallel section timing the
+   Figure-4 experiment at --jobs 1 vs --jobs 8 with the machine's core
+   count, the convergence times the watermarks report, and the
    metrics-registry counters accumulated across the regenerations) into
    the working directory so successive PRs can track the performance
-   trajectory. *)
+   trajectory.
+
+   `--smoke` additionally gates on bench/perf_budget.json: scaled
+   fig2/fig4 medians must stay under the checked-in budgets (~2.5x a
+   healthy median); refresh with `--smoke --write-budget` after a
+   deliberate performance change. *)
 
 module M = Metrics
 module Sim_time = Time
@@ -147,23 +161,76 @@ let benchmarks =
              Engine.run_until_idle engine));
     ]
 
-let run_benchmarks () =
+(* ------------------------------------------------------------------ *)
+(* Measurement methodology                                             *)
+(* ------------------------------------------------------------------ *)
+
+let warmup_runs = 1
+let repeat_runs = 3
+
+(* Median with the spread of the repeats around it. *)
+type mstat = { med : float; mn : float; mx : float; spread_pct : float }
+
+let mstat_of samples =
+  let a = Array.of_list samples in
+  if Array.length a = 0 then invalid_arg "mstat_of: no samples";
+  Array.sort compare a;
+  let n = Array.length a in
+  let med = if n mod 2 = 1 then a.(n / 2) else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2)) in
+  let mn = a.(0) and mx = a.(n - 1) in
+  let spread_pct = if med > 0.0 then (mx -. mn) /. med *. 100.0 else 0.0 in
+  { med; mn; mx; spread_pct }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Wall-clock median of [repeat_runs] calls (the caller is responsible
+   for any warmup — for the figures the printed regeneration is it). *)
+let timed_median f =
+  let samples = ref [] in
+  for _ = 1 to repeat_runs do
+    let _, s = timed f in
+    samples := s :: !samples
+  done;
+  mstat_of !samples
+
+let run_benchmarks_once () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] benchmarks in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  Hashtbl.fold
+    (fun name result acc ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> (name, est) :: acc
+      | Some _ | None -> acc)
+    results []
+
+let run_benchmarks () =
+  for _ = 1 to warmup_runs do
+    ignore (run_benchmarks_once ())
+  done;
+  let sessions = ref [] in
+  for _ = 1 to repeat_runs do
+    sessions := run_benchmarks_once () :: !sessions
+  done;
+  let names =
+    List.sort_uniq compare (List.concat_map (fun s -> List.map fst s) !sessions)
+  in
   List.filter_map
     (fun name ->
-      let result = Hashtbl.find results name in
-      match Analyze.OLS.estimates result with
-      | Some [ est ] ->
-          Format.printf "%-44s %14.1f ns/run@." name est;
-          Some (name, est)
-      | Some _ | None ->
+      match List.filter_map (List.assoc_opt name) !sessions with
+      | [] ->
           Format.printf "%-44s (no estimate)@." name;
-          None)
-    (List.sort compare names)
+          None
+      | samples ->
+          let s = mstat_of samples in
+          Format.printf "%-44s %14.1f ns/run  [%.1f .. %.1f, %.1f%% spread]@." name s.med s.mn
+            s.mx s.spread_pct;
+          Some (name, s))
+    names
 
 (* ------------------------------------------------------------------ *)
 (* Figure regeneration                                                 *)
@@ -207,14 +274,36 @@ let run_fig4 () =
   Format.printf
     "paper, in-text: uni avg ~2x / max up to 6x; bi avg <1.3x / max 4.5x; hy avg <1.2x / max 4x@."
 
+(* Silent timed repeats of a figure regeneration; the printed run above
+   served as the warmup. *)
+let figure_stat name f =
+  let s = timed_median f in
+  Format.printf "%-20s %7.3f s median  [%.3f .. %.3f, %.1f%% spread]@." name s.med s.mn s.mx
+    s.spread_pct;
+  (name, s)
+
+(* The Figure-4 experiment through the Par pool at --jobs 1 vs
+   --jobs 8.  On a single-core machine the pool degrades to pinned
+   round-robin over one core and the speedup hovers around 1.0x — the
+   point of recording the core count next to the ratio. *)
+let parallel_report () =
+  Format.printf "@.=== Parallel fig4 (--jobs 1 vs --jobs 8) ===@.";
+  let run jobs () =
+    ignore (Tree_experiment.run { Tree_experiment.default_params with Tree_experiment.jobs })
+  in
+  ignore (timed (run 8));
+  (* warm the worker pool and both code paths *)
+  let j1 = timed_median (run 1) in
+  let j8 = timed_median (run 8) in
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  let speedup = if j8.med > 0.0 then j1.med /. j8.med else 0.0 in
+  Format.printf "fig4 --jobs 1: %.3f s, --jobs 8: %.3f s — %.2fx speedup on %d core(s)@." j1.med
+    j8.med speedup cores;
+  (j1, j8, speedup, cores)
+
 (* ------------------------------------------------------------------ *)
 (* Invariant-check overhead and convergence                            *)
 (* ------------------------------------------------------------------ *)
-
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
 
 (* Wall-clock cost of running an experiment with the live invariant
    monitor off and on.  Figure 4 runs at full scale (the issue bounds
@@ -276,16 +365,16 @@ let convergence_report () =
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_5.json"
+let json_file = "BENCH_6.json"
 
-let baseline_file = "BENCH_3.json"
+let baseline_file = "BENCH_5.json"
 
-(* Entries of the previous PR's baseline, scanned with Str (no JSON
-   dependency in the image). *)
-let scan_baseline re =
-  if not (Sys.file_exists baseline_file) then []
+(* Entries of a results file, scanned with Str (no JSON dependency in
+   the image). *)
+let scan_json_file file re =
+  if not (Sys.file_exists file) then []
   else begin
-    let ic = open_in baseline_file in
+    let ic = open_in file in
     let rec loop acc =
       match input_line ic with
       | line ->
@@ -301,11 +390,15 @@ let scan_baseline re =
     entries
   end
 
+(* The trailing brace is left off the patterns: BENCH_6-format entries
+   carry min/max/spread fields after the headline number. *)
 let load_baseline () =
-  scan_baseline (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"ns_per_run\": \\([0-9.]+\\)}")
+  scan_json_file baseline_file
+    (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"ns_per_run\": \\([0-9.]+\\)")
 
 let load_baseline_figures () =
-  scan_baseline (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"wall_clock_s\": \\([0-9.]+\\)}")
+  scan_json_file baseline_file
+    (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"wall_clock_s\": \\([0-9.]+\\)")
 
 (* Wall-clock cost of the hierarchical profiler on the Figure-4
    experiment: disabled (the shipping default — every span is one flag
@@ -353,23 +446,39 @@ let overhead_report micro =
       | _ -> None)
     overhead_watchlist
 
-let write_json ~micro ~figures ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~convergence
-    ~counters =
+let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels
+    ~convergence ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"benchmarks\": [\n";
+  out "{\n";
+  out
+    "  \"methodology\": {\"warmup_runs\": %d, \"repeat_runs\": %d, \"statistic\": \"median\"},\n"
+    warmup_runs repeat_runs;
+  out "  \"benchmarks\": [\n";
   List.iteri
-    (fun i (name, ns) ->
-      out "    {\"name\": %S, \"ns_per_run\": %.1f}%s\n" name ns
+    (fun i (name, s) ->
+      out
+        "    {\"name\": %S, \"ns_per_run\": %.1f, \"min_ns\": %.1f, \"max_ns\": %.1f, \
+         \"spread_pct\": %.1f}%s\n"
+        name s.med s.mn s.mx s.spread_pct
         (if i = List.length micro - 1 then "" else ","))
     micro;
   out "  ],\n  \"figures\": [\n";
   List.iteri
-    (fun i (name, wall_s) ->
-      out "    {\"name\": %S, \"wall_clock_s\": %.3f}%s\n" name wall_s
+    (fun i (name, s) ->
+      out
+        "    {\"name\": %S, \"wall_clock_s\": %.3f, \"min_s\": %.3f, \"max_s\": %.3f, \
+         \"spread_pct\": %.1f}%s\n"
+        name s.med s.mn s.mx s.spread_pct
         (if i = List.length figures - 1 then "" else ","))
     figures;
-  out "  ],\n  \"metrics_overhead\": [\n";
+  out "  ],\n";
+  let j1, j8, speedup, cores = parallel in
+  out
+    "  \"parallel\": {\"fig4_jobs1_s\": %.3f, \"fig4_jobs8_s\": %.3f, \"speedup\": %.2f, \
+     \"cores\": %d},\n"
+    j1.med j8.med speedup cores;
+  out "  \"metrics_overhead\": [\n";
   List.iteri
     (fun i (name, base, cur, pct) ->
       out "    {\"name\": %S, \"baseline_ns\": %.1f, \"current_ns\": %.1f, \"overhead_pct\": %.1f}%s\n"
@@ -423,14 +532,111 @@ let write_json ~micro ~figures ~overhead ~inv_overhead ~prof_overhead ~prof_kern
 (* Smoke mode                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* ---- perf-regression gate ---------------------------------------- *)
+
+let budget_file = "bench/perf_budget.json"
+
+(* Budget headroom over a healthy median: generous enough that CI-host
+   jitter never trips the gate, tight enough that a 2x slowdown does. *)
+let budget_headroom = 2.5
+
+(* CI-sized figure runs: a scaled fig2 (~35 ms) and a small fig4
+   (~150 ms), each exercising the real experiment code end-to-end. *)
+let smoke_figures =
+  [
+    ( "fig2-smoke",
+      fun () ->
+        ignore
+          (Allocation_sim.run
+             {
+               Allocation_sim.default_params with
+               Allocation_sim.tops = 10;
+               children_per_top = 10;
+               horizon = Sim_time.days 120.0;
+             }) );
+    ( "fig4-smoke",
+      fun () ->
+        ignore
+          (Tree_experiment.run
+             {
+               Tree_experiment.default_params with
+               Tree_experiment.nodes = 1000;
+               trials = 5;
+             }) );
+  ]
+
+let load_budgets () =
+  scan_json_file budget_file
+    (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"budget_s\": \\([0-9.]+\\)")
+
+let write_budgets measured =
+  let oc = open_out budget_file in
+  Printf.fprintf oc "{\n  \"headroom\": %.1f,\n  \"budgets\": [\n" budget_headroom;
+  List.iteri
+    (fun i (name, med) ->
+      Printf.fprintf oc "    {\"name\": %S, \"budget_s\": %.3f, \"measured_s\": %.3f}%s\n" name
+        (med *. budget_headroom) med
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "bench smoke: wrote %s (budgets = %.1fx measured medians)@." budget_file
+    budget_headroom
+
+(* Gate the scaled figure medians against the checked-in budgets.
+   Missing budget file (e.g. running outside the repo root) warns and
+   skips rather than failing — the gate is only meaningful where
+   bench/perf_budget.json is visible. *)
+let perf_gate () =
+  let write_budget = Array.exists (( = ) "--write-budget") Sys.argv in
+  let measured =
+    List.map
+      (fun (name, f) ->
+        for _ = 1 to warmup_runs do
+          f ()
+        done;
+        let s = timed_median f in
+        Format.printf "bench smoke: %-12s %.3f s median  [%.3f .. %.3f, %.1f%% spread]@." name
+          s.med s.mn s.mx s.spread_pct;
+        (name, s.med))
+      smoke_figures
+  in
+  if write_budget then write_budgets measured
+  else
+    match load_budgets () with
+    | [] ->
+        Format.printf "bench smoke: %s not found; perf gate skipped (create with --write-budget)@."
+          budget_file
+    | budgets ->
+        let failed = ref false in
+        List.iter
+          (fun (name, med) ->
+            match List.assoc_opt name budgets with
+            | None -> Format.printf "bench smoke: no budget for %s; skipped@." name
+            | Some budget ->
+                let verdict = if med > budget then "FAIL" else "ok" in
+                Format.printf "bench smoke: %-12s %.3f s vs budget %.3f s — %s@." name med budget
+                  verdict;
+                if med > budget then failed := true)
+          measured;
+        if !failed then begin
+          Format.eprintf
+            "bench smoke: perf budget exceeded (refresh %s with --write-budget after a \
+             deliberate change)@."
+            budget_file;
+          exit 1
+        end
+
 (* `bench/main.exe --smoke`: a CI-sized canary on the transport hot
    path.  Runs the Figure-1 stack end-to-end — every inter-domain
    message crossing the Net substrate — asserts the expected
    deliveries, and fails if the run blows a generous wall-clock budget,
    catching pathological slowdowns in the channel layer without the
-   full Bechamel session.  With `--profile`, the run is profiled and
-   sampled: profile.jsonl and timeseries.jsonl land in the working
-   directory (CI uploads them as artifacts). *)
+   full Bechamel session.  Then the perf gate above compares scaled
+   fig2/fig4 medians against bench/perf_budget.json.  With `--profile`,
+   the canary run is profiled and sampled: profile.jsonl and
+   timeseries.jsonl land in the working directory (CI uploads them as
+   artifacts). *)
 let run_smoke () =
   let profile = Array.exists (( = ) "--profile") Sys.argv in
   if profile then Prof.enable ();
@@ -467,29 +673,43 @@ let run_smoke () =
   let fail fmt = Format.kasprintf (fun m -> Format.eprintf "bench smoke: %s@." m; exit 1) fmt in
   if deliveries <> 4 then fail "expected 4 member deliveries, got %d" deliveries;
   if transported = 0 then fail "no messages crossed the transport";
-  if wall_s > budget_s then fail "took %.1f s (budget %.0f s)" wall_s budget_s
+  if wall_s > budget_s then fail "took %.1f s (budget %.0f s)" wall_s budget_s;
+  perf_gate ()
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then begin
     run_smoke ();
     exit 0
   end;
-  Format.printf "=== Micro-benchmarks (Bechamel) ===@.";
+  Format.printf "=== Micro-benchmarks (Bechamel; median of %d sessions after %d warmup) ===@."
+    repeat_runs warmup_runs;
   let micro = run_benchmarks () in
   Format.printf "@.=== Instrumentation overhead vs baseline ===@.";
-  let overhead = overhead_report micro in
-  (* Count only what the figure regenerations themselves do. *)
+  let overhead = overhead_report (List.map (fun (name, s) -> (name, s.med)) micro) in
+  (* Count only what the single printed regenerations themselves do;
+     the timed repeats below run after the snapshot. *)
   M.reset M.default;
-  let (), fig2_s = timed run_fig2 in
-  let (), fig4_s = timed run_fig4 in
+  run_fig2 ();
+  run_fig4 ();
   let counters =
     List.filter_map
       (fun (name, v) -> match v with M.Counter_v c -> Some (name, c) | _ -> None)
       (M.snapshot M.default)
   in
+  Format.printf "@.=== Figure wall-clock (median of %d; printed run above = warmup) ===@."
+    repeat_runs;
+  let fig2_stat =
+    figure_stat "fig2-regeneration" (fun () ->
+        ignore (Allocation_sim.run Allocation_sim.default_params))
+  in
+  let fig4_stat =
+    figure_stat "fig4-regeneration" (fun () ->
+        ignore (Tree_experiment.run Tree_experiment.default_params))
+  in
   let inv_overhead = invariant_overhead () in
   let prof_overhead, prof_kernels = profiling_overhead () in
+  let parallel = parallel_report () in
   let convergence = convergence_report () in
   write_json ~micro
-    ~figures:[ ("fig2-regeneration", fig2_s); ("fig4-regeneration", fig4_s) ]
-    ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~convergence ~counters
+    ~figures:[ fig2_stat; fig4_stat ]
+    ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~convergence ~counters

@@ -180,20 +180,19 @@ let run_fig4 check summary_only nodes trials topology seed sampling =
 
 let run_ablate_placement check days seed =
   Format.printf "# A2: claim placement rule (first-sub-prefix vs random), %d days@." days;
-  let bad = ref 0 in
-  let run placement =
-    let r =
-      Allocation_sim.run
-        {
-          Allocation_sim.default_params with
-          Allocation_sim.horizon = Time.days (float_of_int days);
-          placement;
-          check_invariants = check;
-          seed;
-        }
-    in
-    bad := !bad + r.Allocation_sim.invariant_violations;
-    r
+  let param placement =
+    {
+      Allocation_sim.default_params with
+      Allocation_sim.horizon = Time.days (float_of_int days);
+      placement;
+      check_invariants = check;
+      seed;
+    }
+  in
+  (* The two runs are independent full simulations: fan them out. *)
+  let results = Allocation_sim.run_many [ param `First; param `Random ] in
+  let bad =
+    List.fold_left (fun acc r -> acc + r.Allocation_sim.invariant_violations) 0 results
   in
   let steady r = Allocation_sim.steady_state r ~from_day:(float_of_int days /. 2.0) in
   let describe tag r =
@@ -205,34 +204,39 @@ let run_ablate_placement check days seed =
       (avg (fun (x : Allocation_sim.sample) -> float_of_int x.Allocation_sim.grib_max))
       r.Allocation_sim.claims_made
   in
-  describe "first-sub-prefix" (run `First);
-  describe "random-placement" (run `Random);
-  if check then fail_on_violations "ablate-placement" !bad
+  List.iter2 describe [ "first-sub-prefix"; "random-placement" ] results;
+  if check then fail_on_violations "ablate-placement" bad
 
 let run_ablate_threshold check days seed =
   Format.printf "# A3: occupancy-threshold sweep (utilization vs aggregation), %d days@." days;
-  let bad = ref 0 in
-  List.iter
-    (fun threshold ->
-      let r =
-        Allocation_sim.run
-          {
-            Allocation_sim.default_params with
-            Allocation_sim.horizon = Time.days (float_of_int days);
-            policy = { Claim_policy.default_params with Claim_policy.threshold };
-            check_invariants = check;
-            seed;
-          }
-      in
-      bad := !bad + r.Allocation_sim.invariant_violations;
+  let thresholds = [ 0.5; 0.75; 0.9 ] in
+  let results =
+    (* One independent simulation per threshold: fan them out. *)
+    Allocation_sim.run_many
+      (List.map
+         (fun threshold ->
+           {
+             Allocation_sim.default_params with
+             Allocation_sim.horizon = Time.days (float_of_int days);
+             policy = { Claim_policy.default_params with Claim_policy.threshold };
+             check_invariants = check;
+             seed;
+           })
+         thresholds)
+  in
+  let bad =
+    List.fold_left (fun acc r -> acc + r.Allocation_sim.invariant_violations) 0 results
+  in
+  List.iter2
+    (fun threshold r ->
       let s = Allocation_sim.steady_state r ~from_day:(float_of_int days /. 2.0) in
       let avg f = Stats.mean_of (Array.of_list (List.map f s)) in
       Format.printf "threshold=%.2f  util=%.3f  grib-avg=%.1f  grib-max=%.1f@." threshold
         (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.utilization))
         (avg (fun (x : Allocation_sim.sample) -> x.Allocation_sim.grib_avg))
         (avg (fun (x : Allocation_sim.sample) -> float_of_int x.Allocation_sim.grib_max)))
-    [ 0.5; 0.75; 0.9 ];
-  if check then fail_on_violations "ablate-threshold" !bad
+    thresholds results;
+  if check then fail_on_violations "ablate-threshold" bad
 
 let run_ablate_root check nodes trials seed =
   Format.printf "# A4: root-domain placement (group size 100, %d-node power-law)@." nodes;
@@ -806,6 +810,20 @@ let obs_basic_term =
 
 let seed_arg = Arg.(value & opt int 1998 & info [ "seed" ] ~doc:"Random seed.")
 
+(* Sets the Par pool's default job count for the whole command; the
+   experiment layers fan out with that default.  Every output stream
+   (stdout, --metrics, --profile, --sample) is byte-identical at any
+   value: randomness is drawn before fan-out and Obs shards merge in
+   task order. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent work (fig4 trials, ablation simulations, baseline sweeps) on $(docv) \
+           runtime domains.  Output is byte-identical at any value; 0 picks the machine's \
+           recommended domain count.")
+
 let trace_out_arg =
   Arg.(
     value
@@ -846,9 +864,10 @@ let fig2_cmd =
   Cmd.v
     (Cmd.info "fig2" ~doc)
     Term.(
-      const (fun obs check summary days hetero seed ->
+      const (fun obs jobs check summary days hetero seed ->
+          Par.set_jobs jobs;
           with_obs obs (run_fig2 check summary days hetero seed))
-      $ obs_term $ check_arg $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
+      $ obs_term $ jobs_arg $ check_arg $ summary_flag $ days_arg 800 $ hetero $ seed_arg)
 
 let fig4_cmd =
   let doc = "Reproduce Figure 4: path-length overhead of shared trees vs shortest-path trees." in
@@ -863,27 +882,30 @@ let fig4_cmd =
   Cmd.v
     (Cmd.info "fig4" ~doc)
     Term.(
-      const (fun obs check summary nodes trials topology seed ->
+      const (fun obs jobs check summary nodes trials topology seed ->
+          Par.set_jobs jobs;
           with_obs obs (run_fig4 check summary nodes trials topology seed))
-      $ obs_term $ check_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
+      $ obs_term $ jobs_arg $ check_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
 
 let ablate_placement_cmd =
   Cmd.v
     (Cmd.info "ablate-placement"
        ~doc:"A2: first-sub-prefix vs random claim placement (aggregation impact).")
     Term.(
-      const (fun obs check days seed ->
+      const (fun obs jobs check days seed ->
+          Par.set_jobs jobs;
           with_obs obs (fun _ -> run_ablate_placement check days seed))
-      $ obs_basic_term $ check_arg $ days_arg 400 $ seed_arg)
+      $ obs_basic_term $ jobs_arg $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_threshold_cmd =
   Cmd.v
     (Cmd.info "ablate-threshold"
        ~doc:"A3: occupancy-threshold sweep (utilization/aggregation trade-off).")
     Term.(
-      const (fun obs check days seed ->
+      const (fun obs jobs check days seed ->
+          Par.set_jobs jobs;
           with_obs obs (fun _ -> run_ablate_threshold check days seed))
-      $ obs_basic_term $ check_arg $ days_arg 400 $ seed_arg)
+      $ obs_basic_term $ jobs_arg $ check_arg $ days_arg 400 $ seed_arg)
 
 let ablate_root_cmd =
   let nodes = Arg.(value & opt int 1000 & info [ "nodes" ] ~doc:"Topology size.") in
@@ -918,16 +940,19 @@ let baselines_cmd =
   Cmd.v
     (Cmd.info "baselines" ~doc:"Related-work baselines (HPIM, HDVMRP) vs BGMP trees.")
     Term.(
-      const (fun obs check nodes trials seed ->
+      const (fun obs jobs check nodes trials seed ->
+          Par.set_jobs jobs;
           with_obs obs (fun _ -> run_baselines check nodes trials seed))
-      $ obs_basic_term $ check_arg $ nodes $ trials $ seed_arg)
+      $ obs_basic_term $ jobs_arg $ check_arg $ nodes $ trials $ seed_arg)
 
 let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT of the Figure-3 topology with its shared tree.")
     Term.(
-      const (fun obs check loss () -> with_obs obs (fun _ -> run_dot check loss ()))
-      $ obs_basic_term $ check_arg $ loss_arg $ const ())
+      const (fun obs jobs check loss () ->
+          Par.set_jobs jobs;
+          with_obs obs (fun _ -> run_dot check loss ()))
+      $ obs_basic_term $ jobs_arg $ check_arg $ loss_arg $ const ())
 
 let soak_cmd =
   let steps = Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Randomized steps.") in
@@ -935,17 +960,19 @@ let soak_cmd =
     (Cmd.info "soak"
        ~doc:"Randomized churn + failure soak of the integrated stack with invariant checking.")
     Term.(
-      const (fun obs check tr steps seed loss ->
+      const (fun obs jobs check tr steps seed loss ->
+          Par.set_jobs jobs;
           with_obs obs (run_soak check tr steps seed loss))
-      $ obs_term $ check_arg $ trace_out_arg $ steps $ seed_arg $ loss_arg)
+      $ obs_term $ jobs_arg $ check_arg $ trace_out_arg $ steps $ seed_arg $ loss_arg)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"End-to-end MASC+BGP+BGMP run on the Figure-1 topology.")
     Term.(
-      const (fun obs check tr loss () ->
+      const (fun obs jobs check tr loss () ->
+          Par.set_jobs jobs;
           with_obs obs (fun sampling -> run_demo check tr loss sampling ()))
-      $ obs_term $ check_arg $ trace_out_arg $ loss_arg $ const ())
+      $ obs_term $ jobs_arg $ check_arg $ trace_out_arg $ loss_arg $ const ())
 
 let trace_cmd =
   let file =

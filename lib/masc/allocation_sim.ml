@@ -645,3 +645,21 @@ let run p =
 
 let steady_state result ~from_day =
   Array.to_list (Array.of_seq (Seq.filter (fun s -> s.day >= from_day) (Array.to_seq result.samples)))
+
+(* Independent full simulations fanned out over the Par pool, one task
+   per parameter set.  Each run is self-contained (own engine, own
+   rng), so the only cross-task state is the Obs layer — shard-local in
+   each task, folded back here in input order, keeping metrics and
+   profiles identical at any job count.  Telemetry params are rejected:
+   a shard cannot drive a shared Jsonl sink. *)
+let run_many ?jobs ps =
+  List.iter
+    (fun p ->
+      if p.telemetry <> None then invalid_arg "Allocation_sim.run_many: telemetry not supported")
+    ps;
+  let outs = Par.map ?jobs (fun p -> Par.with_shard (fun () -> run p)) ps in
+  List.map
+    (fun (r, shard) ->
+      Par.merge_shard shard;
+      r)
+    outs

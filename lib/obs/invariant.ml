@@ -6,7 +6,9 @@ type pred = { name : string; quiescent_only : bool; run : check }
 
 type t = { registry : Metrics.registry; mutable preds : pred list }
 
-let create ?(registry = Metrics.default) () = { registry; preds = [] }
+let create ?registry () =
+  let registry = match registry with Some r -> r | None -> Metrics.current () in
+  { registry; preds = [] }
 
 let register ?(quiescent_only = false) t ~name run =
   if List.exists (fun p -> p.name = name) t.preds then

@@ -20,6 +20,9 @@ type check = unit -> (string * string option) list
 type t
 
 val create : ?registry:Metrics.registry -> unit -> t
+(** The default registry is the creating domain's {!Metrics.current}
+    at call time, so monitors created inside a [Par] task count into
+    that task's shard. *)
 
 val register : ?quiescent_only:bool -> t -> name:string -> check -> unit
 (** Raises [Invalid_argument] on a duplicate name. *)

@@ -1,14 +1,14 @@
-type counter = { mutable c : int }
+type ccell = { mutable c : int }
 
-type gauge = { mutable g : float }
+type gcell = { mutable g : float }
 
-type histogram = {
+type hcell = {
   limits : float array;
   buckets : int array;  (** length = Array.length limits + 1 (overflow) *)
   mutable hstats : Stats.t;
 }
 
-type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+type instrument = Counter of ccell | Gauge of gcell | Histogram of hcell
 
 type registry = { tbl : (string, instrument) Hashtbl.t }
 
@@ -16,10 +16,27 @@ let create () = { tbl = Hashtbl.create 64 }
 
 let default = create ()
 
+(* Each domain records into its own *current* registry, so shard-local
+   collection (Par tasks) needs no locks: a registry is only ever
+   mutated by the domain it is current on.  The main domain's current
+   registry is [default]; a freshly spawned domain starts on a private
+   scratch registry until [set_current] installs its shard. *)
+let current_key : registry Domain.DLS.key = Domain.DLS.new_key (fun () -> create ())
+
+let () = Domain.DLS.set current_key default
+
+let current () = Domain.DLS.get current_key
+
+let set_current r = Domain.DLS.set current_key r
+
+let with_current r f =
+  let prev = current () in
+  set_current r;
+  Fun.protect ~finally:(fun () -> set_current prev) f
+
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
 
-let register registry name ~kind ~make ~cast =
-  let registry = Option.value ~default registry in
+let find_or_create registry name ~kind ~make ~cast =
   match Hashtbl.find_opt registry.tbl name with
   | Some i -> (
       match cast i with
@@ -33,15 +50,32 @@ let register registry name ~kind ~make ~cast =
       Hashtbl.replace registry.tbl name i;
       x
 
-let counter ?registry name =
-  register registry name ~kind:"counter"
+(* A handle created with an explicit registry is pinned to one cell for
+   its lifetime (the historical behaviour).  A handle created without
+   one follows the *current* registry of whichever domain uses it: the
+   cell is re-resolved by name whenever the cached binding's registry is
+   not this domain's current registry.  The cached [(registry, cell)]
+   pair is immutable and replaced whole, so a racing reader on another
+   domain sees either binding, verifies the registry against its own
+   current, and rebinds on mismatch — increments can never land in a
+   registry that is not current on the incrementing domain. *)
+type 'cell binding = { bname : string; mutable bound : registry * 'cell }
+
+type counter = Pinned_c of ccell | Dyn_c of ccell binding
+
+type gauge = Pinned_g of gcell | Dyn_g of gcell binding
+
+type histogram = Pinned_h of hcell | Dyn_h of hcell binding
+
+let counter_cell registry name =
+  find_or_create registry name ~kind:"counter"
     ~make:(fun () ->
       let c = { c = 0 } in
       (c, Counter c))
     ~cast:(function Counter c -> Some c | Gauge _ | Histogram _ -> None)
 
-let gauge ?registry name =
-  register registry name ~kind:"gauge"
+let gauge_cell registry name =
+  find_or_create registry name ~kind:"gauge"
     ~make:(fun () ->
       let g = { g = 0.0 } in
       (g, Gauge g))
@@ -50,13 +84,13 @@ let gauge ?registry name =
 let default_limits =
   [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0; 10000.0; 100000.0; 1000000.0 |]
 
-let histogram ?registry ?(limits = default_limits) name =
+let histogram_cell ?(limits = default_limits) registry name =
   Array.iteri
     (fun i l ->
       if i > 0 && l <= limits.(i - 1) then
         invalid_arg "Metrics.histogram: limits must be strictly increasing")
     limits;
-  register registry name ~kind:"histogram"
+  find_or_create registry name ~kind:"histogram"
     ~make:(fun () ->
       let h =
         {
@@ -68,19 +102,63 @@ let histogram ?registry ?(limits = default_limits) name =
       (h, Histogram h))
     ~cast:(function Histogram h -> Some h | Counter _ | Gauge _ -> None)
 
-let incr c = c.c <- c.c + 1
+let counter ?registry name =
+  match registry with
+  | Some r -> Pinned_c (counter_cell r name)
+  | None ->
+      let r = current () in
+      Dyn_c { bname = name; bound = (r, counter_cell r name) }
 
-let add c n = c.c <- c.c + n
+let gauge ?registry name =
+  match registry with
+  | Some r -> Pinned_g (gauge_cell r name)
+  | None ->
+      let r = current () in
+      Dyn_g { bname = name; bound = (r, gauge_cell r name) }
 
-let count c = c.c
+let histogram ?registry ?limits name =
+  match registry with
+  | Some r -> Pinned_h (histogram_cell ?limits r name)
+  | None ->
+      let r = current () in
+      Dyn_h { bname = name; bound = (r, histogram_cell ?limits r name) }
 
-let set g v = g.g <- v
+let resolve b cell_of =
+  let r, cell = b.bound in
+  let cur = current () in
+  if r == cur then cell
+  else begin
+    let cell = cell_of cur b.bname in
+    b.bound <- (cur, cell);
+    cell
+  end
 
-let set_max g v = if v > g.g then g.g <- v
+let ccell = function Pinned_c c -> c | Dyn_c b -> resolve b counter_cell
 
-let value g = g.g
+let gcell = function Pinned_g g -> g | Dyn_g b -> resolve b gauge_cell
+
+let hcell = function Pinned_h h -> h | Dyn_h b -> resolve b (fun r n -> histogram_cell r n)
+
+let incr c =
+  let c = ccell c in
+  c.c <- c.c + 1
+
+let add c n =
+  let c = ccell c in
+  c.c <- c.c + n
+
+let count c = (ccell c).c
+
+let set g v = (gcell g).g <- v
+
+let set_max g v =
+  let g = gcell g in
+  if v > g.g then g.g <- v
+
+let value g = (gcell g).g
 
 let observe h x =
+  let h = hcell h in
   Stats.add h.hstats x;
   let n = Array.length h.limits in
   let i = ref 0 in
@@ -99,6 +177,37 @@ let reset registry =
           Array.fill h.buckets 0 (Array.length h.buckets) 0;
           h.hstats <- Stats.create ())
     registry.tbl
+
+(* ------------------------------------------------------------------ *)
+(* Shard merge                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold a shard registry into [into]: counters and histogram buckets
+   add, histogram moment accumulators combine via [Stats.merge], gauges
+   keep the maximum (the cross-shard reading of [set_max] high-water
+   marks; plain last-value gauges from concurrent shards have no
+   sequential order to preserve).  Counter/bucket merging is exact and
+   order-independent; merging shards in a deterministic order (Par does
+   item order) makes the float fields deterministic too. *)
+let merge_into ~into src =
+  if into != src then
+    Hashtbl.iter
+      (fun name i ->
+        match i with
+        | Counter c ->
+            let d = counter_cell into name in
+            d.c <- d.c + c.c
+        | Gauge g ->
+            let d = gauge_cell into name in
+            if g.g > d.g then d.g <- g.g
+        | Histogram h ->
+            let d = histogram_cell ~limits:h.limits into name in
+            if Array.length d.buckets <> Array.length h.buckets || d.limits <> h.limits then
+              invalid_arg
+                (Printf.sprintf "Metrics.merge_into: histogram %s has mismatched limits" name);
+            Array.iteri (fun k n -> d.buckets.(k) <- d.buckets.(k) + n) h.buckets;
+            d.hstats <- Stats.merge d.hstats h.hstats)
+      src.tbl
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)

@@ -1,4 +1,4 @@
-(** Process-wide metrics registry.
+(** Domain-aware metrics registry.
 
     Named counters, gauges and fixed-bucket histograms with O(1)
     hot-path updates: an instrument handle is looked up (or created)
@@ -6,6 +6,16 @@
     Names are hierarchical dot-paths ([bgmp.join_sent],
     [masc.collisions], [sim.events_fired], [spf.cache_hits]) so
     snapshots group naturally by subsystem.
+
+    Every domain records into its own {e current} registry, so
+    shard-local collection under [Par] needs no locks: the main
+    domain's current registry is {!default}, a worker domain's is
+    whatever shard [set_current]/[with_current] installed, and shards
+    are folded back with {!merge_into} at join points.  A handle
+    created without an explicit [?registry] follows the current
+    registry of whichever domain uses it (module-toplevel handles stay
+    safe inside parallel tasks); a handle created with [?registry] is
+    pinned to that registry for its lifetime.
 
     The protocol stack records into {!default}; the evaluation harness
     calls {!reset} before a run and {!snapshot} after it.  Snapshots are
@@ -21,12 +31,34 @@ type registry
 val create : unit -> registry
 
 val default : registry
-(** The registry every instrument in the stack registers into. *)
+(** The main domain's current registry: every instrument in the stack
+    registers here unless a shard is installed. *)
+
+val current : unit -> registry
+(** This domain's current registry ({!default} on the main domain
+    unless overridden). *)
+
+val set_current : registry -> unit
+(** Install [r] as this domain's current registry. *)
+
+val with_current : registry -> (unit -> 'a) -> 'a
+(** Run the thunk with [r] current on this domain, restoring the
+    previous current registry afterwards (exception-safe). *)
+
+val merge_into : into:registry -> registry -> unit
+(** Fold a shard registry into [into]: counters and histogram buckets
+    add exactly, histogram moment accumulators combine via
+    {!Stats.merge}, gauges keep the maximum (the cross-shard reading of
+    {!set_max} high-water marks).  Instruments missing from [into] are
+    created.  Merging the same shards in the same order is
+    deterministic; counter totals are order-independent.
+    @raise Invalid_argument on an instrument-kind or histogram-limits
+    mismatch. *)
 
 (** {1 Instrument handles}
 
     [counter]/[gauge]/[histogram] find-or-create by name: calling twice
-    with the same name returns the same handle.
+    with the same name returns a handle to the same instrument.
     @raise Invalid_argument if the name is already registered as a
     different kind of instrument. *)
 

@@ -1,8 +1,15 @@
-(* A global tree of sections.  The same section name under two
+(* A per-domain tree of sections.  The same section name under two
    different parents is two nodes, so total/self accounting stays a
    strict tree and folded stacks come out for free.  All mutation is
    behind the [on] flag: the disabled path of [span] is one load, one
-   branch and a tail call. *)
+   branch and a tail call.
+
+   Each domain builds into its own tree (domain-local state), so
+   workers can profile concurrently without racing; a Par task wraps
+   its work in [capture] and the detached subtree is grafted back into
+   the submitting domain's tree with [merge] at the join point.  The
+   [on] flag itself is shared — it is flipped by the main domain while
+   no workers run, and the pool's task hand-off (mutex) publishes it. *)
 
 type node = {
   name : string;
@@ -16,20 +23,28 @@ type node = {
   mutable order : string list;
 }
 
+type tree = node
+
 let make_node name =
   { name; count = 0; total_s = 0.0; total_bytes = 0.0; children = Hashtbl.create 8; order = [] }
 
-let root = ref (make_node "")
+type pstate = { mutable proot : node; mutable pcur : node }
 
-let current = ref !root
+let state_key : pstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r = make_node "" in
+      { proot = r; pcur = r })
+
+let state () = Domain.DLS.get state_key
 
 let on = ref false
 
 let is_enabled () = !on
 
 let reset () =
-  root := make_node "";
-  current := !root
+  let st = state () in
+  st.proot <- make_node "";
+  st.pcur <- st.proot
 
 let enable () =
   reset ();
@@ -49,19 +64,44 @@ let child_of parent name =
 let span name f =
   if not !on then f ()
   else begin
-    let parent = !current in
+    let st = state () in
+    let parent = st.pcur in
     let node = child_of parent name in
     node.count <- node.count + 1;
-    current := node;
+    st.pcur <- node;
     let t0 = Unix.gettimeofday () in
     let a0 = Gc.allocated_bytes () in
     Fun.protect
       ~finally:(fun () ->
         node.total_s <- node.total_s +. (Unix.gettimeofday () -. t0);
         node.total_bytes <- node.total_bytes +. (Gc.allocated_bytes () -. a0);
-        current := parent)
+        st.pcur <- parent)
       f
   end
+
+(* --- Shard capture and merge ----------------------------------------- *)
+
+let capture f =
+  if not !on then (f (), make_node "")
+  else begin
+    let st = state () in
+    let parent = st.pcur in
+    let detached = make_node "" in
+    st.pcur <- detached;
+    let x = Fun.protect ~finally:(fun () -> st.pcur <- parent) f in
+    (x, detached)
+  end
+
+let rec graft dst (src : node) =
+  let d = child_of dst src.name in
+  d.count <- d.count + src.count;
+  d.total_s <- d.total_s +. src.total_s;
+  d.total_bytes <- d.total_bytes +. src.total_bytes;
+  List.iter (fun name -> graft d (Hashtbl.find src.children name)) (List.rev src.order)
+
+let merge_tree ~into t = List.iter (fun name -> graft into (Hashtbl.find t.children name)) (List.rev t.order)
+
+let merge t = if !on then merge_tree ~into:(state ()).pcur t
 
 (* --- Reporting ------------------------------------------------------- *)
 
@@ -77,7 +117,7 @@ type row = {
 let children_in_order (node : node) : node list =
   List.rev_map (Hashtbl.find node.children) node.order
 
-let rows () =
+let rows_of_node root =
   let acc = ref [] in
   let rec walk path (node : node) =
     let kids = children_in_order node in
@@ -99,8 +139,12 @@ let rows () =
     end
     else List.iter (walk path) kids
   in
-  walk [] !root;
+  walk [] root;
   List.rev !acc
+
+let rows () = rows_of_node (state ()).proot
+
+let tree_rows t = rows_of_node t
 
 let pp_seconds ppf s =
   if s >= 1.0 then Format.fprintf ppf "%8.3fs" s

@@ -45,8 +45,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let sample t ~time =
-  let row = List.rev_map (fun (name, read) -> (name, !read ())) t.srcs in
+let emit t ~time row =
   t.n <- t.n + 1;
   match t.store with
   | S_memory cell -> cell := (time, row) :: !cell
@@ -68,6 +67,8 @@ let sample t ~time =
             (json_escape name) v)
         row
 
+let sample t ~time = emit t ~time (List.rev_map (fun (name, read) -> (name, !read ())) t.srcs)
+
 let samples t = t.n
 
 let rows t =
@@ -83,6 +84,12 @@ let rows t =
       done;
       !out
   | S_jsonl _ -> []
+
+(* Replay a shard sink's recorded rows into another sink, oldest first.
+   The source must hold its rows in memory (Memory or Ring); merging in
+   a deterministic shard order keeps the destination deterministic. *)
+let merge_into ~into src =
+  if into != src then List.iter (fun (time, row) -> emit into ~time row) (rows src)
 
 let close t =
   match t.store with

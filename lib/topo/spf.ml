@@ -247,20 +247,25 @@ let valley_free_dist_csr ?ws csr src =
 (* Default entry points: freeze (memoized) + a shared workspace        *)
 (* ------------------------------------------------------------------ *)
 
-(* The sim stack is single-threaded, so one module-level workspace grown
-   to the largest graph seen keeps the common call sites (Shared_tree,
-   Path_eval, Bgmp_fabric, Membership, ...) allocation-free without
-   threading a workspace through every signature. *)
-let shared_ws : workspace option ref = ref None
+(* One workspace per domain, grown to the largest graph seen, keeps the
+   common call sites (Shared_tree, Path_eval, Bgmp_fabric, Membership,
+   ...) allocation-free without threading a workspace through every
+   signature.  Domain-local (not global) so Par worker domains calling
+   [bfs]/[dijkstra] never share scratch.  NB: [Domain] in this library
+   is the multicast addressing domain; the runtime one is
+   [Stdlib.Domain]. *)
+let shared_ws_key : workspace option ref Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () -> ref None)
 
 let with_shared_ws csr =
-  match !shared_ws with
+  let cell = Stdlib.Domain.DLS.get shared_ws_key in
+  match !cell with
   | Some ws ->
       fit_workspace ws csr;
       ws
   | None ->
       let ws = make_workspace csr in
-      shared_ws := Some ws;
+      cell := Some ws;
       ws
 
 let bfs topo src =
@@ -401,10 +406,10 @@ type cache = {
   mutable misses : int;
 }
 
-let make_cache_csr csr =
+let make_cache_csr ?ws csr =
   {
     ccsr = csr;
-    cws = make_workspace csr;
+    cws = resolve_ws ws csr;
     slots = Array.make (max 1 csr.Topo.csr_nodes) None;
     hits = 0;
     misses = 0;

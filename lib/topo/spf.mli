@@ -87,7 +87,11 @@ val make_cache : Topo.t -> cache
 (** Freezes the topology ({!Topo.freeze}, memoized) and starts an empty
     cache over the snapshot. *)
 
-val make_cache_csr : Topo.csr -> cache
+val make_cache_csr : ?ws:workspace -> Topo.csr -> cache
+(** With [?ws] the cache borrows the given workspace instead of
+    allocating one — e.g. a Par worker's slot-local scratch reused
+    across many short-lived per-task caches.  The caller must not use
+    the workspace from another domain while the cache is live. *)
 
 val cache_csr : cache -> Topo.csr
 (** The snapshot this cache computes over. *)

@@ -1,9 +1,12 @@
-let hpim_paths ?spf topo ~rng ~levels ~source ~receivers =
+let hpim_paths ?spf ?rps topo ~rng ~levels ~source ~receivers =
   if levels < 1 then invalid_arg "Baselines.hpim_paths: need at least one RP level";
   let bfs src = match spf with Some c -> Spf.bfs_cached c src | None -> Spf.bfs topo src in
   let n = Topo.domain_count topo in
   (* Hash-placed RPs: no locality by construction (the paper's point). *)
-  let rps = Array.init levels (fun _ -> Rng.int rng n) in
+  let rps =
+    match rps with Some a -> a | None -> Array.init levels (fun _ -> Rng.int rng n)
+  in
+  if Array.length rps <> levels then invalid_arg "Baselines.hpim_paths: wrong RP count";
   (* The joined structure: a shared tree rooted at the top RP; the lower
      RPs join it in order, then the receivers join toward the LOWEST RP.
      A receiver's join walks toward RP1 and grafts where it meets the
@@ -73,15 +76,20 @@ type comparison_point = {
   bgmp_hybrid_max : float;
 }
 
+(* One trial's draws, taken on the main domain in exactly the order
+   the old sequential loop took them (source, receivers, then the RP
+   chain inside [hpim_paths]), so results are byte-identical at any
+   job count — and to the sequential runs predating the Par layer. *)
+type hpim_spec = { hs_source : Domain.id; hs_receivers : Domain.id array; hs_rps : int array }
+
 let compare_hpim ?(nodes = 1000) ?(levels = 3) ?(trials = 15) ?(sizes = [ 10; 100; 500 ])
-    ~seed () =
+    ?jobs ~seed () =
   let rng = Rng.create seed in
   let topo = Gen.power_law ~rng ~n:nodes ~m:2 in
-  let spf = Spf.make_cache topo in
-  List.map
+  let csr = Topo.freeze topo in
+  let specs = ref [] in
+  List.iter
     (fun size ->
-      let ha = Stats.create () and hm = Stats.create () in
-      let ba = Stats.create () and bm = Stats.create () in
       for _ = 1 to trials do
         let source = Rng.int rng nodes in
         let receivers =
@@ -91,22 +99,54 @@ let compare_hpim ?(nodes = 1000) ?(levels = 3) ?(trials = 15) ?(sizes = [ 10; 10
                (Array.to_list (Rng.sample_without_replacement rng (size + 1) nodes)))
         in
         let receivers = Array.sub receivers 0 (min size (Array.length receivers)) in
-        let spt = Spf.bfs_cached spf source in
-        let baseline = Array.map (fun r -> Spf.dist spt r) receivers in
-        let hpim = hpim_paths ~spf topo ~rng ~levels ~source ~receivers in
-        let bgmp =
-          (Path_eval.evaluate ~from_source:spt
-             ~from_root:(Spf.bfs_cached spf receivers.(0))
-             topo
-             { Path_eval.source; root = receivers.(0); receivers })
-            .Path_eval.hybrid
-        in
-        let record stats_avg stats_max paths =
-          let s = Path_eval.ratios ~baseline paths in
-          if s.Path_eval.receivers_counted > 0 then begin
-            Stats.add stats_avg s.Path_eval.avg_ratio;
-            Stats.add stats_max s.Path_eval.max_ratio
-          end
+        let rps = Array.init levels (fun _ -> Rng.int rng nodes) in
+        specs := { hs_source = source; hs_receivers = receivers; hs_rps = rps } :: !specs
+      done)
+    sizes;
+  let specs = List.rev !specs in
+  (* One task per trial; per-task SPF cache over the worker slot's
+     reusable workspace, so spf.* counts are scheduling-independent. *)
+  let run_trial ws { hs_source = source; hs_receivers = receivers; hs_rps = rps } =
+    let spf = Spf.make_cache_csr ~ws csr in
+    let spt = Spf.bfs_cached spf source in
+    let baseline = Array.map (fun r -> Spf.dist spt r) receivers in
+    let hpim = hpim_paths ~spf ~rps topo ~rng ~levels ~source ~receivers in
+    let bgmp =
+      (Path_eval.evaluate ~from_source:spt
+         ~from_root:(Spf.bfs_cached spf receivers.(0))
+         topo
+         { Path_eval.source; root = receivers.(0); receivers })
+        .Path_eval.hybrid
+    in
+    let summarize paths =
+      let s = Path_eval.ratios ~baseline paths in
+      if s.Path_eval.receivers_counted > 0 then
+        Some (s.Path_eval.avg_ratio, s.Path_eval.max_ratio)
+      else None
+    in
+    (summarize hpim, summarize bgmp)
+  in
+  let outs =
+    Par.map_with ?jobs
+      ~init:(fun () -> Spf.make_workspace csr)
+      (fun ws spec -> Par.with_shard (fun () -> run_trial ws spec))
+      specs
+  in
+  let outs = Array.of_list outs in
+  let idx = ref 0 in
+  List.map
+    (fun size ->
+      let ha = Stats.create () and hm = Stats.create () in
+      let ba = Stats.create () and bm = Stats.create () in
+      for _ = 1 to trials do
+        let (hpim, bgmp), shard = outs.(!idx) in
+        incr idx;
+        Par.merge_shard shard;
+        let record stats_avg stats_max = function
+          | Some (avg, mx) ->
+              Stats.add stats_avg avg;
+              Stats.add stats_max mx
+          | None -> ()
         in
         record ha hm hpim;
         record ba bm bgmp

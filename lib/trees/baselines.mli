@@ -20,6 +20,7 @@
 
 val hpim_paths :
   ?spf:Spf.cache ->
+  ?rps:int array ->
   Topo.t ->
   rng:Rng.t ->
   levels:int ->
@@ -30,7 +31,11 @@ val hpim_paths :
     with [levels] hash-placed RPs: receivers join RP1; RP1 joins RP2;
     …; the sender forwards to RP1 and data flows along the joined
     structure bidirectionally.  [?spf] supplies a shared SPF cache so
-    repeated trials on one topology reuse BFS results. *)
+    repeated trials on one topology reuse BFS results.  [?rps] supplies
+    the RP chain (length [levels], lowest level first) instead of
+    drawing it from [rng] — used when draws are hoisted out of a
+    parallel task.
+    @raise Invalid_argument if [Array.length rps <> levels]. *)
 
 type hdvmrp_cost = {
   flood_deliveries : int;
@@ -56,6 +61,16 @@ type comparison_point = {
 }
 
 val compare_hpim :
-  ?nodes:int -> ?levels:int -> ?trials:int -> ?sizes:int list -> seed:int -> unit -> comparison_point list
+  ?nodes:int ->
+  ?levels:int ->
+  ?trials:int ->
+  ?sizes:int list ->
+  ?jobs:int ->
+  seed:int ->
+  unit ->
+  comparison_point list
 (** Path-quality comparison of HPIM vs BGMP hybrid trees on the same
-    groups over the same power-law topology. *)
+    groups over the same power-law topology.  [?jobs] fans the trials
+    out over the {!Par} pool (default: the pool's job count); all
+    randomness is drawn up front and Obs shards fold back in trial
+    order, so output is byte-identical at any job count. *)

@@ -15,6 +15,7 @@ type params = {
   check_invariants : bool;
   seed : int;
   telemetry : Timeseries.t option;
+  jobs : int;
 }
 
 let default_params =
@@ -28,6 +29,7 @@ let default_params =
     check_invariants = false;
     seed = 1998;
     telemetry = None;
+    jobs = 0;
   }
 
 type point = {
@@ -59,14 +61,29 @@ let make_topology p rng =
       Gen.transit_stub ~rng ~backbones ~regionals_per_backbone:regionals
         ~stubs_per_regional:stubs
 
+(* One trial's sampled group.  All randomness is drawn on the main
+   domain before any fan-out, in exactly the draw order of the old
+   sequential loop, so results are byte-identical at any job count —
+   and to the sequential runs that predate the parallel layer. *)
+type spec = { sp_source : Domain.id; sp_receivers : Domain.id array; sp_root : Domain.id }
+
+(* What a trial task reports back: per-tree (avg, max) ratios when any
+   receiver was counted, plus its invariant-violation count.  Metrics
+   and profiler spans travel separately, in the task's Obs shard. *)
+type trial_out = {
+  t_uni : (float * float) option;
+  t_bi : (float * float) option;
+  t_hy : (float * float) option;
+  t_violations : int;
+}
+
 let run p =
   let rng = Rng.create p.seed in
   let topo = Prof.span "fig4.topology" (fun () -> make_topology p rng) in
   let n = Topo.domain_count topo in
-  (* One SPF cache for the whole run: the root BFS each trial needs twice
-     (tree build + path eval) is computed once, and sources/roots redrawn
-     across trials or group sizes are never recomputed. *)
-  let spf = Spf.make_cache topo in
+  (* Freeze on the main domain: the memoized snapshot must exist before
+     worker domains share the topology read-only. *)
+  let csr = Topo.freeze topo in
   let worst_uni = ref 0.0 and worst_bi = ref 0.0 and worst_hy = ref 0.0 in
   (match p.telemetry with
   | Some ts ->
@@ -78,17 +95,92 @@ let run p =
       Timeseries.register ts "trees.trials_run" (fun () ->
           float_of_int (Metrics.count m_trials))
   | None -> ());
-  (* Per-trial sanity predicates: a tree path can never beat the
-     shortest path (every ratio >= 1), and every receiver must be
-     reachable and evaluated.  The trial fills [pending]; the registered
-     check drains it so detections land in the shared metrics. *)
-  let invariants = Invariant.create () in
-  let pending = ref [] in
+  (* Group sizes are capped by the topology: at most n-1 receivers. *)
+  let sizes = List.filter (fun s -> s <= n - 2) p.group_sizes in
+  let draw_trial size =
+    let source = Rng.int rng n in
+    let receivers =
+      (* Receivers are distinct domains other than the source. *)
+      let draws = Rng.sample_without_replacement rng (size + 1) n in
+      let filtered = Array.of_list (List.filter (fun d -> d <> source) (Array.to_list draws)) in
+      Array.sub filtered 0 size
+    in
+    let root =
+      match p.root_placement with
+      | Root_at_initiator -> receivers.(0)
+      | Root_at_source -> source
+      | Root_random -> Rng.int rng n
+    in
+    { sp_source = source; sp_receivers = receivers; sp_root = root }
+  in
+  let specs = ref [] in
+  List.iter (fun size -> for _ = 1 to p.trials do specs := draw_trial size :: !specs done) sizes;
+  let specs = List.rev !specs in
+  (* One trial = one task.  Each task gets its own SPF cache (over its
+     worker slot's reusable workspace) so [spf.cache_*] counts do not
+     depend on which domain ran which trial; each task gets its own
+     invariant monitor counting into its shard for the same reason. *)
+  let run_trial ws spec =
+    Metrics.incr m_trials;
+    let size = Array.length spec.sp_receivers in
+    let spf = Spf.make_cache_csr ~ws csr in
+    let paths =
+      Path_eval.evaluate
+        ~from_source:(Spf.bfs_cached spf spec.sp_source)
+        ~from_root:(Spf.bfs_cached spf spec.sp_root) topo
+        { Path_eval.source = spec.sp_source; root = spec.sp_root; receivers = spec.sp_receivers }
+    in
+    (* Per-trial sanity predicates: a tree path can never beat the
+       shortest path (every ratio >= 1), and every receiver must be
+       reachable and evaluated. *)
+    let invariants = Invariant.create () in
+    let pending = ref [] in
+    Invariant.register invariants ~name:"tree-ratio" (fun () -> !pending);
+    let record label tree_paths =
+      let s = Path_eval.ratios ~baseline:paths.Path_eval.spt tree_paths in
+      if p.check_invariants then begin
+        if s.Path_eval.receivers_counted <> size then
+          pending :=
+            ( Printf.sprintf "%s tree: only %d of %d receivers evaluated" label
+                s.Path_eval.receivers_counted size,
+              None )
+            :: !pending;
+        if
+          s.Path_eval.receivers_counted > 0
+          && (s.Path_eval.avg_ratio < 0.999999 || s.Path_eval.max_ratio < 0.999999)
+        then
+          pending :=
+            ( Printf.sprintf "%s tree: ratio below 1 (avg %.6f, max %.6f)" label
+                s.Path_eval.avg_ratio s.Path_eval.max_ratio,
+              None )
+            :: !pending
+      end;
+      if s.Path_eval.receivers_counted > 0 then Some (s.Path_eval.avg_ratio, s.Path_eval.max_ratio)
+      else None
+    in
+    let t_uni = record "unidirectional" paths.Path_eval.unidirectional in
+    let t_bi = record "bidirectional" paths.Path_eval.bidirectional in
+    let t_hy = record "hybrid" paths.Path_eval.hybrid in
+    let t_violations =
+      if p.check_invariants then List.length (Invariant.check ~quiescent:false invariants) else 0
+    in
+    { t_uni; t_bi; t_hy; t_violations }
+  in
+  let jobs = if p.jobs = 0 then None else Some p.jobs in
+  let outs =
+    Par.map_with ?jobs
+      ~init:(fun () -> Spf.make_workspace csr)
+      (fun ws spec -> Par.with_shard (fun () -> Prof.span "fig4.trial" (fun () -> run_trial ws spec)))
+      specs
+  in
+  let outs = Array.of_list outs in
+  (* Sequential reduce, in trial order: Obs shards fold back and the
+     per-point statistics accumulate exactly as the sequential loop
+     did, so every output — stdout, --metrics, --profile, telemetry —
+     is independent of scheduling. *)
   let violations = ref 0 in
-  Invariant.register invariants ~name:"tree-ratio" (fun () -> !pending);
+  let idx = ref 0 in
   let points =
-    (* Group sizes are capped by the topology: at most n-1 receivers. *)
-    let sizes = List.filter (fun s -> s <= n - 2) p.group_sizes in
     List.map
       (fun size ->
         let ua = Stats.create () and um = Stats.create () in
@@ -96,57 +188,21 @@ let run p =
         let ha = Stats.create () and hm = Stats.create () in
         Prof.span "fig4.point" @@ fun () ->
         for _ = 1 to p.trials do
-          Metrics.incr m_trials;
-          let source = Rng.int rng n in
-          let receivers =
-            (* Receivers are distinct domains other than the source. *)
-            let draws = Rng.sample_without_replacement rng (size + 1) n in
-            let filtered = Array.of_list (List.filter (fun d -> d <> source) (Array.to_list draws)) in
-            Array.sub filtered 0 size
+          let out, shard = outs.(!idx) in
+          incr idx;
+          Par.merge_shard shard;
+          let fold o sa sm worst =
+            match o with
+            | Some (avg, mx) ->
+                Stats.add sa avg;
+                Stats.add sm mx;
+                if mx > !worst then worst := mx
+            | None -> ()
           in
-          let root =
-            match p.root_placement with
-            | Root_at_initiator -> receivers.(0)
-            | Root_at_source -> source
-            | Root_random -> Rng.int rng n
-          in
-          let paths =
-            Path_eval.evaluate ~from_source:(Spf.bfs_cached spf source)
-              ~from_root:(Spf.bfs_cached spf root) topo
-              { Path_eval.source; root; receivers }
-          in
-          let record label stats_avg stats_max worst tree_paths =
-            let s = Path_eval.ratios ~baseline:paths.Path_eval.spt tree_paths in
-            if s.Path_eval.receivers_counted > 0 then begin
-              Stats.add stats_avg s.Path_eval.avg_ratio;
-              Stats.add stats_max s.Path_eval.max_ratio;
-              if s.Path_eval.max_ratio > !worst then worst := s.Path_eval.max_ratio
-            end;
-            if p.check_invariants then begin
-              if s.Path_eval.receivers_counted <> size then
-                pending :=
-                  ( Printf.sprintf "%s tree: only %d of %d receivers evaluated" label
-                      s.Path_eval.receivers_counted size,
-                    None )
-                  :: !pending;
-              if
-                s.Path_eval.receivers_counted > 0
-                && (s.Path_eval.avg_ratio < 0.999999 || s.Path_eval.max_ratio < 0.999999)
-              then
-                pending :=
-                  ( Printf.sprintf "%s tree: ratio below 1 (avg %.6f, max %.6f)" label
-                      s.Path_eval.avg_ratio s.Path_eval.max_ratio,
-                    None )
-                  :: !pending
-            end
-          in
-          record "unidirectional" ua um worst_uni paths.Path_eval.unidirectional;
-          record "bidirectional" ba bm worst_bi paths.Path_eval.bidirectional;
-          record "hybrid" ha hm worst_hy paths.Path_eval.hybrid;
-          if p.check_invariants then begin
-            violations := !violations + List.length (Invariant.check ~quiescent:false invariants);
-            pending := []
-          end
+          fold out.t_uni ua um worst_uni;
+          fold out.t_bi ba bm worst_bi;
+          fold out.t_hy ha hm worst_hy;
+          violations := !violations + out.t_violations
         done;
         (match p.telemetry with
         | Some ts -> Timeseries.sample ts ~time:(float_of_int size)

@@ -33,6 +33,12 @@ type params = {
       (** when set, one [trees.*] row per series lands in the sink after
           each group-size point (worst ratios so far, trials run), with
           the group size as the time axis; default [None] *)
+  jobs : int;
+      (** domains running trials concurrently (one task per trial); [0]
+          means the {!Par} pool default.  Every trial's randomness is
+          drawn up front on the calling domain and every Obs shard is
+          folded back in trial order, so results, metrics, profiles and
+          telemetry are byte-identical at any job count; default [0] *)
 }
 
 val default_params : params

@@ -67,16 +67,65 @@ let check_metric_keys ~args ~golden () =
         (read_file (Filename.concat "golden" golden))
         got)
 
+(* Cross-jobs determinism: the same goldens must hold at any --jobs.
+   All randomness is drawn on the submitting domain and Obs shards fold
+   back in task order, so the worker count is unobservable. *)
+
+(* The --metrics export must also be byte-identical across job counts;
+   only the harness.wall_seconds gauge (real elapsed time) may differ. *)
+let check_metrics_jobs_invariant ~args () =
+  let run jobs =
+    let json = Filename.temp_file "metrics" ".json" in
+    let out = Filename.temp_file "golden" ".out" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ json; out ])
+      (fun () ->
+        let cmd =
+          Printf.sprintf "%s %s --jobs %d --metrics=%s > %s 2>&1" (Filename.quote exe) args jobs
+            (Filename.quote json) (Filename.quote out)
+        in
+        let rc = Sys.command cmd in
+        check Alcotest.int (Printf.sprintf "%s --jobs %d: exit code" args jobs) 0 rc;
+        String.concat "\n"
+          (List.filter
+             (fun line ->
+               try
+                 ignore (Str.search_forward (Str.regexp_string "harness.wall_seconds") line 0);
+                 false
+               with Not_found -> true)
+             (String.split_on_char '\n' (read_file json))))
+  in
+  check Alcotest.string
+    (args ^ ": metrics identical at --jobs 1 and --jobs 4")
+    (run 1) (run 4)
+
 let suite =
   [
     ("fig1 demo", `Quick, check_figure ~args:"demo" ~golden:"fig1_demo.txt");
+    ("fig1 demo --jobs 4", `Quick, check_figure ~args:"demo --jobs 4" ~golden:"fig1_demo.txt");
     ("fig3 dot", `Quick, check_figure ~args:"dot" ~golden:"fig3_dot.txt");
+    ("fig3 dot --jobs 4", `Quick, check_figure ~args:"dot --jobs 4" ~golden:"fig3_dot.txt");
     ( "fig2 summary",
       `Quick,
       check_figure ~args:"fig2 --summary --days 450" ~golden:"fig2_summary.txt" );
+    ( "fig2 summary --jobs 4",
+      `Quick,
+      check_figure ~args:"fig2 --summary --days 450 --jobs 4" ~golden:"fig2_summary.txt" );
     ( "fig4 summary",
       `Quick,
       check_figure ~args:"fig4 --summary --nodes 1000 --trials 5" ~golden:"fig4_summary.txt" );
+    ( "fig4 summary --jobs 4",
+      `Quick,
+      check_figure ~args:"fig4 --summary --nodes 1000 --trials 5 --jobs 4"
+        ~golden:"fig4_summary.txt" );
+    ( "fig4 summary --jobs 8",
+      `Quick,
+      check_figure ~args:"fig4 --summary --nodes 1000 --trials 5 --jobs 8"
+        ~golden:"fig4_summary.txt" );
+    ( "fig4 metrics identical across jobs",
+      `Quick,
+      check_metrics_jobs_invariant ~args:"fig4 --summary --nodes 200 --trials 3" );
     ( "fig2 metric keys",
       `Quick,
       check_metric_keys ~args:"fig2 --summary --days 30" ~golden:"fig2_metrics_keys.txt" );

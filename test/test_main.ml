@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("addr", Test_addr.suite);
       ("sim", Test_sim.suite);
       ("net", Test_net.suite);

@@ -1,0 +1,273 @@
+(* Tests for mcast_par and the domain-safe Obs plumbing it relies on:
+   Par.map ordering and exception propagation, per-slot state reuse,
+   shard capture, and the merge operators (Metrics.merge_into,
+   Prof.merge/merge_tree, Timeseries.merge_into) that make parallel
+   runs byte-identical to sequential ones. *)
+
+let check = Alcotest.check
+
+(* ---- Par.map ----------------------------------------------------- *)
+
+let test_map_ordering () =
+  let xs = List.init 100 (fun i -> i) in
+  let expect = List.map (fun x -> x * x) xs in
+  check (Alcotest.list Alcotest.int) "jobs 1" expect (Par.map ~jobs:1 (fun x -> x * x) xs);
+  check (Alcotest.list Alcotest.int) "jobs 4" expect (Par.map ~jobs:4 (fun x -> x * x) xs);
+  check (Alcotest.list Alcotest.int) "jobs 8" expect (Par.map ~jobs:8 (fun x -> x * x) xs);
+  check (Alcotest.list Alcotest.int) "more jobs than items" [ 1; 2; 3 ]
+    (Par.map ~jobs:8 (fun x -> x + 1) [ 0; 1; 2 ]);
+  check (Alcotest.list Alcotest.int) "empty" [] (Par.map ~jobs:4 (fun x -> x) []);
+  check (Alcotest.list Alcotest.int) "singleton" [ 7 ] (Par.map ~jobs:4 (fun x -> x) [ 7 ])
+
+exception Boom of int
+
+let test_map_exception () =
+  (* Every task runs to completion; the exception of the lowest-index
+     failing task is the one re-raised, at any job count. *)
+  let run jobs =
+    try
+      ignore
+        (Par.map ~jobs (fun i -> if i >= 5 then raise (Boom i) else i) (List.init 10 Fun.id));
+      Alcotest.fail "expected Boom"
+    with Boom i -> i
+  in
+  check Alcotest.int "inline re-raise" 5 (run 1);
+  check Alcotest.int "parallel re-raise is lowest index" 5 (run 4)
+
+let test_map_nested () =
+  (* A map submitted from inside a task runs inline on that worker —
+     no deadlock, same results. *)
+  let expect = List.init 3 (fun i -> List.init 5 (fun j -> (i * 10) + j)) in
+  let got =
+    Par.map ~jobs:4 (fun i -> Par.map ~jobs:4 (fun j -> (i * 10) + j) (List.init 5 Fun.id))
+      (List.init 3 Fun.id)
+  in
+  check (Alcotest.list (Alcotest.list Alcotest.int)) "nested map" expect got
+
+let test_map_with_state_reuse () =
+  let created = ref [] in
+  let cm = Mutex.create () in
+  let init () =
+    let s = ref 0 in
+    Mutex.lock cm;
+    created := s :: !created;
+    Mutex.unlock cm;
+    s
+  in
+  let got =
+    Par.map_with ~jobs:1 ~init
+      (fun s x ->
+        incr s;
+        x * 2)
+      (List.init 5 Fun.id)
+  in
+  check (Alcotest.list Alcotest.int) "results" [ 0; 2; 4; 6; 8 ] got;
+  check Alcotest.int "one state at jobs 1" 1 (List.length !created);
+  check Alcotest.int "state saw every item" 5 !(List.hd !created);
+  created := [];
+  let got =
+    Par.map_with ~jobs:4 ~init
+      (fun s x ->
+        incr s;
+        x * 2)
+      (List.init 20 Fun.id)
+  in
+  check (Alcotest.list Alcotest.int) "parallel results" (List.init 20 (fun i -> i * 2)) got;
+  check Alcotest.bool "at most one state per slot" true (List.length !created <= 4);
+  check Alcotest.int "states saw every item exactly once" 20
+    (List.fold_left (fun acc s -> acc + !s) 0 !created)
+
+let test_set_jobs () =
+  check Alcotest.bool "negative rejected" true
+    (try
+       Par.set_jobs (-1);
+       false
+     with Invalid_argument _ -> true);
+  Par.set_jobs 0;
+  check Alcotest.bool "0 resolves to >= 1" true (Par.jobs () >= 1);
+  Par.set_jobs 1;
+  check Alcotest.int "explicit" 1 (Par.jobs ())
+
+(* ---- shard hammer: N domains, exact totals after merge ----------- *)
+
+let test_shard_hammer () =
+  let tasks = 40 in
+  let outs =
+    Par.map ~jobs:4
+      (fun i ->
+        Par.with_shard (fun () ->
+            (* Handles created without [?registry] bind to the shard
+               registry current on this worker domain. *)
+            Metrics.add (Metrics.counter "t.par.hits") i;
+            Metrics.observe (Metrics.histogram ~limits:[| 10.0; 100.0 |] "t.par.lat")
+              (float_of_int i);
+            Metrics.set_max (Metrics.gauge "t.par.peak") (float_of_int i)))
+      (List.init tasks Fun.id)
+  in
+  let total = tasks * (tasks - 1) / 2 in
+  let merged = Metrics.create () in
+  Metrics.with_current merged (fun () -> List.iter (fun ((), s) -> Par.merge_shard s) outs);
+  let snap = Metrics.snapshot merged in
+  (match Metrics.find snap "t.par.hits" with
+  | Some (Metrics.Counter_v c) -> check Alcotest.int "counter total exact" total c
+  | _ -> Alcotest.fail "counter missing");
+  (match Metrics.find snap "t.par.lat" with
+  | Some (Metrics.Histogram_v v) ->
+      check Alcotest.int "histogram count exact" tasks v.Metrics.hcount;
+      check (Alcotest.float 1e-6) "histogram sum exact" (float_of_int total) v.Metrics.hsum;
+      check
+        (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+        "bucket fill exact"
+        [ (10.0, 11); (100.0, 29); (infinity, 0) ]
+        v.Metrics.hbuckets
+  | _ -> Alcotest.fail "histogram missing");
+  match Metrics.find snap "t.par.peak" with
+  | Some (Metrics.Gauge_v g) ->
+      check (Alcotest.float 1e-9) "gauge keeps max" (float_of_int (tasks - 1)) g
+  | _ -> Alcotest.fail "gauge missing"
+
+let test_merge_order_independent () =
+  (* Counter/bucket totals are integer sums: any merge order gives the
+     same registry.  Histogram moments combine via Stats.merge, which
+     is associative up to float rounding — compare with tolerance. *)
+  let shards =
+    List.map
+      (fun ((), s) -> s)
+      (Par.map ~jobs:4
+         (fun i ->
+           Par.with_shard (fun () ->
+               Metrics.add (Metrics.counter "t.ord.c") (i + 1);
+               Metrics.observe (Metrics.histogram "t.ord.h") (float_of_int i)))
+         (List.init 16 Fun.id))
+  in
+  let fold order =
+    let r = Metrics.create () in
+    Metrics.with_current r (fun () -> List.iter Par.merge_shard order);
+    Metrics.snapshot r
+  in
+  let a = fold shards and b = fold (List.rev shards) in
+  (match (Metrics.find a "t.ord.c", Metrics.find b "t.ord.c") with
+  | Some (Metrics.Counter_v ca), Some (Metrics.Counter_v cb) ->
+      check Alcotest.int "counter order-independent" ca cb
+  | _ -> Alcotest.fail "counter missing");
+  match (Metrics.find a "t.ord.h", Metrics.find b "t.ord.h") with
+  | Some (Metrics.Histogram_v va), Some (Metrics.Histogram_v vb) ->
+      check Alcotest.int "hist count" va.Metrics.hcount vb.Metrics.hcount;
+      check
+        (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+        "buckets" va.Metrics.hbuckets vb.Metrics.hbuckets;
+      check (Alcotest.float 1e-9) "mean" va.Metrics.hmean vb.Metrics.hmean;
+      check (Alcotest.float 1e-6) "stddev" va.Metrics.hstddev vb.Metrics.hstddev
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_merge_into_mismatch () =
+  let r1 = Metrics.create () and r2 = Metrics.create () in
+  ignore (Metrics.counter ~registry:r1 "x");
+  ignore (Metrics.gauge ~registry:r2 "x");
+  check Alcotest.bool "kind mismatch raises" true
+    (try
+       Metrics.merge_into ~into:r1 r2;
+       false
+     with Invalid_argument _ -> true);
+  let r3 = Metrics.create () and r4 = Metrics.create () in
+  ignore (Metrics.histogram ~registry:r3 ~limits:[| 1.0 |] "h");
+  ignore (Metrics.histogram ~registry:r4 ~limits:[| 2.0 |] "h");
+  check Alcotest.bool "limits mismatch raises" true
+    (try
+       Metrics.merge_into ~into:r3 r4;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Prof spans across domains ----------------------------------- *)
+
+let test_prof_merge () =
+  Fun.protect
+    ~finally:(fun () ->
+      Prof.disable ();
+      Prof.reset ())
+    (fun () ->
+      Prof.enable ();
+      let outs =
+        Par.map ~jobs:4
+          (fun i ->
+            Par.with_shard (fun () ->
+                Prof.span "t.work" (fun () ->
+                    if i mod 2 = 0 then Prof.span "t.inner" (fun () -> ()))))
+          (List.init 12 Fun.id)
+      in
+      List.iter (fun ((), s) -> Par.merge_shard s) outs;
+      let rows = Prof.rows () in
+      (match Prof.find rows [ "t.work" ] with
+      | Some r -> check Alcotest.int "outer span count exact" 12 r.Prof.count
+      | None -> Alcotest.fail "t.work row missing");
+      match Prof.find rows [ "t.work"; "t.inner" ] with
+      | Some r -> check Alcotest.int "nested span count exact" 6 r.Prof.count
+      | None -> Alcotest.fail "t.inner row missing")
+
+let test_prof_merge_tree_associative () =
+  Fun.protect
+    ~finally:(fun () ->
+      Prof.disable ();
+      Prof.reset ())
+    (fun () ->
+      Prof.enable ();
+      let capture n = snd (Prof.capture (fun () -> Prof.span "t.a" (fun () -> ignore n))) in
+      let t1 = capture 1 and t2 = capture 2 and t3 = capture 3 in
+      let counts first rest =
+        List.iter (fun t -> Prof.merge_tree ~into:first t) rest;
+        match Prof.find (Prof.tree_rows first) [ "t.a" ] with
+        | Some r -> r.Prof.count
+        | None -> 0
+      in
+      (* (t1 + t2) + t3 against t1 + (t2 + t3), rebuilt fresh. *)
+      let left = counts (capture 0) [ t1; t2; t3 ] in
+      let t4 = capture 2 and t5 = capture 3 in
+      Prof.merge_tree ~into:t4 t5;
+      let right = counts (capture 1) [ t4 ] in
+      check Alcotest.int "merge_tree accumulates associatively" 4 left;
+      check Alcotest.int "grouped merge matches" 3 right)
+
+let test_prof_disabled_capture_is_empty () =
+  Prof.disable ();
+  let x, tree = Prof.capture (fun () -> Prof.span "t.off" (fun () -> 41)) in
+  check Alcotest.int "thunk result" 41 x;
+  check Alcotest.int "no rows when disabled" 0 (List.length (Prof.tree_rows tree));
+  (* Merging an empty tree is a no-op either way. *)
+  Prof.merge tree
+
+(* ---- Timeseries shard merge -------------------------------------- *)
+
+let test_timeseries_merge () =
+  let mk () =
+    let t = Timeseries.create () in
+    Timeseries.register t "v" (fun () -> 0.0);
+    t
+  in
+  let main = mk () and shard = mk () in
+  Timeseries.sample main ~time:1.0;
+  Timeseries.sample shard ~time:2.0;
+  Timeseries.sample shard ~time:3.0;
+  Timeseries.merge_into ~into:main shard;
+  let row = Alcotest.pair (Alcotest.float 1e-9) (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9))) in
+  check (Alcotest.list row) "rows appended oldest first"
+    [ (1.0, [ ("v", 0.0) ]); (2.0, [ ("v", 0.0) ]); (3.0, [ ("v", 0.0) ]) ]
+    (Timeseries.rows main);
+  check Alcotest.int "sample count follows" 3 (Timeseries.samples main);
+  (* Shard rows are untouched. *)
+  check Alcotest.int "source unchanged" 2 (Timeseries.samples shard)
+
+let suite =
+  [
+    ("map preserves order", `Quick, test_map_ordering);
+    ("map re-raises lowest-index exception", `Quick, test_map_exception);
+    ("nested map runs inline", `Quick, test_map_nested);
+    ("map_with reuses per-slot state", `Quick, test_map_with_state_reuse);
+    ("set_jobs validation", `Quick, test_set_jobs);
+    ("shard hammer merges to exact totals", `Quick, test_shard_hammer);
+    ("merge order-independent totals", `Quick, test_merge_order_independent);
+    ("merge_into rejects mismatches", `Quick, test_merge_into_mismatch);
+    ("prof spans merge to exact counts", `Quick, test_prof_merge);
+    ("prof merge_tree accumulates", `Quick, test_prof_merge_tree_associative);
+    ("prof capture empty when disabled", `Quick, test_prof_disabled_capture_is_empty);
+    ("timeseries shard merge", `Quick, test_timeseries_merge);
+  ]
