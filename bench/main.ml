@@ -16,19 +16,22 @@
    repeated whole; for the figures, the printed regeneration doubles as
    the warmup and the timed repeats run silently.
 
-   Besides the human-readable report, the harness writes BENCH_6.json
+   Besides the human-readable report, the harness writes BENCH_7.json
    (per-benchmark ns/run medians with min/max/spread, wall-clock
    medians for the figure regenerations, the micro-benchmark trajectory
-   against the BENCH_5.json baseline, the live invariant-check overhead
+   against the BENCH_6.json baseline, the live invariant-check overhead
    measured by running the Figure-4 experiment and a scaled Figure-2
    run with the checks off and on, the profiler's disabled- and
    enabled-path cost on the Figure-4 experiment with the per-kernel
    span breakdown of the profiled run, a parallel section timing the
    Figure-4 experiment at --jobs 1 vs --jobs 8 with the machine's core
-   count, the convergence times the watermarks report, and the
-   metrics-registry counters accumulated across the regenerations) into
-   the working directory so successive PRs can track the performance
-   trajectory.
+   count, the beacon measurement soak — hundreds of domains, millions
+   of probe messages through the BGMP data path under seeded loss and
+   mid-window link churn, with probe throughput, the aggregate delivery
+   matrix, and the data-path profile rows — the convergence times the
+   watermarks report, and the metrics-registry counters accumulated
+   across the regenerations) into the working directory so successive
+   PRs can track the performance trajectory.
 
    `--smoke` additionally gates on bench/perf_budget.json: scaled
    fig2/fig4 medians must stay under the checked-in budgets (~2.5x a
@@ -302,6 +305,70 @@ let parallel_report () =
   (j1, j8, speedup, cores)
 
 (* ------------------------------------------------------------------ *)
+(* Beacon measurement soak                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The active-measurement soak: 200 domains, 600 beacon sources, 25
+   probes each, millions of data messages through the BGMP data path,
+   under seeded loss and a mid-window uplink failure, with the trials
+   fanned out over the Par pool (shard-merge discipline, so the matrix
+   is byte-identical at any job count).  Probe throughput counts the
+   engine-visible probe events — inter-domain data messages plus
+   end-host deliveries — per wall-clock second.  The data-path profile
+   rows come from a profiled single-trial rerun. *)
+
+let beacon_soak_params =
+  {
+    Beacon_campaign.default_params with
+    Beacon_campaign.domains = 200;
+    per_domain = 2;
+    probes = 25;
+    trials = 4;
+    loss = 0.05;
+    churn = true;
+  }
+
+let data_path_buckets =
+  [ "net.deliver.bgmp"; "bgmp.data.forward"; "bgmp.data.distribute"; "beacon.probe"; "beacon.harvest" ]
+
+let beacon_soak () =
+  Format.printf "@.=== Beacon soak: 200 domains, 4 trials, loss 0.05, churn (--jobs 4) ===@.";
+  let p = beacon_soak_params in
+  let r, wall_s = timed (fun () -> Beacon_campaign.run ~jobs:4 p) in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 r.Beacon_campaign.trials in
+  let data_msgs = sum (fun t -> t.Beacon_campaign.r_data_msgs) in
+  let delivered = sum (fun t -> t.Beacon_campaign.r_deliveries) in
+  let probes = sum (fun t -> t.Beacon_campaign.r_probes_sent) in
+  let events = data_msgs + delivered in
+  let throughput = if wall_s > 0.0 then float_of_int events /. wall_s else 0.0 in
+  let agg = r.Beacon_campaign.agg in
+  Format.printf
+    "%d probes -> %d inter-domain data messages, %d deliveries: %.2f s wall, %.0f probe \
+     events/s@."
+    probes data_msgs delivered wall_s throughput;
+  Format.printf "%a@." Beacon_matrix.pp_summary agg;
+  (* Where the data path spends its time: a profiled single-trial
+     rerun, filtered to the probe/forward/distribute/harvest buckets. *)
+  Prof.enable ();
+  ignore (Beacon_campaign.run ~jobs:1 { p with Beacon_campaign.trials = 1 });
+  let rows =
+    List.filter
+      (fun (row : Prof.row) ->
+        match List.rev row.Prof.path with
+        | leaf :: _ -> List.mem leaf data_path_buckets
+        | [] -> false)
+      (Prof.rows ())
+  in
+  Prof.disable ();
+  List.iter
+    (fun (row : Prof.row) ->
+      Format.printf "%-44s %9d calls %9.3f ms self@."
+        (String.concat ";" row.Prof.path)
+        row.Prof.count (row.Prof.self_s *. 1e3))
+    rows;
+  (r, wall_s, throughput, rows)
+
+(* ------------------------------------------------------------------ *)
 (* Invariant-check overhead and convergence                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -365,9 +432,9 @@ let convergence_report () =
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_6.json"
+let json_file = "BENCH_7.json"
 
-let baseline_file = "BENCH_5.json"
+let baseline_file = "BENCH_6.json"
 
 (* Entries of a results file, scanned with Str (no JSON dependency in
    the image). *)
@@ -447,7 +514,7 @@ let overhead_report micro =
     overhead_watchlist
 
 let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels
-    ~convergence ~counters =
+    ~beacon ~convergence ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -512,7 +579,45 @@ let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead 
         r.Prof.count r.Prof.total_s r.Prof.self_s r.Prof.self_bytes
         (if i = List.length prof_kernels - 1 then "" else ","))
     prof_kernels;
-  out "  ],\n  \"convergence\": [\n";
+  out "  ],\n";
+  let soak_r, soak_wall, soak_tput, soak_rows = beacon in
+  let soak_sum f = List.fold_left (fun acc t -> acc + f t) 0 soak_r.Beacon_campaign.trials in
+  let agg = soak_r.Beacon_campaign.agg in
+  let bp = beacon_soak_params in
+  out "  \"beacon_soak\": {\n";
+  out
+    "    \"domains\": %d, \"per_domain\": %d, \"probes_per_source\": %d, \"trials\": %d, \
+     \"loss\": %.2f, \"churn\": true,\n"
+    bp.Beacon_campaign.domains bp.Beacon_campaign.per_domain bp.Beacon_campaign.probes
+    bp.Beacon_campaign.trials bp.Beacon_campaign.loss;
+  out
+    "    \"probes_sent\": %d, \"bgmp_data_msgs_sent\": %d, \"expected_deliveries\": %d, \
+     \"delivered\": %d, \"lost\": %d, \"duplicates\": %d,\n"
+    (soak_sum (fun t -> t.Beacon_campaign.r_probes_sent))
+    (soak_sum (fun t -> t.Beacon_campaign.r_data_msgs))
+    agg.Beacon_matrix.s_sent agg.Beacon_matrix.s_got agg.Beacon_matrix.s_lost
+    (soak_sum (fun t -> t.Beacon_campaign.r_duplicates));
+  out "    \"wall_s\": %.3f, \"probe_events_per_s\": %.0f,\n" soak_wall soak_tput;
+  out
+    "    \"matrix\": {\"pairs\": %d, \"loss_fraction\": %.4f, \"unreachable\": %d, \
+     \"asymmetric\": %d, \"complete\": %b, \"latency_mean_s\": %.6f, \"latency_max_s\": %.6f, \
+     \"stretch_mean\": %.4f, \"stretch_max\": %.4f},\n"
+    agg.Beacon_matrix.s_pairs agg.Beacon_matrix.s_loss agg.Beacon_matrix.s_unreachable
+    agg.Beacon_matrix.s_asymmetric agg.Beacon_matrix.s_complete agg.Beacon_matrix.s_lat_mean
+    agg.Beacon_matrix.s_lat_max agg.Beacon_matrix.s_stretch_mean
+    agg.Beacon_matrix.s_stretch_max;
+  out "    \"data_path_profile\": [\n";
+  List.iteri
+    (fun i (r : Prof.row) ->
+      out
+        "      {\"path\": %S, \"count\": %d, \"total_s\": %.6f, \"self_s\": %.6f, \
+         \"self_bytes\": %.0f}%s\n"
+        (String.concat ";" r.Prof.path)
+        r.Prof.count r.Prof.total_s r.Prof.self_s r.Prof.self_bytes
+        (if i = List.length soak_rows - 1 then "" else ","))
+    soak_rows;
+  out "    ]\n  },\n";
+  out "  \"convergence\": [\n";
   List.iteri
     (fun i (name, v) ->
       out "    {\"name\": %S, \"value\": %.3f}%s\n" name v
@@ -627,14 +732,57 @@ let perf_gate () =
           exit 1
         end
 
+(* Beacon measurement canary for `--smoke`: a small lossless campaign
+   must move data across the fabric (bgmp.data_msgs_sent > 0), produce
+   a fully reachable COMPLETE matrix, and snapshot byte-identically at
+   --jobs 1/4/8.  Writes beacon_matrix.jsonl (CI uploads it as an
+   artifact). *)
+let smoke_beacon () =
+  let fail fmt = Format.kasprintf (fun m -> Format.eprintf "bench smoke: %s@." m; exit 1) fmt in
+  let p = { Beacon_campaign.default_params with Beacon_campaign.trials = 4 } in
+  let run jobs = Beacon_campaign.run ~jobs p in
+  let r1, wall_s = timed (fun () -> run 1) in
+  let data_msgs =
+    List.fold_left
+      (fun acc t -> acc + t.Beacon_campaign.r_data_msgs)
+      0 r1.Beacon_campaign.trials
+  in
+  let agg = r1.Beacon_campaign.agg in
+  Format.printf "bench smoke: beacon %d pairs, %d probes, %d data messages, %.2f s@."
+    agg.Beacon_matrix.s_pairs agg.Beacon_matrix.s_sent data_msgs wall_s;
+  if data_msgs = 0 then fail "beacon: no data crossed the fabric (bgmp.data_msgs_sent = 0)";
+  if agg.Beacon_matrix.s_unreachable > 0 then
+    fail "beacon: %d unreachable pairs at loss 0" agg.Beacon_matrix.s_unreachable;
+  if not agg.Beacon_matrix.s_complete then fail "beacon: matrix incomplete at loss 0";
+  let show (r : Beacon_campaign.result) =
+    Format.asprintf "%a%a" Beacon_matrix.pp_cells r.Beacon_campaign.cells
+      Beacon_matrix.pp_summary r.Beacon_campaign.agg
+  in
+  let want = show r1 in
+  List.iter
+    (fun jobs -> if show (run jobs) <> want then fail "beacon: matrix differs at --jobs %d" jobs)
+    [ 4; 8 ];
+  Beacon_matrix.write_jsonl
+    ~meta:
+      [
+        ("trials", float_of_int p.Beacon_campaign.trials);
+        ("loss", p.Beacon_campaign.loss);
+        ("domains", float_of_int p.Beacon_campaign.domains);
+      ]
+    "beacon_matrix.jsonl" r1.Beacon_campaign.cells;
+  Format.printf
+    "bench smoke: beacon matrix byte-identical at --jobs 1/4/8; wrote beacon_matrix.jsonl@."
+
 (* `bench/main.exe --smoke`: a CI-sized canary on the transport hot
    path.  Runs the Figure-1 stack end-to-end — every inter-domain
    message crossing the Net substrate — asserts the expected
    deliveries, and fails if the run blows a generous wall-clock budget,
    catching pathological slowdowns in the channel layer without the
-   full Bechamel session.  Then the perf gate above compares scaled
-   fig2/fig4 medians against bench/perf_budget.json.  With `--profile`,
-   the canary run is profiled and sampled: profile.jsonl and
+   full Bechamel session.  The beacon canary then runs a lossless
+   measurement campaign and checks the matrix is complete and
+   jobs-invariant, and the perf gate above compares scaled fig2/fig4
+   medians against bench/perf_budget.json.  With `--profile`, the
+   canary run is profiled and sampled: profile.jsonl and
    timeseries.jsonl land in the working directory (CI uploads them as
    artifacts). *)
 let run_smoke () =
@@ -674,7 +822,12 @@ let run_smoke () =
   if deliveries <> 4 then fail "expected 4 member deliveries, got %d" deliveries;
   if transported = 0 then fail "no messages crossed the transport";
   if wall_s > budget_s then fail "took %.1f s (budget %.0f s)" wall_s budget_s;
-  perf_gate ()
+  (* The perf gate runs before the beacon canary: the canary's --jobs 8
+     pass spawns pool domains, and the multi-domain runtime's GC makes
+     the single-threaded figure medians incomparable to budgets
+     measured on a one-domain process. *)
+  perf_gate ();
+  smoke_beacon ()
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then begin
@@ -709,7 +862,9 @@ let () =
   let inv_overhead = invariant_overhead () in
   let prof_overhead, prof_kernels = profiling_overhead () in
   let parallel = parallel_report () in
+  let beacon = beacon_soak () in
   let convergence = convergence_report () in
   write_json ~micro
     ~figures:[ fig2_stat; fig4_stat ]
-    ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~convergence ~counters
+    ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~beacon ~convergence
+    ~counters

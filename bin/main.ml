@@ -7,6 +7,7 @@
      ablate-threshold occupancy-threshold sweep (A3)
      ablate-root      root-domain placement sensitivity (A4)
      ablate-claim     claim-collide vs query-response robustness (A1)
+     beacon           dbeacon-style active measurement: NxN delivery matrix
      trace            inspect a JSONL trace: timelines, latencies, causal chains
      report           summarize profile/telemetry/metrics artifacts of a run
      demo             end-to-end run on the Figure-1 topology
@@ -631,6 +632,105 @@ let run_demo check trace_out loss sampling () =
   end;
   if trace_out <> None then Trace.close (Internet.trace inet)
 
+(* ---------------- beacon ---------------------------------------------- *)
+
+(* dbeacon-style active measurement: beacon fleets over real BGMP trees,
+   N x N delivery matrix on stdout, optional JSONL export for the
+   [report --matrix] view. *)
+let run_beacon check domains per_domain probes trials seed loss churn matrix_out jobs sampling =
+  if trials > 1 && sampling <> None then
+    Format.eprintf "beacon: --sample needs a single trial; telemetry disabled@.";
+  let p =
+    {
+      Beacon_campaign.default_params with
+      Beacon_campaign.domains;
+      per_domain;
+      probes;
+      trials;
+      seed;
+      loss;
+      churn;
+      telemetry =
+        (if trials > 1 then None
+         else Option.map (fun (ts, every) -> (ts, Time.seconds every)) sampling);
+    }
+  in
+  Format.printf
+    "# beacon: %d domains, %d beacon(s)/domain + interdomain session, %d probes/source, %d \
+     trial(s), loss %.2f%s@."
+    domains per_domain probes trials loss
+    (if churn then ", churn" else "");
+  let r = Beacon_campaign.run ~jobs p in
+  List.iter
+    (fun (t : Beacon_campaign.trial_result) ->
+      Format.printf
+        "trial %d: domains=%d sources=%d probes=%d delivered=%d lost=%d dup=%d data-msgs=%d \
+         net-drops=%d converged=%.3fs window=[%.3fs, %.3fs]@."
+        t.Beacon_campaign.r_trial t.Beacon_campaign.r_domains t.Beacon_campaign.r_sources
+        t.Beacon_campaign.r_probes_sent t.Beacon_campaign.r_deliveries
+        t.Beacon_campaign.r_lost t.Beacon_campaign.r_duplicates
+        t.Beacon_campaign.r_data_msgs t.Beacon_campaign.r_net_dropped
+        t.Beacon_campaign.r_converged_s t.Beacon_campaign.r_first_probe_s
+        t.Beacon_campaign.r_last_harvest_s)
+    r.Beacon_campaign.trials;
+  Format.printf "--- delivery matrix ---@.";
+  Format.printf "%a@." Beacon_matrix.pp_summary r.Beacon_campaign.agg;
+  let worst = Beacon_matrix.worst r.Beacon_campaign.cells ~n:5 in
+  if List.exists (fun (c : Beacon_matrix.cell) -> c.Beacon_matrix.c_loss > 0.0) worst
+  then begin
+    Format.printf "--- worst pairs ---@.";
+    Format.printf "%a" Beacon_matrix.pp_cells worst
+  end;
+  (match matrix_out with
+  | None -> ()
+  | Some file ->
+      let t0 = List.hd r.Beacon_campaign.trials in
+      let last =
+        List.fold_left
+          (fun acc (t : Beacon_campaign.trial_result) ->
+            Float.max acc t.Beacon_campaign.r_last_harvest_s)
+          0.0 r.Beacon_campaign.trials
+      in
+      Beacon_matrix.write_jsonl
+        ~meta:
+          [
+            ("trials", float_of_int trials);
+            ("seed", float_of_int seed);
+            ("loss", loss);
+            ("domains", float_of_int t0.Beacon_campaign.r_domains);
+            ("converged_s", t0.Beacon_campaign.r_converged_s);
+            ("first_probe_s", t0.Beacon_campaign.r_first_probe_s);
+            ("last_harvest_s", last);
+          ]
+        file r.Beacon_campaign.cells;
+      Format.printf "matrix written to %s@." file);
+  if check then begin
+    (* The measurement layer's own invariants: accounting closes, trees
+       never duplicate, and a lossless churn-free run delivers
+       everything. *)
+    let bad = ref 0 in
+    let agg = r.Beacon_campaign.agg in
+    if agg.Beacon_matrix.s_sent <> agg.Beacon_matrix.s_got + agg.Beacon_matrix.s_lost
+    then begin
+      incr bad;
+      Format.eprintf "beacon: %d probes expected but %d+%d accounted@."
+        agg.Beacon_matrix.s_sent agg.Beacon_matrix.s_got agg.Beacon_matrix.s_lost
+    end;
+    List.iter
+      (fun (t : Beacon_campaign.trial_result) ->
+        if t.Beacon_campaign.r_duplicates > 0 then begin
+          incr bad;
+          Format.eprintf "beacon: trial %d delivered %d duplicate copies@."
+            t.Beacon_campaign.r_trial t.Beacon_campaign.r_duplicates
+        end)
+      r.Beacon_campaign.trials;
+    if loss = 0.0 && (not churn) && not agg.Beacon_matrix.s_complete then begin
+      incr bad;
+      Format.eprintf "beacon: incomplete matrix despite loss=0 and no churn@."
+    end;
+    fail_on_violations "beacon" !bad
+  end
+
 (* ---------------- trace ----------------------------------------------- *)
 
 (* Offline viewer for JSONL traces (--metrics' sibling: any Trace.t can
@@ -742,18 +842,58 @@ let report_metrics ppf file =
   close_in ic;
   Format.fprintf ppf "%d instrument(s)@." !n
 
-let run_report profile timeseries metrics series fold =
+(* The [beacon --matrix-out] view: measurement timeline from the meta
+   line, the aggregate matrix summary, and the dbeacon "who can't hear
+   whom" worst-pairs table. *)
+let report_matrix ppf file =
+  let meta, cells = Beacon_matrix.load_jsonl file in
+  if cells = [] then Format.fprintf ppf "matrix %s: no cells@." file
+  else begin
+    Format.fprintf ppf "--- delivery matrix: %s ---@." file;
+    (match
+       ( List.assoc_opt "converged_s" meta,
+         List.assoc_opt "first_probe_s" meta,
+         List.assoc_opt "last_harvest_s" meta )
+     with
+    | Some c, Some f, Some l ->
+        Format.fprintf ppf
+          "timeline: trees converged %.3fs, measured [%.3fs, %.3fs] (window %.3fs)@." c f l
+          (l -. f)
+    | _ -> ());
+    List.iter
+      (fun (k, v) ->
+        if not (List.mem k [ "converged_s"; "first_probe_s"; "last_harvest_s" ]) then
+          Format.fprintf ppf "%-14s %g@." k v)
+      meta;
+    let s = Beacon_matrix.summary cells in
+    Format.fprintf ppf "%a@." Beacon_matrix.pp_summary s;
+    let worst = Beacon_matrix.worst cells ~n:10 in
+    if List.exists (fun (c : Beacon_matrix.cell) -> c.Beacon_matrix.c_loss > 0.0) worst
+    then begin
+      Format.fprintf ppf "--- worst pairs ---@.";
+      Format.fprintf ppf "%a" Beacon_matrix.pp_cells worst
+    end
+    else Format.fprintf ppf "all pairs fully delivered@."
+  end
+
+let run_report profile timeseries metrics series fold matrix =
   let ppf = Format.std_formatter in
   if Sys.file_exists profile then report_profile ppf profile fold
   else Format.fprintf ppf "profile %s: not found (produce it with --profile)@." profile;
   if Sys.file_exists timeseries then report_timeseries ppf timeseries series
   else
     Format.fprintf ppf "telemetry %s: not found (produce it with --sample EVERY)@." timeseries;
-  match metrics with
+  (match metrics with
   | None -> ()
   | Some file ->
       if Sys.file_exists file then report_metrics ppf file
-      else Format.fprintf ppf "metrics %s: not found (produce it with --metrics=FILE)@." file
+      else Format.fprintf ppf "metrics %s: not found (produce it with --metrics=FILE)@." file);
+  match matrix with
+  | None -> ()
+  | Some file ->
+      if Sys.file_exists file then report_matrix ppf file
+      else
+        Format.fprintf ppf "matrix %s: not found (produce it with beacon --matrix-out)@." file
 
 (* ---------------- cmdliner wiring ------------------------------------ *)
 
@@ -974,6 +1114,46 @@ let demo_cmd =
           with_obs obs (fun sampling -> run_demo check tr loss sampling ()))
       $ obs_term $ jobs_arg $ check_arg $ trace_out_arg $ loss_arg $ const ())
 
+let beacon_cmd =
+  let domains =
+    Arg.(value & opt int 20 & info [ "domains" ] ~doc:"Target domain count (rounded to the transit-stub shape).")
+  in
+  let per_domain =
+    Arg.(value & opt int 2 & info [ "per-domain" ] ~doc:"Beacons per domain.")
+  in
+  let probes = Arg.(value & opt int 3 & info [ "probes" ] ~doc:"Probes per source.") in
+  let trials = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Independent trials.") in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Fail the last stub's uplink a third of the way through the measurement window and \
+             restore it at two thirds.")
+  in
+  let matrix_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the delivery matrix as JSON lines to $(docv); inspect it with \
+             $(b,report --matrix).")
+  in
+  Cmd.v
+    (Cmd.info "beacon"
+       ~doc:
+         "Active measurement: beacon fleets probe per-domain groups and an interdomain session \
+          over real BGMP trees, accumulating an NxN delivery/loss/latency matrix (dbeacon's \
+          view of the multicast internet).")
+    Term.(
+      const (fun obs jobs check domains per_domain probes trials seed loss churn matrix_out ->
+          Par.set_jobs jobs;
+          with_obs obs
+            (run_beacon check domains per_domain probes trials seed loss churn matrix_out jobs))
+      $ obs_term $ jobs_arg $ check_arg $ domains $ per_domain $ probes $ trials $ seed_arg
+      $ loss_arg $ churn $ matrix_out)
+
 let trace_cmd =
   let file =
     Arg.(
@@ -1037,13 +1217,22 @@ let report_cmd =
             "Also write flamegraph folded stacks (one \"a;b;c self-microseconds\" line per \
              span) to $(docv).")
   in
+  let matrix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix" ] ~docv:"FILE"
+          ~doc:
+            "Delivery-matrix JSONL to summarize (written by $(b,beacon --matrix-out)): \
+             measurement timeline, aggregate summary, worst pairs.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Summarize a run's observability artifacts: the per-phase wall-clock/allocation \
           breakdown from a --profile JSONL, sim-time telemetry series from a --sample JSONL, \
-          and a --metrics JSON snapshot.")
-    Term.(const run_report $ profile $ timeseries $ metrics $ series $ fold)
+          a --metrics JSON snapshot, and a beacon delivery matrix.")
+    Term.(const run_report $ profile $ timeseries $ metrics $ series $ fold $ matrix)
 
 let main_cmd =
   let doc = "Experiments for the MASC/BGMP inter-domain multicast architecture (SIGCOMM 1998)." in
@@ -1058,6 +1247,7 @@ let main_cmd =
       ablate_kampai_cmd;
       ablate_claim_cmd;
       baselines_cmd;
+      beacon_cmd;
       soak_cmd;
       dot_cmd;
       trace_cmd;

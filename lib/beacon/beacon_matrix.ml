@@ -1,0 +1,288 @@
+type acc = {
+  mutable sent : int;
+  mutable got : int;
+  lat : Stats.t;
+  hops : Stats.t;
+  stretch : Stats.t;
+}
+
+type t = (Host_ref.t * Host_ref.t, acc) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let acc_for t key =
+  match Hashtbl.find_opt t key with
+  | Some a -> a
+  | None ->
+      let a = { sent = 0; got = 0; lat = Stats.create (); hops = Stats.create (); stretch = Stats.create () } in
+      Hashtbl.replace t key a;
+      a
+
+let expect t ~src ~dst =
+  let a = acc_for t (src, dst) in
+  a.sent <- a.sent + 1
+
+let deliver t ~src ~dst ~latency ~hops ~spf_dist =
+  let a = acc_for t (src, dst) in
+  a.got <- a.got + 1;
+  Stats.add a.lat latency;
+  Stats.add a.hops (float_of_int hops);
+  let stretch = if spf_dist <= 0 then 1.0 else float_of_int hops /. float_of_int spf_dist in
+  Stats.add a.stretch stretch
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun key (a : acc) ->
+      match Hashtbl.find_opt into key with
+      | None ->
+          Hashtbl.replace into key
+            {
+              sent = a.sent;
+              got = a.got;
+              lat = Stats.merge (Stats.create ()) a.lat;
+              hops = Stats.merge (Stats.create ()) a.hops;
+              stretch = Stats.merge (Stats.create ()) a.stretch;
+            }
+      | Some b ->
+          Hashtbl.replace into key
+            {
+              sent = b.sent + a.sent;
+              got = b.got + a.got;
+              lat = Stats.merge b.lat a.lat;
+              hops = Stats.merge b.hops a.hops;
+              stretch = Stats.merge b.stretch a.stretch;
+            })
+    src
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type cell = {
+  c_src : Host_ref.t;
+  c_dst : Host_ref.t;
+  c_sent : int;
+  c_got : int;
+  c_loss : float;
+  c_lat_mean : float;
+  c_lat_max : float;
+  c_hops_mean : float;
+  c_hops_max : float;
+  c_stretch_mean : float;
+  c_stretch_max : float;
+}
+
+let cell_of (src, dst) (a : acc) =
+  let smax s = if Stats.count s = 0 then 0.0 else Stats.max s in
+  {
+    c_src = src;
+    c_dst = dst;
+    c_sent = a.sent;
+    c_got = a.got;
+    c_loss =
+      (if a.sent = 0 then 0.0 else float_of_int (a.sent - a.got) /. float_of_int a.sent);
+    c_lat_mean = Stats.mean a.lat;
+    c_lat_max = smax a.lat;
+    c_hops_mean = Stats.mean a.hops;
+    c_hops_max = smax a.hops;
+    c_stretch_mean = Stats.mean a.stretch;
+    c_stretch_max = smax a.stretch;
+  }
+
+let cells t =
+  Hashtbl.fold (fun key a l -> cell_of key a :: l) t []
+  |> List.sort (fun a b ->
+         match Host_ref.compare a.c_src b.c_src with
+         | 0 -> Host_ref.compare a.c_dst b.c_dst
+         | c -> c)
+
+type summary = {
+  s_pairs : int;
+  s_sent : int;
+  s_got : int;
+  s_lost : int;
+  s_loss : float;
+  s_unreachable : int;
+  s_asymmetric : int;
+  s_complete : bool;
+  s_lat_mean : float;
+  s_lat_max : float;
+  s_stretch_mean : float;
+  s_stretch_max : float;
+}
+
+let summary cs =
+  let sent = List.fold_left (fun a c -> a + c.c_sent) 0 cs in
+  let got = List.fold_left (fun a c -> a + c.c_got) 0 cs in
+  let unreachable = List.length (List.filter (fun c -> c.c_sent > 0 && c.c_got = 0) cs) in
+  (* Loss asymmetry between the two directions of a host pair: dbeacon's
+     tell-tale for one-way filtering.  Only pairs measured both ways
+     count. *)
+  let by_pair = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace by_pair (c.c_src, c.c_dst) c.c_loss) cs;
+  let asym =
+    List.fold_left
+      (fun n c ->
+        if Host_ref.compare c.c_src c.c_dst < 0 then
+          match Hashtbl.find_opt by_pair (c.c_dst, c.c_src) with
+          | Some back when Float.abs (back -. c.c_loss) > 1e-9 -> n + 1
+          | Some _ | None -> n
+        else n)
+      0 cs
+  in
+  (* Delivery-weighted aggregate latency/stretch over all cells. *)
+  let wsum f = List.fold_left (fun a c -> a +. (f c *. float_of_int c.c_got)) 0.0 cs in
+  let fmax f = List.fold_left (fun a c -> Float.max a (f c)) 0.0 cs in
+  {
+    s_pairs = List.length cs;
+    s_sent = sent;
+    s_got = got;
+    s_lost = sent - got;
+    s_loss = (if sent = 0 then 0.0 else float_of_int (sent - got) /. float_of_int sent);
+    s_unreachable = unreachable;
+    s_asymmetric = asym;
+    s_complete = sent > 0 && got = sent;
+    s_lat_mean = (if got = 0 then 0.0 else wsum (fun c -> c.c_lat_mean) /. float_of_int got);
+    s_lat_max = fmax (fun c -> c.c_lat_max);
+    s_stretch_mean =
+      (if got = 0 then 0.0 else wsum (fun c -> c.c_stretch_mean) /. float_of_int got);
+    s_stretch_max = fmax (fun c -> c.c_stretch_max);
+  }
+
+let worst cs ~n =
+  let cmp a b =
+    match compare b.c_loss a.c_loss with
+    | 0 -> (
+        match compare b.c_lat_mean a.c_lat_mean with
+        | 0 -> (
+            match Host_ref.compare a.c_src b.c_src with
+            | 0 -> Host_ref.compare a.c_dst b.c_dst
+            | c -> c)
+        | c -> c)
+    | c -> c
+  in
+  List.filteri (fun i _ -> i < n) (List.sort cmp cs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "pairs %d  probes %d  delivered %d  lost %d (%.4f)  unreachable %d  asymmetric %d  %s@\n\
+     latency mean %.6fs max %.6fs  stretch mean %.4f max %.4f"
+    s.s_pairs s.s_sent s.s_got s.s_lost s.s_loss s.s_unreachable s.s_asymmetric
+    (if s.s_complete then "COMPLETE" else "INCOMPLETE")
+    s.s_lat_mean s.s_lat_max s.s_stretch_mean s.s_stretch_max
+
+let pp_cells ppf cs =
+  Format.fprintf ppf "%-10s %-10s %5s %5s %7s %10s %6s %8s@\n" "src" "dst" "sent" "got"
+    "loss" "lat-mean" "hops" "stretch";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-10s %-10s %5d %5d %7.4f %10.6f %6.2f %8.4f@\n"
+        (Format.asprintf "%a" Host_ref.pp c.c_src)
+        (Format.asprintf "%a" Host_ref.pp c.c_dst)
+        c.c_sent c.c_got c.c_loss c.c_lat_mean c.c_hops_mean c.c_stretch_mean)
+    cs
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let jf f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let cell_to_json c =
+  Printf.sprintf
+    "{\"src\": [%d, %d], \"dst\": [%d, %d], \"sent\": %d, \"got\": %d, \"loss\": %s, \
+     \"lat_mean\": %s, \"lat_max\": %s, \"hops_mean\": %s, \"hops_max\": %s, \
+     \"stretch_mean\": %s, \"stretch_max\": %s}"
+    c.c_src.Host_ref.host_domain c.c_src.Host_ref.host_index c.c_dst.Host_ref.host_domain
+    c.c_dst.Host_ref.host_index c.c_sent c.c_got (jf c.c_loss) (jf c.c_lat_mean)
+    (jf c.c_lat_max) (jf c.c_hops_mean) (jf c.c_hops_max) (jf c.c_stretch_mean)
+    (jf c.c_stretch_max)
+
+let write_jsonl ?(meta = []) file cs =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Printf.sprintf "{\"meta\": {%s}}\n"
+           (String.concat ", "
+              (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (jf v)) meta)));
+      List.iter
+        (fun c ->
+          output_string oc (cell_to_json c);
+          output_char oc '\n')
+        cs)
+
+(* Hand-rolled field scanning, like the rest of the repo: no JSON dep. *)
+let scan_float line key =
+  let re = Str.regexp ("\"" ^ Str.quote key ^ "\": \\(-?[0-9.eE+-]+\\)") in
+  try
+    ignore (Str.search_forward re line 0);
+    Some (float_of_string (Str.matched_group 1 line))
+  with Not_found | Failure _ -> None
+
+let scan_host line key =
+  let re = Str.regexp ("\"" ^ Str.quote key ^ "\": \\[\\([0-9]+\\), \\([0-9]+\\)\\]") in
+  try
+    ignore (Str.search_forward re line 0);
+    Some (Host_ref.make (int_of_string (Str.matched_group 1 line))
+            (int_of_string (Str.matched_group 2 line)))
+  with Not_found | Failure _ -> None
+
+let cell_of_json line =
+  match (scan_host line "src", scan_host line "dst") with
+  | Some src, Some dst ->
+      let f key d = match scan_float line key with Some v -> v | None -> d in
+      Some
+        {
+          c_src = src;
+          c_dst = dst;
+          c_sent = int_of_float (f "sent" 0.0);
+          c_got = int_of_float (f "got" 0.0);
+          c_loss = f "loss" 0.0;
+          c_lat_mean = f "lat_mean" 0.0;
+          c_lat_max = f "lat_max" 0.0;
+          c_hops_mean = f "hops_mean" 0.0;
+          c_hops_max = f "hops_max" 0.0;
+          c_stretch_mean = f "stretch_mean" 0.0;
+          c_stretch_max = f "stretch_max" 0.0;
+        }
+  | _ -> None
+
+let meta_of_json line =
+  let pairs = ref [] in
+  let re = Str.regexp "\"\\([a-zA-Z0-9_.]+\\)\": \\(-?[0-9.eE+-]+\\)" in
+  let pos = ref 0 in
+  (try
+     while true do
+       pos := 1 + Str.search_forward re line !pos;
+       pairs :=
+         (Str.matched_group 1 line, float_of_string (Str.matched_group 2 line)) :: !pairs
+     done
+   with Not_found | Failure _ -> ());
+  List.rev !pairs
+
+let load_jsonl file =
+  let ic = open_in file in
+  let meta = ref [] and cells = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (try
+         while true do
+           let line = input_line ic in
+           if
+             try
+               ignore (Str.search_forward (Str.regexp_string "\"meta\"") line 0);
+               true
+             with Not_found -> false
+           then meta := meta_of_json line
+           else
+             match cell_of_json line with
+             | Some c -> cells := c :: !cells
+             | None -> ()
+         done
+       with End_of_file -> ());
+      (!meta, List.rev !cells))

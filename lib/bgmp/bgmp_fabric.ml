@@ -27,10 +27,22 @@ type t = {
   ucast_cache : (Domain.id, Spf.paths) Hashtbl.t;  (** BFS from a target domain *)
   delivered : (int, (Host_ref.t * int) list ref) Hashtbl.t;
   seen : (int * Host_ref.t, unit) Hashtbl.t;
+  payload_spans : (int, Span.t) Hashtbl.t;
+      (** causal span a payload travels under, kept only for payloads
+          sent with one (probes under an attached trace) *)
+  mutable on_delivery :
+    (group:Ipv4.t -> source:Host_ref.t -> payload:int -> host:Host_ref.t -> hops:int -> unit)
+    option;
   mutable dup_count : int;
   mutable next_payload : int;
   mutable ctl_msgs : int;
   mutable data_msgs : int;
+  (* Data-plane instruments, created per fabric (find-or-create by
+     name) so fabric-free runs keep their metric key sets unchanged. *)
+  m_data_delivered : Metrics.counter;
+  m_data_dup : Metrics.counter;
+  m_data_dropped : Metrics.counter;
+  m_ctl_dropped : Metrics.counter;
 }
 
 let peer_of rid = rid lxor 1
@@ -131,10 +143,14 @@ let classify_source_for t rid source_dom =
 (* Action execution                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let record_delivery t ~payload ~host ~hops =
-  if Hashtbl.mem t.seen (payload, host) then t.dup_count <- t.dup_count + 1
+let record_delivery t ~group ~source ~payload ~host ~hops =
+  if Hashtbl.mem t.seen (payload, host) then begin
+    t.dup_count <- t.dup_count + 1;
+    Metrics.incr t.m_data_dup
+  end
   else begin
     Hashtbl.replace t.seen (payload, host) ();
+    Metrics.incr t.m_data_delivered;
     let cell =
       match Hashtbl.find_opt t.delivered payload with
       | Some c -> c
@@ -143,7 +159,10 @@ let record_delivery t ~payload ~host ~hops =
           Hashtbl.replace t.delivered payload c;
           c
     in
-    cell := !cell @ [ (host, hops) ]
+    cell := !cell @ [ (host, hops) ];
+    match t.on_delivery with
+    | Some f -> f ~group ~source ~payload ~host ~hops
+    | None -> ()
   end
 
 let rec exec_actions t rid actions = List.iter (exec_action t rid) actions
@@ -160,7 +179,14 @@ and exec_action t rid action =
           Metrics.incr m_ctl_msgs);
       (* The peer target is always the external peer across router
          [rid]'s link — exactly where its fixed transport lane goes. *)
-      let span = match msg with Bgmp_msg.Join { span; _ } -> span | _ -> None in
+      let span =
+        match msg with
+        | Bgmp_msg.Join { span; _ } -> span
+        | Bgmp_msg.Data { payload; _ } ->
+            if Hashtbl.length t.payload_spans = 0 then None
+            else Hashtbl.find_opt t.payload_spans payload
+        | Bgmp_msg.Prune _ | Bgmp_msg.Join_sg _ | Bgmp_msg.Prune_sg _ -> None
+      in
       Net.send t.peer_chan.(rid) ?span msg
   | Bgmp_router.Migp_join { group; span } -> (
       let dom = Bgmp_router.domain t.routers.(rid) in
@@ -238,7 +264,12 @@ and dispatch_peer_msg t ~to_ ~from_rid msg =
         Engine.note_activity t.engine "bgmp";
         Bgmp_router.handle_prune_sg router ~source ~group ~from
     | Bgmp_msg.Data { group; source; payload; hops } ->
-        Bgmp_router.handle_data router ~group ~source ~payload ~hops:(hops + 1) ~from
+        (* The inter-domain hop count ticks here: a peer arrival is the
+           one place a packet crosses a domain boundary. *)
+        let forward () =
+          Bgmp_router.handle_data router ~group ~source ~payload ~hops:(hops + 1) ~from
+        in
+        if Prof.is_enabled () then Prof.span "bgmp.data.forward" forward else forward ()
   in
   exec_actions t to_ actions
 
@@ -247,6 +278,12 @@ and dispatch_peer_msg t ~to_ ~from_rid msg =
    routers that need them (§5.2).  [entry = None] means the packet
    originates at a local host. *)
 and internal_distribute t ~dom ~entry ~group ~source ~payload ~hops =
+  if Prof.is_enabled () then
+    Prof.span "bgmp.data.distribute" (fun () ->
+        internal_distribute_impl t ~dom ~entry ~group ~source ~payload ~hops)
+  else internal_distribute_impl t ~dom ~entry ~group ~source ~payload ~hops
+
+and internal_distribute_impl t ~dom ~entry ~group ~source ~payload ~hops =
   let migp = t.migps.(dom) in
   let style = Migp.style migp in
   let members = Migp.members migp ~group in
@@ -279,7 +316,7 @@ and internal_distribute t ~dom ~entry ~group ~source ~payload ~hops =
     | Some entry_rid, Some rpf_rid when entry_rid <> rpf_rid -> Migp.note_encapsulation migp
     | (Some _ | None), (Some _ | None) -> ()
   end;
-  List.iter (fun h -> record_delivery t ~payload ~host:h ~hops) members;
+  List.iter (fun h -> record_delivery t ~group ~source ~payload ~host:h ~hops) members;
   (* Which border routers get a copy from the interior. *)
   let interested rid =
     let r = t.routers.(rid) in
@@ -356,10 +393,16 @@ let create ~engine ~topo ?net ?(config = default_config) ?(migp_style = fun _ ->
       ucast_cache = Hashtbl.create 16;
       delivered = Hashtbl.create 64;
       seen = Hashtbl.create 256;
+      payload_spans = Hashtbl.create 16;
+      on_delivery = None;
       dup_count = 0;
       next_payload = 0;
       ctl_msgs = 0;
       data_msgs = 0;
+      m_data_delivered = Metrics.counter "bgmp.data.delivered";
+      m_data_dup = Metrics.counter "bgmp.data.duplicates";
+      m_data_dropped = Metrics.counter "bgmp.data.dropped";
+      m_ctl_dropped = Metrics.counter "bgmp.ctl.dropped";
     }
   in
   Array.iteri
@@ -369,12 +412,22 @@ let create ~engine ~topo ?net ?(config = default_config) ?(migp_style = fun _ ->
     routers;
   (* One transport lane per router, to its external peer across the
      link (delivered there as coming from [rid]). *)
+  let classify_drop msg =
+    match msg with
+    | Bgmp_msg.Data _ -> Metrics.incr t.m_data_dropped
+    | Bgmp_msg.Join _ | Bgmp_msg.Prune _ | Bgmp_msg.Join_sg _ | Bgmp_msg.Prune_sg _ ->
+        Metrics.incr t.m_ctl_dropped
+  in
   t.peer_chan <-
     Array.init router_count (fun rid ->
-        Net.channel net ~protocol:"bgmp"
-          ~src:(Bgmp_router.domain routers.(rid))
-          ~dst:router_neighbor.(rid) ~delay:router_delay.(rid)
-          ~recv:(fun msg -> dispatch_peer_msg t ~to_:(peer_of rid) ~from_rid:rid msg));
+        let ch =
+          Net.channel net ~protocol:"bgmp"
+            ~src:(Bgmp_router.domain routers.(rid))
+            ~dst:router_neighbor.(rid) ~delay:router_delay.(rid)
+            ~recv:(fun msg -> dispatch_peer_msg t ~to_:(peer_of rid) ~from_rid:rid msg)
+        in
+        Net.set_on_drop ch classify_drop;
+        ch);
   (* Domain-Wide-Report wiring: first member in a domain sends a join
      via the best exit router; last member leaving sends the prune. *)
   Array.iteri
@@ -437,17 +490,31 @@ let host_join t ~host ~group =
 let host_leave t ~host ~group =
   Migp.host_leave t.migps.(host.Host_ref.host_domain) ~group ~host
 
-let send t ~source ~group =
+let next_payload_id t = t.next_payload
+
+let send ?span t ~source ~group =
   let payload = t.next_payload in
   t.next_payload <- t.next_payload + 1;
+  (match span with Some s -> Hashtbl.replace t.payload_spans payload s | None -> ());
   internal_distribute t ~dom:source.Host_ref.host_domain ~entry:None ~group ~source ~payload
     ~hops:0;
   payload
+
+let set_on_delivery t f = t.on_delivery <- f
+
+let group_span t dom group = join_root_span t dom group
 
 let deliveries t ~payload =
   match Hashtbl.find_opt t.delivered payload with
   | Some cell -> !cell
   | None -> []
+
+let forget_payload t ~payload =
+  (match Hashtbl.find_opt t.delivered payload with
+  | Some cell -> List.iter (fun (h, _) -> Hashtbl.remove t.seen (payload, h)) !cell
+  | None -> ());
+  Hashtbl.remove t.delivered payload;
+  Hashtbl.remove t.payload_spans payload
 
 let duplicate_deliveries t = t.dup_count
 

@@ -63,16 +63,51 @@ val host_join : t -> host:Host_ref.t -> group:Ipv4.t -> unit
 
 val host_leave : t -> host:Host_ref.t -> group:Ipv4.t -> unit
 
-val send : t -> source:Host_ref.t -> group:Ipv4.t -> int
+val send : ?span:Span.t -> t -> source:Host_ref.t -> group:Ipv4.t -> int
 (** Send one packet from the host to the group; returns the fresh
     payload id.  Senders need not be members (IP service model, §3).
-    Run the engine to let it propagate. *)
+    Run the engine to let it propagate.  [?span] is the packet's causal
+    span: every inter-domain copy travels under it, so a transport drop
+    is blamed on the packet's chain in the trace.  Only pass one for
+    traced packets — the span is retained until {!forget_payload}. *)
+
+val next_payload_id : t -> int
+(** The payload id the next {!send} will use.  Measurement layers
+    register their per-probe accounting {e before} sending: intra-domain
+    copies deliver synchronously inside [send], so registering after it
+    returns would miss them. *)
 
 (** {1 Delivery observation} *)
 
 val deliveries : t -> payload:int -> (Host_ref.t * int) list
 (** Hosts that received the payload, with the inter-domain hop count of
     the path each copy took. *)
+
+val set_on_delivery :
+  t ->
+  (group:Ipv4.t -> source:Host_ref.t -> payload:int -> host:Host_ref.t -> hops:int -> unit)
+  option ->
+  unit
+(** Install (or clear) a hook called once per {e first} copy delivered
+    to a host — duplicates only bump {!duplicate_deliveries}.  The hook
+    runs at delivery time, inside the engine event, so
+    [Engine.now] is the delivery time.  The measurement layer
+    ([Beacon]) folds these into its delivery matrix. *)
+
+val forget_payload : t -> payload:int -> unit
+(** Drop the fabric's per-payload bookkeeping (delivery list, dedup
+    entries, retained span) for a payload whose accounting is finished.
+    Long soaks call this after harvesting each probe, keeping fabric
+    memory bounded by the in-flight window rather than the whole run.
+    A straggler copy arriving after the forget would be re-recorded as
+    a fresh delivery, so only forget payloads past their maximum path
+    delay. *)
+
+val group_span : t -> Domain.id -> Ipv4.t -> Span.t
+(** A fresh span for a packet a host in the domain is about to send to
+    the group: a child of the covering G-RIB route's span when
+    [span_of_group] knows one (so probes join the route's causal
+    chain), else a fresh root under ["group:<addr>"]. *)
 
 val duplicate_deliveries : t -> int
 (** Copies delivered to a host that had already received that payload —

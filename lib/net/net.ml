@@ -24,7 +24,7 @@ type stats = {
 
 type t = {
   engine : Engine.t;
-  cfg : config;
+  mutable cfg : config;
   trace : Trace.t option;
   (* The loss RNG is private to the net and is never drawn when
      [loss_rate] is zero, so loss-free runs match the pre-substrate
@@ -48,6 +48,7 @@ type 'a channel = {
   dst : int;
   delay : Time.t;
   recv : 'a -> unit;
+  mutable on_drop : ('a -> unit) option;
   queue : ('a * Span.t option * int) Queue.t;
   mutable last_delivery : Time.t;
 }
@@ -67,6 +68,10 @@ let create ~engine ?(config = default_config) ?trace () =
   }
 
 let engine t = t.engine
+
+let set_loss_rate t rate =
+  if rate < 0.0 || rate >= 1.0 then invalid_arg "Net.set_loss_rate: rate outside [0, 1)";
+  t.cfg <- { t.cfg with loss_rate = rate }
 
 let stats_for t protocol =
   match Hashtbl.find_opt t.by_protocol protocol with
@@ -99,9 +104,12 @@ let channel t ~protocol ~src ~dst ~delay ~recv =
     dst;
     delay;
     recv;
+    on_drop = None;
     queue = Queue.create ();
     last_delivery = Time.zero;
   }
+
+let set_on_drop ch f = ch.on_drop <- Some f
 
 let channel_delay ch = ch.delay
 
@@ -111,10 +119,11 @@ let link_up t a b = direction_up t ~from_:a ~to_:b && direction_up t ~from_:b ~t
 
 let epoch_of t from_ to_ = try Hashtbl.find t.epoch (from_, to_) with Not_found -> 0
 
-let drop ch ?span reason =
+let drop ch ?span msg reason =
   let st = ch.stats in
   st.n_dropped <- st.n_dropped + 1;
   Metrics.incr st.m_dropped;
+  (match ch.on_drop with Some f -> f msg | None -> ());
   match ch.net.trace with
   | Some tr ->
       Trace.recordf tr ~time:(Engine.now ch.net.engine) ~actor:("net:" ^ st.protocol)
@@ -128,7 +137,7 @@ let deliver ch =
      down-transition: the in-flight gauge drops on both paths. *)
   st.n_inflight <- st.n_inflight - 1;
   Metrics.set st.m_inflight (float_of_int st.n_inflight);
-  if epoch_of ch.net ch.src ch.dst <> sent_epoch then drop ch ?span "in-flight"
+  if epoch_of ch.net ch.src ch.dst <> sent_epoch then drop ch ?span msg "in-flight"
   else begin
     st.n_delivered <- st.n_delivered + 1;
     Metrics.incr st.m_delivered;
@@ -140,9 +149,9 @@ let send ch ?span msg =
   let st = ch.stats in
   st.n_sent <- st.n_sent + 1;
   Metrics.incr st.m_sent;
-  if not (direction_up n ~from_:ch.src ~to_:ch.dst) then drop ch ?span "link-down"
+  if not (direction_up n ~from_:ch.src ~to_:ch.dst) then drop ch ?span msg "link-down"
   else if n.cfg.loss_rate > 0.0 && Rng.float n.loss_rng 1.0 < n.cfg.loss_rate then
-    drop ch ?span "loss"
+    drop ch ?span msg "loss"
   else begin
     Queue.push (msg, span, epoch_of n ch.src ch.dst) ch.queue;
     st.n_inflight <- st.n_inflight + 1;

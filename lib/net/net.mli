@@ -52,6 +52,13 @@ val create : engine:Engine.t -> ?config:config -> ?trace:Trace.t -> unit -> t
 
 val engine : t -> Engine.t
 
+val set_loss_rate : t -> float -> unit
+(** Change the per-message loss probability for {e subsequent} sends.
+    The loss RNG's draw sequence is unchanged for past sends (it is
+    only ever drawn while the rate is positive), so a run that builds
+    state losslessly and then turns loss on for a measurement phase
+    stays deterministic.  @raise Invalid_argument outside [0, 1). *)
+
 (** {1 Channels} *)
 
 type 'a channel
@@ -62,6 +69,12 @@ val channel :
 (** A fresh channel; [recv] runs at delivery time, [delay] later than
     the send (unless overridden net-wide).  [protocol] labels the
     accounting ("masc", "bgp", "bgmp"). *)
+
+val set_on_drop : 'a channel -> ('a -> unit) -> unit
+(** Install a drop observer: it runs — with the lost message — whenever
+    this channel drops, at the source (link down or loss draw) and in
+    flight (epoch drop), after the net-wide accounting.  Layers use it
+    to classify their own losses (e.g. BGMP data vs control). *)
 
 val send : 'a channel -> ?span:Span.t -> 'a -> unit
 (** Queue a message.  It is dropped — at the source — if the [src]→[dst]

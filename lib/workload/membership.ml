@@ -54,6 +54,20 @@ let clustered ~rng topo ~size ~clusters ~exclude =
   if Hashtbl.length chosen < size then fill eligible;
   Hashtbl.fold (fun d () acc -> d :: acc) chosen [] |> List.sort compare
 
+type beacon_plan = {
+  local_fleets : (Domain.id * Host_ref.t list) list;
+  session_beacons : Host_ref.t list;
+}
+
+let beacon_plan topo ~per_domain =
+  if per_domain < 1 then invalid_arg "Membership.beacon_plan: need at least one beacon";
+  let n = Topo.domain_count topo in
+  let fleet d = List.init per_domain (fun i -> Host_ref.make d i) in
+  {
+    local_fleets = List.init n (fun d -> (d, fleet d));
+    session_beacons = List.init n (fun d -> Host_ref.make d 0);
+  }
+
 type churn_event = { when_ : Time.t; member : Domain.id; joins : bool }
 
 let waves ~rng ~members ~wave_count ~wave_gap ~stay =

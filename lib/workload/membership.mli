@@ -17,6 +17,21 @@ val clustered :
     regionally concentrated audiences.  Falls back to uniform for the
     residue. *)
 
+type beacon_plan = {
+  local_fleets : (Domain.id * Host_ref.t list) list;
+      (** per domain, its beacon hosts (indices [0 .. per_domain-1]) —
+          the members and sources of the domain's own ASM group *)
+  session_beacons : Host_ref.t list;
+      (** host 0 of every domain: the "border" beacon that also joins
+          and sources the interdomain session group *)
+}
+
+val beacon_plan : Topo.t -> per_domain:int -> beacon_plan
+(** The dbeacon deployment shape: [per_domain] beacons in every domain
+    probing their domain's group, plus one beacon per domain on a
+    shared interdomain session.  Deterministic — placement is by
+    domain/host index, no RNG. *)
+
 type churn_event = { when_ : Time.t; member : Domain.id; joins : bool }
 
 val waves :

@@ -108,6 +108,45 @@ let test_router_off_tree_default_forwarding () =
        (Bgmp_router.handle_data r2 ~group:g ~source:src ~payload:4 ~hops:0
           ~from:(Bgmp_router.Peer 1)))
 
+let test_router_data_after_teardown_reverts_to_default () =
+  (* Once the last prune removes the (star,G) entry, the router must be
+     indistinguishable from one that never had state: data reverts to
+     default forwarding toward the root, never to a former child. *)
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3));
+  ignore (Bgmp_router.handle_prune r ~group:g ~from:(Bgmp_router.Peer 3));
+  check Alcotest.bool "entry gone" true (Bgmp_router.star_entry r g = None);
+  let src = Host_ref.make 1 0 in
+  (match Bgmp_router.handle_data r ~group:g ~source:src ~payload:1 ~hops:0 ~from:Bgmp_router.Migp_target with
+  | [ Bgmp_router.To_peer (55, Bgmp_msg.Data _) ] -> ()
+  | _ -> Alcotest.fail "expected default forwarding toward root, not to former child");
+  (* Data arriving from the root side finds nobody interested. *)
+  check Alcotest.int "nothing echoed to former child" 0
+    (List.length
+       (Bgmp_router.handle_data r ~group:g ~source:src ~payload:2 ~hops:0
+          ~from:(Bgmp_router.Peer 55)))
+
+let test_router_data_during_prune_in_flight () =
+  (* The §5 race: a child pruned, but data addressed before the prune
+     is still in flight.  After the child's prune the entry survives
+     (another child remains), and late data from the pruned side must be
+     treated like any non-tree arrival — forwarded to the remaining
+     targets, never looped back to the pruner. *)
+  let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:Bgmp_router.Unroutable in
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3));
+  ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 4));
+  ignore (Bgmp_router.handle_prune r ~group:g ~from:(Bgmp_router.Peer 3));
+  let src = Host_ref.make 1 0 in
+  let acts = Bgmp_router.handle_data r ~group:g ~source:src ~payload:1 ~hops:2 ~from:(Bgmp_router.Peer 3) in
+  let to_ids =
+    List.filter_map
+      (function Bgmp_router.To_peer (p, Bgmp_msg.Data _) -> Some p | _ -> None)
+      acts
+  in
+  check (Alcotest.list Alcotest.int) "late data goes up and to the live child only" [ 4; 55 ]
+    (List.sort compare to_ids);
+  check Alcotest.bool "never echoed to the pruned peer" false (List.mem 3 to_ids)
+
 let test_router_sg_join_on_tree_copies_targets () =
   let r = router_with_routes ~root_class:(Bgmp_router.External 55) ~source_class:(Bgmp_router.External 66) in
   ignore (Bgmp_router.handle_join r ~group:g ~from:(Bgmp_router.Peer 3));
@@ -231,6 +270,53 @@ let test_fabric_leave_tears_down_tree () =
   let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g in
   Engine.run_until_idle engine;
   check (Alcotest.list Alcotest.string) "no deliveries" [] (deliver_domains topo fabric p)
+
+let test_fabric_data_during_prune_window () =
+  (* A leave and a send issued at the same instant: the prune and the
+     data race through the fabric.  Whatever interleaving the engine
+     resolves, the surviving member hears the packet exactly once, the
+     fabric never duplicates, and a follow-up send after quiescence
+     reaches only the survivor. *)
+  let topo = Gen.figure1 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "C"; "F" ];
+  Engine.run_until_idle engine;
+  Bgmp_fabric.host_leave fabric ~host:(Host_ref.make (dom topo "C") 0) ~group:g;
+  (* No run_until_idle: the prune is still in flight when data departs. *)
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g in
+  Engine.run_until_idle engine;
+  let got = deliver_domains topo fabric p in
+  check Alcotest.bool "survivor F heard the racing packet" true (List.mem "F" got);
+  check Alcotest.int "no duplicates in the race window" 0
+    (Bgmp_fabric.duplicate_deliveries fabric);
+  let p2 = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 0) ~group:g in
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.string) "after quiescence only F remains" [ "F" ]
+    (deliver_domains topo fabric p2)
+
+let test_fabric_hop_counts_pinned () =
+  (* Hop counts increment once per inter-domain link crossed — pin the
+     exact per-member values for the §5.2 walkthrough (source E, root B,
+     figure 3): the root B hears the packet after 2 link crossings, and
+     each member's count grows by one per tree link beyond it. *)
+  let topo = Gen.figure3 () in
+  let engine, fabric = make_fabric ~root_name:"B" topo in
+  join_all topo fabric [ "B"; "C"; "D"; "F"; "H" ];
+  Engine.run_until_idle engine;
+  let p = Bgmp_fabric.send fabric ~source:(Host_ref.make (dom topo "E") 7) ~group:g in
+  Engine.run_until_idle engine;
+  let got =
+    List.sort compare
+      (List.map
+         (fun (h, hops) ->
+           ((Topo.domain topo h.Host_ref.host_domain).Domain.name, hops))
+         (Bgmp_fabric.deliveries fabric ~payload:p))
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "pinned per-member hop counts"
+    [ ("B", 2); ("C", 3); ("D", 2); ("F", 3); ("H", 4) ]
+    got
 
 let test_fabric_tree_is_stable_across_sends () =
   let topo = Gen.figure3 () in
@@ -504,6 +590,8 @@ let suite =
     ("router prune tears down", `Quick, test_router_prune_tears_down);
     ("router data bidirectional", `Quick, test_router_data_bidirectional);
     ("router off-tree default forwarding", `Quick, test_router_off_tree_default_forwarding);
+    ("router data after teardown", `Quick, test_router_data_after_teardown_reverts_to_default);
+    ("router data during prune in flight", `Quick, test_router_data_during_prune_in_flight);
     ("router sg join on tree copies", `Quick, test_router_sg_join_on_tree_copies_targets);
     ("router sg join off tree propagates", `Quick, test_router_sg_join_off_tree_propagates);
     ("router sg data rpf gated", `Quick, test_router_sg_data_rpf_gated);
@@ -512,6 +600,8 @@ let suite =
     ("fabric sender need not be member", `Quick, test_fabric_sender_need_not_be_member);
     ("fabric local members at zero hops", `Quick, test_fabric_member_sender_zero_hops_locally);
     ("fabric leave tears down", `Quick, test_fabric_leave_tears_down_tree);
+    ("fabric data during prune window", `Quick, test_fabric_data_during_prune_window);
+    ("fabric hop counts pinned", `Quick, test_fabric_hop_counts_pinned);
     ("fabric tree stable across sends", `Quick, test_fabric_tree_is_stable_across_sends);
     ("fabric branch shortens path", `Quick, test_fabric_branch_shortens_path);
     ("fabric no branch when disabled", `Quick, test_fabric_no_branch_without_branching);

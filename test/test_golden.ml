@@ -100,6 +100,33 @@ let check_metrics_jobs_invariant ~args () =
     (args ^ ": metrics identical at --jobs 1 and --jobs 4")
     (run 1) (run 4)
 
+(* Byte-identical stdout across job counts, without a golden copy —
+   for runs whose exact numbers are pinned elsewhere. *)
+let check_stdout_jobs_invariant ~args ~jobs () =
+  let run jobs =
+    let out = Filename.temp_file "golden" ".out" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+      (fun () ->
+        let cmd =
+          Printf.sprintf "%s %s --jobs %d > %s 2>&1" (Filename.quote exe) args jobs
+            (Filename.quote out)
+        in
+        let rc = Sys.command cmd in
+        check Alcotest.int (Printf.sprintf "%s --jobs %d: exit code" args jobs) 0 rc;
+        read_file out)
+  in
+  match List.map run jobs with
+  | [] -> ()
+  | first :: rest ->
+      List.iteri
+        (fun i got ->
+          check Alcotest.string
+            (Printf.sprintf "%s: output identical at --jobs %d and %d" args (List.hd jobs)
+               (List.nth jobs (i + 1)))
+            first got)
+        rest
+
 let suite =
   [
     ("fig1 demo", `Quick, check_figure ~args:"demo" ~golden:"fig1_demo.txt");
@@ -126,6 +153,21 @@ let suite =
     ( "fig4 metrics identical across jobs",
       `Quick,
       check_metrics_jobs_invariant ~args:"fig4 --summary --nodes 200 --trials 3" );
+    ( "beacon summary",
+      `Quick,
+      check_figure
+        ~args:"beacon --domains 8 --per-domain 1 --probes 2 --check-invariants"
+        ~golden:"beacon_summary.txt" );
+    ( "beacon summary --jobs 4",
+      `Quick,
+      check_figure
+        ~args:"beacon --domains 8 --per-domain 1 --probes 2 --check-invariants --jobs 4"
+        ~golden:"beacon_summary.txt" );
+    ( "beacon lossy matrix identical across jobs",
+      `Quick,
+      check_stdout_jobs_invariant
+        ~args:"beacon --domains 8 --per-domain 1 --probes 2 --trials 3 --loss 0.05"
+        ~jobs:[ 1; 4; 8 ] );
     ( "fig2 metric keys",
       `Quick,
       check_metric_keys ~args:"fig2 --summary --days 30" ~golden:"fig2_metrics_keys.txt" );

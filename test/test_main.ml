@@ -15,6 +15,7 @@ let () =
       ("masc", Test_masc.suite);
       ("migp", Test_migp.suite);
       ("bgmp", Test_bgmp.suite);
+      ("beacon", Test_beacon.suite);
       ("trees", Test_trees.suite);
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);

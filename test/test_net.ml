@@ -170,9 +170,79 @@ let test_run_until_quiescent_outlives_housekeeping () =
        false
      with Invalid_argument _ -> true)
 
+let test_on_drop_observer () =
+  (* The drop observer must see both drop flavours: at the source (send
+     on a downed direction) and in flight (link fails before delivery),
+     each with the lost message. *)
+  let engine, net = make () in
+  let dropped = ref [] in
+  let got = ref [] in
+  let ch =
+    Net.channel net ~protocol:"t" ~src:0 ~dst:1 ~delay:1.0 ~recv:(fun m -> got := m :: !got)
+  in
+  Net.set_on_drop ch (fun m -> dropped := m :: !dropped);
+  Net.send ch 1;
+  (* In flight: 1 is on the wire when the link dies. *)
+  Net.fail_link net 0 1;
+  (* At source: the direction is already down. *)
+  Net.send ch 2;
+  Engine.run_until_idle engine;
+  check (Alcotest.list Alcotest.int) "observer saw both losses" [ 1; 2 ]
+    (List.sort compare !dropped);
+  check (Alcotest.list Alcotest.int) "nothing delivered" [] !got;
+  (* After restore the observer stays quiet for successful sends. *)
+  Net.restore_link net 0 1;
+  Net.send ch 3;
+  Engine.run_until_idle engine;
+  check Alcotest.int "no new drops" 2 (List.length !dropped);
+  check (Alcotest.list Alcotest.int) "delivered after restore" [ 3 ] !got
+
+let test_set_loss_rate_phases () =
+  (* The two-phase campaign shape: build state at rate zero (the RNG is
+     never drawn), then turn loss on for the measurement window.  The
+     lossy phase must be reproducible run-to-run. *)
+  let run () =
+    let engine, net = make () in
+    let got = ref 0 in
+    let ch =
+      Net.channel net ~protocol:"t" ~src:0 ~dst:1 ~delay:0.5 ~recv:(fun _ -> incr got)
+    in
+    for i = 1 to 50 do
+      Net.send ch i
+    done;
+    Engine.run_until_idle engine;
+    check Alcotest.int "lossless phase delivers everything" 50 !got;
+    Net.set_loss_rate net 0.3;
+    for i = 1 to 200 do
+      Net.send ch i
+    done;
+    Engine.run_until_idle engine;
+    (Net.dropped net ~protocol:"t", !got)
+  in
+  let d1, g1 = run () in
+  let d2, g2 = run () in
+  check Alcotest.bool "lossy phase drops some" true (d1 > 0);
+  check Alcotest.bool "lossy phase delivers some" true (g1 > 50);
+  check Alcotest.int "drops reproducible" d1 d2;
+  check Alcotest.int "deliveries reproducible" g1 g2;
+  (* Rates outside [0, 1) are rejected. *)
+  let _, net = make () in
+  List.iter
+    (fun rate ->
+      check Alcotest.bool
+        (Printf.sprintf "rate %.1f rejected" rate)
+        true
+        (try
+           Net.set_loss_rate net rate;
+           false
+         with Invalid_argument _ -> true))
+    [ -0.1; 1.0; 1.5 ]
+
 let suite =
   [
     ("channel fifo per link", `Quick, test_channel_fifo_per_link);
+    ("on_drop observer", `Quick, test_on_drop_observer);
+    ("set_loss_rate phases", `Quick, test_set_loss_rate_phases);
     ("equal-time tie-break is send order", `Quick, test_equal_time_tie_break_is_send_order);
     ("asymmetric block", `Quick, test_asymmetric_block);
     ("seeded loss is reproducible", `Quick, test_seeded_loss_is_reproducible);

@@ -65,6 +65,45 @@ let test_histogram_rejects_bad_limits () =
        false
      with Invalid_argument _ -> true)
 
+let test_percentile_of_view () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~limits:[| 1.0; 2.0; 5.0 |] "lat" in
+  (* Four observations spread over three bins. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 2.5; 4.5 ];
+  let v =
+    match Metrics.find (Metrics.snapshot r) "lat" with
+    | Some (Metrics.Histogram_v v) -> v
+    | _ -> Alcotest.fail "histogram missing"
+  in
+  let p = Metrics.percentile_of_view v in
+  (* The extremes are exact: p0 pins to hmin, p100 to hmax. *)
+  check (Alcotest.float 1e-9) "p0 = min" 0.5 (p 0.0);
+  check (Alcotest.float 1e-9) "p100 = max" 4.5 (p 100.0);
+  (* Interior estimates interpolate within their bucket and stay
+     monotone and inside the observed range. *)
+  let p50 = p 50.0 and p90 = p 90.0 in
+  check Alcotest.bool "p50 within bucket range" true (p50 >= 1.0 && p50 <= 2.0);
+  check Alcotest.bool "monotone" true (p50 <= p90);
+  check Alcotest.bool "p90 clamped to max" true (p90 <= 4.5);
+  (* Error cases: empty view, out-of-range p. *)
+  let r2 = Metrics.create () in
+  ignore (Metrics.histogram ~registry:r2 ~limits:[| 1.0 |] "empty");
+  let empty =
+    match Metrics.find (Metrics.snapshot r2) "empty" with
+    | Some (Metrics.Histogram_v v) -> v
+    | _ -> Alcotest.fail "histogram missing"
+  in
+  check Alcotest.bool "empty view rejected" true
+    (try
+       ignore (Metrics.percentile_of_view empty 50.0);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "p out of range rejected" true
+    (try
+       ignore (p 101.0);
+       false
+     with Invalid_argument _ -> true)
+
 let test_snapshot_sorted_and_reset () =
   let r = Metrics.create () in
   Metrics.incr (Metrics.counter ~registry:r "z.last");
@@ -516,6 +555,7 @@ let suite =
     ("kind mismatch raises", `Quick, test_kind_mismatch_raises);
     ("histogram bucketing", `Quick, test_histogram_bucketing);
     ("histogram rejects bad limits", `Quick, test_histogram_rejects_bad_limits);
+    ("percentile of view", `Quick, test_percentile_of_view);
     ("snapshot sorted, reset keeps handles", `Quick, test_snapshot_sorted_and_reset);
     ("diff", `Quick, test_diff);
     ("registry determinism across seeded runs", `Quick, test_registry_determinism_across_runs);

@@ -47,6 +47,31 @@ let test_demand_drive_on_engine () =
 
 (* --- Membership ------------------------------------------------------- *)
 
+let test_membership_beacon_plan () =
+  (* The dbeacon deployment shape is index-deterministic: per_domain
+     hosts per domain plus host 0 of every domain on the session. *)
+  let topo = Gen.figure3 () in
+  let n = Topo.domain_count topo in
+  let plan = Membership.beacon_plan topo ~per_domain:3 in
+  check Alcotest.int "one fleet per domain" n (List.length plan.Membership.local_fleets);
+  check Alcotest.int "one session beacon per domain" n
+    (List.length plan.Membership.session_beacons);
+  List.iter
+    (fun (d, fleet) ->
+      check Alcotest.int "fleet size" 3 (List.length fleet);
+      List.iteri
+        (fun i host ->
+          check Alcotest.int "fleet host domain" d host.Host_ref.host_domain;
+          check Alcotest.int "fleet host index" i host.Host_ref.host_index)
+        fleet)
+    plan.Membership.local_fleets;
+  List.iter
+    (fun host -> check Alcotest.int "session beacon is host 0" 0 host.Host_ref.host_index)
+    plan.Membership.session_beacons;
+  (* Determinism: two plans are structurally identical. *)
+  check Alcotest.bool "deterministic" true
+    (plan = Membership.beacon_plan topo ~per_domain:3)
+
 let test_membership_uniform () =
   let rng = Rng.create 11 in
   let topo = Gen.star ~n:30 in
@@ -146,6 +171,7 @@ let suite =
     ("demand expected steady blocks", `Quick, test_demand_expected_steady_blocks);
     ("demand drive on engine", `Quick, test_demand_drive_on_engine);
     ("membership uniform", `Quick, test_membership_uniform);
+    ("membership beacon plan", `Quick, test_membership_beacon_plan);
     ("membership clustered concentrated", `Quick, test_membership_clustered_is_concentrated);
     ("membership waves", `Quick, test_membership_waves);
     ("scenario figure1", `Quick, test_scenario_figure1);
