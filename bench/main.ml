@@ -16,7 +16,7 @@
    repeated whole; for the figures, the printed regeneration doubles as
    the warmup and the timed repeats run silently.
 
-   Besides the human-readable report, the harness writes BENCH_7.json
+   Besides the human-readable report, the harness writes BENCH_8.json
    (per-benchmark ns/run medians with min/max/spread, wall-clock
    medians for the figure regenerations, the micro-benchmark trajectory
    against the BENCH_6.json baseline, the live invariant-check overhead
@@ -25,7 +25,10 @@
    enabled-path cost on the Figure-4 experiment with the per-kernel
    span breakdown of the profiled run, a parallel section timing the
    Figure-4 experiment at --jobs 1 vs --jobs 8 with the machine's core
-   count, the beacon measurement soak — hundreds of domains, millions
+   count, the flight recorder's disabled- and enabled-path cost on the
+   Figure-4 experiment together with the event-stream fingerprints of
+   recorder-enabled reference runs, the beacon measurement soak —
+   hundreds of domains, millions
    of probe messages through the BGMP data path under seeded loss and
    mid-window link churn, with probe throughput, the aggregate delivery
    matrix, and the data-path profile rows — the convergence times the
@@ -432,9 +435,9 @@ let convergence_report () =
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_7.json"
+let json_file = "BENCH_8.json"
 
-let baseline_file = "BENCH_6.json"
+let baseline_file = "BENCH_7.json"
 
 (* Entries of a results file, scanned with Str (no JSON dependency in
    the image). *)
@@ -495,6 +498,73 @@ let profiling_overhead () =
   | _ -> ());
   ((off_s, on_s, enabled_pct, baseline_s), kernels)
 
+(* Wall-clock cost of the flight recorder on the Figure-4 experiment:
+   disabled (one flag test at the engine dispatch point, the shipping
+   default) and enabled fingerprint-only — every fired event and
+   net-level delivery hashed into the rolling fingerprint, ring
+   retention, no sink.  The issue bounds the enabled cost at 5%.  The
+   enabled run's fingerprint is returned for the fingerprints
+   section. *)
+let recorder_overhead () =
+  Format.printf "@.=== Flight-recorder overhead (disabled vs enabled) ===@.";
+  let run () =
+    Span.reset ();
+    ignore (Tree_experiment.run Tree_experiment.default_params)
+  in
+  (* The 5%-bound comparison uses the session methodology — warmup then
+     median of [repeat_runs] — for both paths; a single timed pair is
+     too noisy to bound a hook this cheap. *)
+  run ();
+  let off = timed_median run in
+  Recorder.enable ();
+  run ();
+  let on = timed_median run in
+  let fp = Recorder.fingerprint () in
+  Recorder.disable ();
+  let pct = if off.med > 0.0 then (on.med -. off.med) /. off.med *. 100.0 else 0.0 in
+  Format.printf "fig4         %7.3f s disabled, %7.3f s enabled: %+.1f%% enabled-path@." off.med
+    on.med pct;
+  Format.printf "fig4         enabled-run %a@." Recorder.pp_fingerprint fp;
+  ((off.med, on.med, pct), fp)
+
+(* Event-stream fingerprints of recorder-enabled reference runs,
+   pinned into the results file: a PR that reorders or reshapes the
+   event stream shows up as a hash change even when the printed
+   figures agree.  [Span.reset] before each run keeps the minted span
+   ids — part of the hash — a function of the run alone. *)
+let fingerprint_report ~fig4_fp =
+  Format.printf "@.=== Run fingerprints ===@.";
+  let capture name f =
+    Span.reset ();
+    Recorder.enable ();
+    f ();
+    let fp = Recorder.fingerprint () in
+    Recorder.disable ();
+    (name, fp)
+  in
+  let fig2 =
+    capture "fig2-scaled" (fun () ->
+        ignore
+          (Allocation_sim.run
+             {
+               Allocation_sim.default_params with
+               Allocation_sim.tops = 10;
+               children_per_top = 10;
+               horizon = Sim_time.days 120.0;
+             }))
+  in
+  let beacon =
+    capture "beacon" (fun () ->
+        ignore
+          (Beacon_campaign.run ~jobs:4
+             { Beacon_campaign.default_params with Beacon_campaign.trials = 2 }))
+  in
+  let all = [ fig2; ("fig4", fig4_fp); beacon ] in
+  List.iter
+    (fun (name, fp) -> Format.printf "%-12s %a@." name Recorder.pp_fingerprint fp)
+    all;
+  all
+
 (* The instrumented hot kernels whose overhead vs the pre-metrics
    baseline the issue bounds at 5%. *)
 let overhead_watchlist =
@@ -514,7 +584,7 @@ let overhead_report micro =
     overhead_watchlist
 
 let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels
-    ~beacon ~convergence ~counters =
+    ~rec_overhead ~fingerprints ~beacon ~convergence ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -579,6 +649,19 @@ let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead 
         r.Prof.count r.Prof.total_s r.Prof.self_s r.Prof.self_bytes
         (if i = List.length prof_kernels - 1 then "" else ","))
     prof_kernels;
+  out "  ],\n";
+  let rec_off_s, rec_on_s, rec_pct = rec_overhead in
+  out
+    "  \"recorder_overhead\": {\"fig4_disabled_s\": %.3f, \"fig4_enabled_s\": %.3f, \
+     \"enabled_pct\": %.1f},\n"
+    rec_off_s rec_on_s rec_pct;
+  out "  \"fingerprints\": [\n";
+  List.iteri
+    (fun i (name, (fp : Recorder.fingerprint)) ->
+      out "    {\"name\": %S, \"hash\": \"%016Lx\", \"records\": %d}%s\n" name
+        fp.Recorder.fpr_hash fp.Recorder.fpr_records
+        (if i = List.length fingerprints - 1 then "" else ","))
+    fingerprints;
   out "  ],\n";
   let soak_r, soak_wall, soak_tput, soak_rows = beacon in
   let soak_sum f = List.fold_left (fun acc t -> acc + f t) 0 soak_r.Beacon_campaign.trials in
@@ -773,6 +856,68 @@ let smoke_beacon () =
   Format.printf
     "bench smoke: beacon matrix byte-identical at --jobs 1/4/8; wrote beacon_matrix.jsonl@."
 
+(* Cross-jobs fingerprint canary for `--smoke`: a scaled fig2, a small
+   fig4 and a lossless beacon campaign must hash to the same
+   event-stream fingerprint at --jobs 1/4/8 — shard records fold back
+   in task order and every Par task mints spans from a fresh minter, so
+   the worker count must be unobservable in the recorder too.  The
+   fig4 --jobs 1 recording lands in recording.jsonl (CI uploads it as
+   an artifact). *)
+let smoke_fingerprint () =
+  let fail fmt = Format.kasprintf (fun m -> Format.eprintf "bench smoke: %s@." m; exit 1) fmt in
+  let fp_of ?sink jobs f =
+    Span.reset ();
+    Recorder.enable ?sink ();
+    Par.set_jobs jobs;
+    f jobs;
+    Par.set_jobs 1;
+    let s = Format.asprintf "%a" Recorder.pp_fingerprint (Recorder.fingerprint ()) in
+    Recorder.disable ();
+    s
+  in
+  let cases =
+    [
+      ( "fig2-scaled",
+        None,
+        fun _jobs ->
+          ignore
+            (Allocation_sim.run
+               {
+                 Allocation_sim.default_params with
+                 Allocation_sim.tops = 10;
+                 children_per_top = 10;
+                 horizon = Sim_time.days 120.0;
+               }) );
+      ( "fig4-small",
+        Some "recording.jsonl",
+        fun jobs ->
+          ignore
+            (Tree_experiment.run
+               {
+                 Tree_experiment.default_params with
+                 Tree_experiment.nodes = 1000;
+                 trials = 5;
+                 jobs;
+               }) );
+      ( "beacon",
+        None,
+        fun jobs ->
+          ignore
+            (Beacon_campaign.run ~jobs
+               { Beacon_campaign.default_params with Beacon_campaign.trials = 4 }) );
+    ]
+  in
+  List.iter
+    (fun (name, sink, f) ->
+      let want = fp_of ?sink 1 f in
+      List.iter
+        (fun jobs ->
+          if fp_of jobs f <> want then fail "%s: fingerprint differs at --jobs %d" name jobs)
+        [ 4; 8 ];
+      Format.printf "bench smoke: %s fingerprint identical at --jobs 1/4/8@." name)
+    cases;
+  Format.printf "bench smoke: wrote recording.jsonl (fig4-small, --jobs 1)@."
+
 (* `bench/main.exe --smoke`: a CI-sized canary on the transport hot
    path.  Runs the Figure-1 stack end-to-end — every inter-domain
    message crossing the Net substrate — asserts the expected
@@ -780,8 +925,10 @@ let smoke_beacon () =
    catching pathological slowdowns in the channel layer without the
    full Bechamel session.  The beacon canary then runs a lossless
    measurement campaign and checks the matrix is complete and
-   jobs-invariant, and the perf gate above compares scaled fig2/fig4
-   medians against bench/perf_budget.json.  With `--profile`, the
+   jobs-invariant, the fingerprint canary asserts the flight recorder's
+   event-stream hash is byte-identical at --jobs 1/4/8, and the perf
+   gate above compares scaled fig2/fig4 medians against
+   bench/perf_budget.json.  With `--profile`, the
    canary run is profiled and sampled: profile.jsonl and
    timeseries.jsonl land in the working directory (CI uploads them as
    artifacts). *)
@@ -827,7 +974,8 @@ let run_smoke () =
      the single-threaded figure medians incomparable to budgets
      measured on a one-domain process. *)
   perf_gate ();
-  smoke_beacon ()
+  smoke_beacon ();
+  smoke_fingerprint ()
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then begin
@@ -861,10 +1009,12 @@ let () =
   in
   let inv_overhead = invariant_overhead () in
   let prof_overhead, prof_kernels = profiling_overhead () in
+  let rec_overhead, fig4_fp = recorder_overhead () in
+  let fingerprints = fingerprint_report ~fig4_fp in
   let parallel = parallel_report () in
   let beacon = beacon_soak () in
   let convergence = convergence_report () in
   write_json ~micro
     ~figures:[ fig2_stat; fig4_stat ]
-    ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~beacon ~convergence
-    ~counters
+    ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~rec_overhead ~fingerprints
+    ~beacon ~convergence ~counters

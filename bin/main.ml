@@ -34,6 +34,8 @@ type obs = {
   obs_metrics : string option;  (* --metrics[=FILE]; "-" = stderr table *)
   obs_profile : string option;  (* --profile[=FILE]: Prof tree as JSONL *)
   obs_sample : float option;  (* --sample EVERY: telemetry cadence, sim seconds *)
+  obs_record : string option;  (* --record[=FILE]: flight-recorder JSONL *)
+  obs_fingerprint : bool;  (* --fingerprint: run fingerprint on stderr *)
 }
 
 let timeseries_file = "timeseries.jsonl"
@@ -45,6 +47,8 @@ let with_obs obs f =
   Metrics.reset Metrics.default;
   Span.reset ();
   if obs.obs_profile <> None then Prof.enable ();
+  if obs.obs_record <> None || obs.obs_fingerprint then
+    Recorder.enable ?sink:obs.obs_record ();
   let sampling =
     Option.map
       (fun every -> (Timeseries.create ~sink:(Timeseries.Jsonl timeseries_file) (), every))
@@ -69,6 +73,11 @@ let with_obs obs f =
     | Some file ->
         Prof.write_jsonl file;
         Prof.disable ());
+    if obs.obs_record <> None || obs.obs_fingerprint then begin
+      if obs.obs_fingerprint then
+        Format.eprintf "%a@?" Recorder.pp_fingerprint (Recorder.fingerprint ());
+      Recorder.disable ()
+    end;
     Option.iter (fun (ts, _) -> Timeseries.close ts) sampling
   in
   Fun.protect ~finally:finish (fun () -> f sampling)
@@ -484,7 +493,10 @@ let run_soak check trace_out steps seed loss sampling =
     match Internet.request_address inet initiator with
     | Some a -> a
     | None ->
-        if tries > 50 then failwith "soak: allocation never settled"
+        if tries > 50 then begin
+          Format.eprintf "soak: allocation never settled@.";
+          exit 2
+        end
         else begin
           Internet.run_for inet (Time.hours 1.0);
           get (tries + 1)
@@ -601,7 +613,10 @@ let run_demo check trace_out loss sampling () =
     match Internet.request_address inet (dom "B") with
     | Some a -> a
     | None ->
-        if tries > 30 then failwith "allocation did not settle"
+        if tries > 30 then begin
+          Format.eprintf "demo: allocation did not settle@.";
+          exit 2
+        end
         else begin
           Internet.run_for inet (Time.hours 1.0);
           get (tries + 1)
@@ -736,8 +751,15 @@ let run_beacon check domains per_domain probes trials seed loss churn matrix_out
 (* Offline viewer for JSONL traces (--metrics' sibling: any Trace.t can
    be pointed at a Jsonl sink).  Default output: per-chain timelines and
    end-to-end latency summaries; --id renders one causal chain. *)
+(* Truncated or corrupted artifacts (a run killed mid-write, a partial
+   download) should degrade loudly, not crash or silently shrink: every
+   loader reports how many non-blank lines it had to skip. *)
+let warn_skipped what file n =
+  if n > 0 then Format.eprintf "%s %s: %d malformed line(s) skipped@." what file n
+
 let run_trace file id =
-  let entries = Trace.load_jsonl file in
+  let entries, bad = Trace.load_jsonl_counted file in
+  warn_skipped "trace" file bad;
   match id with
   | Some id -> Trace_report.pp_chain_for Format.std_formatter entries ~id
   | None ->
@@ -771,7 +793,8 @@ let extract_between s pre post =
       | Some j -> Some (String.sub s start (j - start)))
 
 let report_profile ppf file fold =
-  let rows = Prof.load_jsonl file in
+  let rows, bad = Prof.load_jsonl_counted file in
+  warn_skipped "profile" file bad;
   if rows = [] then Format.fprintf ppf "profile %s: no rows@." file
   else begin
     Format.fprintf ppf "--- profile: %s ---@." file;
@@ -786,7 +809,8 @@ let report_profile ppf file fold =
       Format.fprintf ppf "folded stacks written to %s@." out
 
 let report_timeseries ppf file series =
-  let points = Timeseries.load_jsonl file in
+  let points, bad = Timeseries.load_jsonl_counted file in
+  warn_skipped "telemetry" file bad;
   if points = [] then Format.fprintf ppf "telemetry %s: no rows@." file
   else
     let all = Timeseries.series_of points in
@@ -846,7 +870,8 @@ let report_metrics ppf file =
    line, the aggregate matrix summary, and the dbeacon "who can't hear
    whom" worst-pairs table. *)
 let report_matrix ppf file =
-  let meta, cells = Beacon_matrix.load_jsonl file in
+  let meta, cells, bad = Beacon_matrix.load_jsonl_counted file in
+  warn_skipped "matrix" file bad;
   if cells = [] then Format.fprintf ppf "matrix %s: no cells@." file
   else begin
     Format.fprintf ppf "--- delivery matrix: %s ---@." file;
@@ -876,8 +901,124 @@ let report_matrix ppf file =
     else Format.fprintf ppf "all pairs fully delivered@."
   end
 
-let run_report profile timeseries metrics series fold matrix =
+(* --- recording diff --------------------------------------------------- *)
+
+(* [report --diff A B]: stream two flight recordings, find the first
+   record where they disagree (semantically — seq numbers are assigned
+   per stream and excluded), and show an aligned context window plus
+   the causal chain of both sides' divergent events.  This is the
+   oracle for "did these two runs execute the same event stream, and if
+   not, where did they first differ and why". *)
+
+let pp_record ppf (r : Recorder.record) =
+  Format.fprintf ppf "#%-6d %14.3f  %-24s %s" r.Recorder.seq r.Recorder.r_time r.Recorder.r_label
+    r.Recorder.r_subject;
+  match r.Recorder.r_trace_id with
+  | Some id ->
+      Format.fprintf ppf "  [%s%s]" id
+        (match r.Recorder.r_span with Some s -> Printf.sprintf " #%d" s | None -> "")
+  | None -> ()
+
+(* Semantic equality: everything but the seq. *)
+let same_record (a : Recorder.record) (b : Recorder.record) =
+  { a with Recorder.seq = 0 } = { b with Recorder.seq = 0 }
+
+let rec_to_entry (r : Recorder.record) =
+  {
+    Trace.time = r.Recorder.r_time;
+    actor = r.Recorder.r_subject;
+    tag = r.Recorder.r_label;
+    detail = "";
+    trace_id = r.Recorder.r_trace_id;
+    span = r.Recorder.r_span;
+    parent = r.Recorder.r_parent;
+  }
+
+(* The divergent record itself may carry no span (engine dispatch
+   records do not); anchor the chain on the nearest record that does —
+   backward first, then forward — so the reader still gets the causal
+   neighbourhood of the divergence. *)
+let pp_chain_near ppf name recs i =
+  let n = Array.length recs in
+  let rec scan d =
+    let back = i - d and fwd = i + d in
+    if back < 0 && fwd >= n then None
+    else if back >= 0 && recs.(back).Recorder.r_trace_id <> None then Some back
+    else if fwd < n && recs.(fwd).Recorder.r_trace_id <> None then Some fwd
+    else scan (d + 1)
+  in
+  match scan 0 with
+  | None -> Format.fprintf ppf "%s: no causal chain (no record carries a trace id)@." name
+  | Some k ->
+      let id = Option.get recs.(k).Recorder.r_trace_id in
+      if k = i then Format.fprintf ppf "--- causal chain, %s ---@." name
+      else
+        Format.fprintf ppf "--- causal chain, %s (anchored on nearest spanned record, %d) ---@."
+          name k;
+      Trace_report.pp_chain_for ppf (List.map rec_to_entry (Array.to_list recs)) ~id
+
+let run_diff ppf a b =
+  let load file =
+    match Recorder.load_jsonl file with
+    | exception Sys_error e ->
+        Format.eprintf "report --diff: %s@." e;
+        exit 2
+    | recs, bad ->
+        warn_skipped "recording" file bad;
+        Array.of_list recs
+  in
+  let ra = load a and rb = load b in
+  let na = Array.length ra and nb = Array.length rb in
+  Format.fprintf ppf "--- diff: %s (%d records) vs %s (%d records) ---@." a na b nb;
+  let common = min na nb in
+  let rec first_diff i = if i >= common then None else if same_record ra.(i) rb.(i) then first_diff (i + 1) else Some i in
+  match first_diff 0 with
+  | None when na = nb ->
+      Format.fprintf ppf "recordings identical (%d records)@." na;
+      0
+  | None ->
+      (* One stream is a strict prefix of the other: the divergence is
+         the first extra record. *)
+      let longer, extra, n_long = if na > nb then (a, ra, na) else (b, rb, nb) in
+      Format.fprintf ppf "streams agree for all %d common records;@." common;
+      Format.fprintf ppf "%s has %d extra record(s), first:@." longer (n_long - common);
+      Format.fprintf ppf "  %a@." pp_record extra.(common);
+      pp_chain_near ppf longer extra common;
+      1
+  | Some i ->
+      Format.fprintf ppf "first divergence at record %d@." i;
+      let ctx = 5 in
+      let lo = max 0 (i - ctx) in
+      if i > 0 then begin
+        Format.fprintf ppf "common context (last %d records):@." (i - lo);
+        for k = lo to i - 1 do
+          Format.fprintf ppf "    %a@." pp_record ra.(k)
+        done
+      end;
+      let follow = 3 in
+      let side name recs n =
+        for k = i to min (n - 1) (i + follow) do
+          Format.fprintf ppf "  %s %s %a@." name (if k = i then ">" else " ") pp_record recs.(k)
+        done
+      in
+      side "A" ra na;
+      side "B" rb nb;
+      pp_chain_near ppf ("A = " ^ a) ra i;
+      pp_chain_near ppf ("B = " ^ b) rb i;
+      1
+
+let run_report profile timeseries metrics series fold matrix diff files =
   let ppf = Format.std_formatter in
+  (match (diff, files) with
+  | false, [] -> ()
+  | false, _ :: _ ->
+      Format.eprintf "report: positional recordings are only meaningful with --diff@.";
+      exit 2
+  | true, [ fa; fb ] -> exit (run_diff ppf fa fb)
+  | true, _ ->
+      Format.eprintf "report --diff: exactly two recording files required (got %d)@."
+        (List.length files);
+      exit 2);
   if Sys.file_exists profile then report_profile ppf profile fold
   else Format.fprintf ppf "profile %s: not found (produce it with --profile)@." profile;
   if Sys.file_exists timeseries then report_timeseries ppf timeseries series
@@ -935,18 +1076,47 @@ let sample_arg =
            subcommand.  fig2 samples at its figure cadence and fig4 once per group-size \
            point, ignoring $(docv).")
 
+let record_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "recording.jsonl") (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Flight-record the run: one JSON line per fired engine event and per transport \
+           delivery/drop, each carrying its sim time, label, subject and causal span ids, \
+           written to $(docv) (default recording.jsonl when the option is given bare).  \
+           Compare two recordings with $(b,report --diff).  Standard output is unchanged.")
+
+let fingerprint_arg =
+  Arg.(
+    value & flag
+    & info [ "fingerprint" ]
+        ~doc:
+          "Print the run's fingerprint on standard error at exit: a rolling 64-bit hash of \
+           the flight-recorder stream, overall and per label prefix (masc.*, bgp.*, bgmp.*, \
+           net.*, ...).  Two runs with equal fingerprints executed the same event stream; \
+           the hash is byte-identical at any --jobs.  Standard output is unchanged.")
+
 (* The full observability record for experiments that can drive a
    telemetry sink; [obs_basic_term] for the rest (same --metrics /
-   --profile handling, no --sample). *)
+   --profile / --record / --fingerprint handling, no --sample). *)
 let obs_term =
   Term.(
-    const (fun m p s -> { obs_metrics = m; obs_profile = p; obs_sample = s })
-    $ metrics_arg $ profile_arg $ sample_arg)
+    const (fun m p s r fp ->
+        { obs_metrics = m; obs_profile = p; obs_sample = s; obs_record = r; obs_fingerprint = fp })
+    $ metrics_arg $ profile_arg $ sample_arg $ record_arg $ fingerprint_arg)
 
 let obs_basic_term =
   Term.(
-    const (fun m p -> { obs_metrics = m; obs_profile = p; obs_sample = None })
-    $ metrics_arg $ profile_arg)
+    const (fun m p r fp ->
+        {
+          obs_metrics = m;
+          obs_profile = p;
+          obs_sample = None;
+          obs_record = r;
+          obs_fingerprint = fp;
+        })
+    $ metrics_arg $ profile_arg $ record_arg $ fingerprint_arg)
 
 let seed_arg = Arg.(value & opt int 1998 & info [ "seed" ] ~doc:"Random seed.")
 
@@ -1226,13 +1396,28 @@ let report_cmd =
             "Delivery-matrix JSONL to summarize (written by $(b,beacon --matrix-out)): \
              measurement timeline, aggregate summary, worst pairs.")
   in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare two flight recordings (written by --record), given as the two positional \
+             arguments: find the first semantically divergent record, print an aligned context \
+             window and both sides' causal chains.  Exits 0 when identical, 1 on divergence.")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"RECORDING.jsonl" ~doc:"Recordings to compare (with $(b,--diff)).")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Summarize a run's observability artifacts: the per-phase wall-clock/allocation \
           breakdown from a --profile JSONL, sim-time telemetry series from a --sample JSONL, \
-          a --metrics JSON snapshot, and a beacon delivery matrix.")
-    Term.(const run_report $ profile $ timeseries $ metrics $ series $ fold $ matrix)
+          a --metrics JSON snapshot, a beacon delivery matrix — or diff two flight \
+          recordings.")
+    Term.(const run_report $ profile $ timeseries $ metrics $ series $ fold $ matrix $ diff $ files)
 
 let main_cmd =
   let doc = "Experiments for the MASC/BGMP inter-domain multicast architecture (SIGCOMM 1998)." in

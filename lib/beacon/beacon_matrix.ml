@@ -264,25 +264,30 @@ let meta_of_json line =
    with Not_found | Failure _ -> ());
   List.rev !pairs
 
-let load_jsonl file =
+let load_jsonl_counted file =
   let ic = open_in file in
-  let meta = ref [] and cells = ref [] in
+  let meta = ref [] and cells = ref [] and bad = ref 0 in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       (try
          while true do
            let line = input_line ic in
-           if
-             try
-               ignore (Str.search_forward (Str.regexp_string "\"meta\"") line 0);
-               true
-             with Not_found -> false
-           then meta := meta_of_json line
-           else
-             match cell_of_json line with
-             | Some c -> cells := c :: !cells
-             | None -> ()
+           if String.trim line <> "" then
+             if
+               try
+                 ignore (Str.search_forward (Str.regexp_string "\"meta\"") line 0);
+                 true
+               with Not_found -> false
+             then meta := meta_of_json line
+             else
+               match cell_of_json line with
+               | Some c -> cells := c :: !cells
+               | None -> incr bad
          done
        with End_of_file -> ());
-      (!meta, List.rev !cells))
+      (!meta, List.rev !cells, !bad))
+
+let load_jsonl file =
+  let meta, cells, _ = load_jsonl_counted file in
+  (meta, cells)

@@ -93,3 +93,7 @@ val write_jsonl : ?meta:(string * float) list -> string -> cell list -> unit
 
 val load_jsonl : string -> (string * float) list * cell list
 (** Returns (meta, cells); unparseable lines are skipped. *)
+
+val load_jsonl_counted : string -> (string * float) list * cell list * int
+(** Like {!load_jsonl}, also returning the count of malformed
+    non-blank cell lines skipped. *)

@@ -20,6 +20,10 @@ type stats = {
   (* Profiler bucket for this protocol's delivery events, built once so
      [send] does no string concatenation per message. *)
   ev_label : string;
+  (* Flight-recorder labels for landed and dropped messages, also
+     prebuilt. *)
+  recv_label : string;
+  drop_label : string;
 }
 
 type t = {
@@ -51,6 +55,8 @@ type 'a channel = {
   mutable on_drop : ('a -> unit) option;
   queue : ('a * Span.t option * int) Queue.t;
   mutable last_delivery : Time.t;
+  (* Recorder subject, built once per channel. *)
+  subj : string;
 }
 
 let create ~engine ?(config = default_config) ?trace () =
@@ -89,6 +95,8 @@ let stats_for t protocol =
           m_dropped = Metrics.counter ("net.dropped." ^ protocol);
           m_inflight = Metrics.gauge ("net.inflight." ^ protocol);
           ev_label = "net.deliver." ^ protocol;
+          recv_label = "net.recv." ^ protocol;
+          drop_label = "net.drop." ^ protocol;
         }
       in
       Hashtbl.add t.by_protocol protocol s;
@@ -107,6 +115,7 @@ let channel t ~protocol ~src ~dst ~delay ~recv =
     on_drop = None;
     queue = Queue.create ();
     last_delivery = Time.zero;
+    subj = string_of_int src ^ "->" ^ string_of_int dst;
   }
 
 let set_on_drop ch f = ch.on_drop <- Some f
@@ -123,6 +132,10 @@ let drop ch ?span msg reason =
   let st = ch.stats in
   st.n_dropped <- st.n_dropped + 1;
   Metrics.incr st.m_dropped;
+  if Recorder.is_enabled () then
+    Recorder.record
+      ~time:(Engine.now ch.net.engine)
+      ~label:st.drop_label ~subject:(ch.subj ^ " " ^ reason) ?span ();
   (match ch.on_drop with Some f -> f msg | None -> ());
   match ch.net.trace with
   | Some tr ->
@@ -141,6 +154,8 @@ let deliver ch =
   else begin
     st.n_delivered <- st.n_delivered + 1;
     Metrics.incr st.m_delivered;
+    if Recorder.is_enabled () then
+      Recorder.record ~time:(Engine.now ch.net.engine) ~label:st.recv_label ~subject:ch.subj ?span ();
     ch.recv msg
   end
 

@@ -26,7 +26,10 @@
     - {b observability} — [net.sent/delivered/dropped.<protocol>]
       metrics, per-net counters, and (when a trace is attached) a
       [net-drop] trace entry per lost message carrying the message's
-      causal span.
+      causal span.  When the flight recorder is enabled, every landed
+      message appends a [net.recv.<protocol>] record and every lost one
+      a [net.drop.<protocol>] record (subject ["src->dst [reason]"]),
+      both carrying the message's span.
 
     Endpoints are plain ints.  Channels need not follow topology links:
     MASC's overlay (parent/child/top-sibling) pairs share the same state

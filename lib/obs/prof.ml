@@ -315,18 +315,21 @@ let write_jsonl file =
   output_string oc (to_jsonl ());
   close_out oc
 
-let load_jsonl file =
+let load_jsonl_counted file =
   let ic = open_in file in
   let acc = ref [] in
+  let bad = ref 0 in
   (try
      while true do
        let line = input_line ic in
        if String.trim line <> "" then
-         match row_of_json line with Some r -> acc := r :: !acc | None -> ()
+         match row_of_json line with Some r -> acc := r :: !acc | None -> incr bad
      done
    with End_of_file -> ());
   close_in ic;
-  List.rev !acc
+  (List.rev !acc, !bad)
+
+let load_jsonl file = fst (load_jsonl_counted file)
 
 let folded rows =
   let b = Buffer.create 1024 in

@@ -91,6 +91,10 @@ val load_jsonl : string -> row list
 (** Parse a file written by [write_jsonl]; unparseable lines are
     skipped. *)
 
+val load_jsonl_counted : string -> row list * int
+(** Like {!load_jsonl}, also returning the count of malformed
+    non-blank lines skipped. *)
+
 val folded : row list -> string
 (** Flamegraph folded-stacks: one ["a;b;c <self-microseconds>"] line per
     row with non-zero self time. *)

@@ -18,11 +18,23 @@ type minter
 val create_minter : unit -> minter
 
 val default : minter
-(** The process-wide minter used when [?minter] is omitted. *)
+(** The main domain's ambient minter.  When [?minter] is omitted,
+    {!root} and {!child} use the {e current} domain-local minter:
+    [default] on the main domain, whatever {!with_minter} installed
+    inside a parallel task.  Counter tables are plain hash tables, so
+    the ambient minter is never shared across domains. *)
+
+val with_minter : minter -> (unit -> 'a) -> 'a
+(** Run the thunk with [minter] as this domain's ambient minter
+    (restored afterwards, exceptions included).  [Par.with_shard]
+    installs a fresh minter per task, making a task's span ids a
+    deterministic function of the task alone — identical at any
+    [--jobs]. *)
 
 val reset : ?minter:minter -> unit -> unit
-(** Forget all counters (harness entry points reset the default minter
-    alongside the default metrics registry, keeping runs comparable). *)
+(** Forget all counters — of the ambient minter when [?minter] is
+    omitted (harness entry points reset it alongside the default
+    metrics registry, keeping runs comparable). *)
 
 val root : ?minter:minter -> string -> t
 (** A fresh span for [trace_id] with no parent. *)

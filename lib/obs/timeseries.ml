@@ -184,18 +184,21 @@ let point_of_json line =
   expect '}';
   if !error then None else Some { at; series; value }
 
-let load_jsonl file =
+let load_jsonl_counted file =
   let ic = open_in file in
   let acc = ref [] in
+  let bad = ref 0 in
   (try
      while true do
        let line = input_line ic in
        if String.trim line <> "" then
-         match point_of_json line with Some p -> acc := p :: !acc | None -> ()
+         match point_of_json line with Some p -> acc := p :: !acc | None -> incr bad
      done
    with End_of_file -> ());
   close_in ic;
-  List.rev !acc
+  (List.rev !acc, !bad)
+
+let load_jsonl file = fst (load_jsonl_counted file)
 
 let series_of points =
   let order = ref [] in

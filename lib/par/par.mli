@@ -46,18 +46,22 @@ val map_with : ?jobs:int -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a list -> 
 (** {1 Observability shards}
 
     Helpers tying the pool to the Obs layer.  A task that records
-    metrics or profiler spans wraps its body in [with_shard]; the
-    caller folds the shards back with [merge_shard] in task order at
-    the join point, making [--metrics] and [--profile] output
-    independent of scheduling. *)
+    metrics, profiler spans or flight-recorder records wraps its body
+    in [with_shard]; the caller folds the shards back with
+    [merge_shard] in task order at the join point, making [--metrics],
+    [--profile] and [--fingerprint] output independent of
+    scheduling. *)
 
 type shard
 
 val with_shard : (unit -> 'a) -> 'a * shard
 (** Run the thunk with a fresh {!Metrics} registry current on this
-    domain and profiler spans captured to a detached tree; return the
-    result together with both. *)
+    domain, profiler spans captured to a detached tree, flight-recorder
+    records buffered to a shard, and a fresh {!Span} minter installed —
+    so the causal span ids a task mints are a deterministic function of
+    the task alone; return the result together with the shard. *)
 
 val merge_shard : shard -> unit
-(** Fold a shard into this domain's current registry and currently
-    open profiler span ({!Metrics.merge_into} + {!Prof.merge}). *)
+(** Fold a shard into this domain's current registry, currently open
+    profiler span, and live recorder ({!Metrics.merge_into} +
+    {!Prof.merge} + {!Recorder.merge}). *)

@@ -167,6 +167,7 @@ let step t =
           Metrics.incr m_fired;
           t.clock <- e.time;
           Metrics.set m_virtual t.clock;
+          if Recorder.is_enabled () then Recorder.record ~time:t.clock ~label:e.label ();
           if Prof.is_enabled () then Prof.span e.label e.action else e.action ();
           monitor_tick t;
           sampler_tick t;

@@ -41,7 +41,10 @@ val pending : t -> int
 
 val step : t -> bool
 (** Fire the single earliest event.  Returns [false] when the queue is
-    empty. *)
+    empty.  This is the single dispatch point: when the flight recorder
+    ({!Recorder}) is enabled, every fired event appends one record
+    [(time, label)] before its action runs — one branch when disabled,
+    like the profiler. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Fire events until the queue drains, or until the clock would pass

@@ -203,16 +203,23 @@ let entry_of_json line =
   expect '}';
   if !error then None else Some { time; actor; tag; detail; trace_id; span; parent }
 
-let load_jsonl path =
+let load_jsonl_counted path =
   let ic = open_in path in
-  let rec loop acc =
+  let rec loop acc bad =
     match input_line ic with
-    | line -> loop (match entry_of_json line with Some e -> e :: acc | None -> acc)
-    | exception End_of_file -> List.rev acc
+    | line ->
+        if String.trim line = "" then loop acc bad
+        else (
+          match entry_of_json line with
+          | Some e -> loop (e :: acc) bad
+          | None -> loop acc (bad + 1))
+    | exception End_of_file -> (List.rev acc, bad)
   in
-  let entries = loop [] in
+  let res = loop [] 0 in
   close_in ic;
-  entries
+  res
+
+let load_jsonl path = fst (load_jsonl_counted path)
 
 (* --- recording ------------------------------------------------------- *)
 

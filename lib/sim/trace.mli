@@ -99,3 +99,8 @@ val entry_of_json : string -> entry option
 val load_jsonl : string -> entry list
 (** Read a file written by a [Jsonl] sink back into entries (lines that
     do not parse are skipped). *)
+
+val load_jsonl_counted : string -> entry list * int
+(** Like {!load_jsonl}, also returning how many malformed non-blank
+    lines were skipped — callers surface the count so a truncated file
+    is loud rather than silently shorter. *)

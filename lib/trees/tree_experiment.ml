@@ -123,6 +123,13 @@ let run p =
   let run_trial ws spec =
     Metrics.incr m_trials;
     let size = Array.length spec.sp_receivers in
+    (* Figure 4 has no engine, so the dispatch hook never fires; one
+       record per trial keeps its fingerprint sensitive to the drawn
+       trial set and exercises the shard merge path. *)
+    if Recorder.is_enabled () then
+      Recorder.record ~time:0.0 ~label:"fig4.trial"
+        ~subject:(Printf.sprintf "src=%d root=%d size=%d" spec.sp_source spec.sp_root size)
+        ();
     let spf = Spf.make_cache_csr ~ws csr in
     let paths =
       Path_eval.evaluate

@@ -127,6 +127,81 @@ let check_stdout_jobs_invariant ~args ~jobs () =
             first got)
         rest
 
+(* Flight-recorder fingerprint on stderr must be byte-identical across
+   job counts: shard records fold back in task order and each task
+   mints spans from a fresh minter, so --jobs is unobservable in the
+   event stream too. *)
+let check_fingerprint_jobs_invariant ~args ~jobs () =
+  let run jobs =
+    let err = Filename.temp_file "fp" ".err" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove err with Sys_error _ -> ())
+      (fun () ->
+        let cmd =
+          Printf.sprintf "%s %s --fingerprint --jobs %d > /dev/null 2> %s" (Filename.quote exe)
+            args jobs (Filename.quote err)
+        in
+        let rc = Sys.command cmd in
+        check Alcotest.int (Printf.sprintf "%s --jobs %d: exit code" args jobs) 0 rc;
+        let out = read_file err in
+        check Alcotest.bool
+          (Printf.sprintf "%s --jobs %d: stderr carries a fingerprint" args jobs)
+          true
+          (try
+             ignore (Str.search_forward (Str.regexp_string "fingerprint ") out 0);
+             true
+           with Not_found -> false);
+        out)
+  in
+  match List.map run jobs with
+  | [] -> ()
+  | first :: rest ->
+      List.iteri
+        (fun i got ->
+          check Alcotest.string
+            (Printf.sprintf "%s: fingerprint identical at --jobs %d and %d" args (List.hd jobs)
+               (List.nth jobs (i + 1)))
+            first got)
+        rest
+
+(* End-to-end diff: two demo recordings that differ only in --loss must
+   diverge, and the report must say where. *)
+let check_record_diff () =
+  let rec_a = Filename.temp_file "rec_a" ".jsonl" in
+  let rec_b = Filename.temp_file "rec_b" ".jsonl" in
+  let out = Filename.temp_file "diff" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ rec_a; rec_b; out ])
+    (fun () ->
+      let record loss file =
+        let cmd =
+          Printf.sprintf "%s demo --loss %s --record=%s > /dev/null 2>&1" (Filename.quote exe)
+            loss (Filename.quote file)
+        in
+        check Alcotest.int ("demo --loss " ^ loss ^ ": exit code") 0 (Sys.command cmd)
+      in
+      record "0.0" rec_a;
+      record "0.02" rec_b;
+      let diff a b =
+        Sys.command
+          (Printf.sprintf "%s report --diff %s %s > %s 2>&1" (Filename.quote exe)
+             (Filename.quote a) (Filename.quote b) (Filename.quote out))
+      in
+      check Alcotest.int "identical recordings: exit 0" 0 (diff rec_a rec_a);
+      let has needle hay =
+        try
+          ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+          true
+        with Not_found -> false
+      in
+      check Alcotest.bool "identical recordings reported as such" true
+        (has "identical" (read_file out));
+      check Alcotest.int "divergent recordings: exit 1" 1 (diff rec_a rec_b);
+      let report = read_file out in
+      check Alcotest.bool "first divergence located" true (has "first divergence" report);
+      check Alcotest.bool "loss shows up as a drop record" true (has "net.drop." report))
+
 let suite =
   [
     ("fig1 demo", `Quick, check_figure ~args:"demo" ~golden:"fig1_demo.txt");
@@ -175,4 +250,17 @@ let suite =
       `Quick,
       check_metric_keys ~args:"fig4 --summary --nodes 200 --trials 3"
         ~golden:"fig4_metrics_keys.txt" );
+    ( "fig4 fingerprint identical across jobs",
+      `Quick,
+      check_fingerprint_jobs_invariant ~args:"fig4 --summary --nodes 200 --trials 3"
+        ~jobs:[ 1; 4 ] );
+    ( "fig2 fingerprint identical across jobs",
+      `Quick,
+      check_fingerprint_jobs_invariant ~args:"fig2 --summary --days 60" ~jobs:[ 1; 4 ] );
+    ( "beacon fingerprint identical across jobs",
+      `Quick,
+      check_fingerprint_jobs_invariant
+        ~args:"beacon --domains 8 --per-domain 1 --probes 2 --trials 3 --loss 0.05"
+        ~jobs:[ 1; 4; 8 ] );
+    ("report --diff on demo recordings", `Quick, check_record_diff);
   ]

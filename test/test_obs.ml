@@ -548,6 +548,176 @@ let test_json_shape () =
   let json = Metrics.to_json (Metrics.snapshot r) in
   check Alcotest.string "document" "{\n  \"metrics\": [\n    {\"name\": \"only.counter\", \"kind\": \"counter\", \"value\": 1}\n  ]\n}\n" json
 
+(* --- flight recorder -------------------------------------------------- *)
+
+(* The recorder's enabled flag and per-domain instance are process
+   state, like the profiler's: each test runs under a protect that
+   disables it again. *)
+let with_recorder ?ring ?sink f =
+  Recorder.enable ?ring ?sink ();
+  Fun.protect ~finally:Recorder.disable f
+
+let test_recorder_disabled_is_noop () =
+  check Alcotest.bool "disabled by default" false (Recorder.is_enabled ());
+  Recorder.record ~time:1.0 ~label:"x" ();
+  check Alcotest.bool "still disabled" false (Recorder.is_enabled ())
+
+let test_recorder_ring_and_counts () =
+  with_recorder ~ring:4 (fun () ->
+      for i = 1 to 6 do
+        Recorder.record ~time:(float_of_int i) ~label:"ev" ()
+      done;
+      check Alcotest.int "all records counted" 6 (Recorder.records ());
+      let recent = Recorder.recent () in
+      check Alcotest.int "ring keeps the newest window" 4 (List.length recent);
+      check
+        (Alcotest.list (Alcotest.float 1e-9))
+        "oldest first" [ 3.0; 4.0; 5.0; 6.0 ]
+        (List.map (fun (r : Recorder.record) -> r.Recorder.r_time) recent);
+      check Alcotest.int "seq numbers are stream positions" 2
+        (List.hd recent).Recorder.seq)
+
+let test_recorder_fingerprint_deterministic_and_order_sensitive () =
+  let fp_of labels =
+    with_recorder (fun () ->
+        List.iter (fun l -> Recorder.record ~time:1.0 ~label:l ()) labels;
+        Recorder.fingerprint ())
+  in
+  let a = fp_of [ "m.one"; "m.two" ] and b = fp_of [ "m.one"; "m.two" ] in
+  check Alcotest.int "record count" 2 a.Recorder.fpr_records;
+  check Alcotest.bool "same stream, same hash" true (a.Recorder.fpr_hash = b.Recorder.fpr_hash);
+  let c = fp_of [ "m.two"; "m.one" ] in
+  check Alcotest.bool "order matters" false (a.Recorder.fpr_hash = c.Recorder.fpr_hash);
+  check Alcotest.bool "subject matters" false
+    (let d =
+       with_recorder (fun () ->
+           Recorder.record ~time:1.0 ~label:"m.one" ~subject:"s" ();
+           Recorder.record ~time:1.0 ~label:"m.two" ();
+           Recorder.fingerprint ())
+     in
+     a.Recorder.fpr_hash = d.Recorder.fpr_hash)
+
+let test_recorder_prefix_buckets () =
+  with_recorder (fun () ->
+      Recorder.record ~time:1.0 ~label:"net.recv.bgp" ();
+      Recorder.record ~time:2.0 ~label:"masc.sweep" ();
+      Recorder.record ~time:3.0 ~label:"net.drop.bgp" ();
+      Recorder.record ~time:4.0 ~label:"plain" ();
+      let fp = Recorder.fingerprint () in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+        "prefixes sorted, counted by first dot component"
+        [ ("masc", 1); ("net", 2); ("plain", 1) ]
+        (List.map (fun (p, n, _) -> (p, n)) fp.Recorder.fpr_prefixes))
+
+let test_recorder_jsonl_roundtrip () =
+  let span = { Span.trace_id = "claim:1:224.0.0.0/24"; span = 3; parent = Some 2 } in
+  with_recorder (fun () ->
+      Recorder.record ~time:12.5 ~label:"net.recv.bgp" ~subject:"0->1 \"q\"" ~span ();
+      Recorder.record ~time:13.0 ~label:"ev" ();
+      List.iter
+        (fun r ->
+          check Alcotest.bool "roundtrips" true
+            (Recorder.record_of_json (Recorder.record_to_json r) = Some r))
+        (Recorder.recent ()));
+  check Alcotest.bool "garbage rejected" true (Recorder.record_of_json "{nope}" = None)
+
+let test_recorder_sink_and_counted_loader () =
+  let file = Filename.temp_file "recorder" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let span = { Span.trace_id = "group:224.0.128.1"; span = 0; parent = None } in
+      with_recorder ~sink:file (fun () ->
+          Recorder.record ~time:1.0 ~label:"net.recv.bgmp" ~subject:"2->3" ~span ();
+          Recorder.record ~time:2.0 ~label:"ev" ());
+      (* [disable] closed the sink; corrupt the file the way a killed
+         run would: a truncated line plus a blank one. *)
+      let oc = open_out_gen [ Open_append ] 0o644 file in
+      output_string oc "{\"seq\": 9, \"time\": trunca\n\n";
+      close_out oc;
+      let recs, bad = Recorder.load_jsonl file in
+      check Alcotest.int "good records load" 2 (List.length recs);
+      check Alcotest.int "malformed non-blank lines counted" 1 bad;
+      let r0 = List.hd recs in
+      check Alcotest.string "span survives the file" "group:224.0.128.1"
+        (Option.get r0.Recorder.r_trace_id))
+
+let test_recorder_capture_merge_matches_sequential () =
+  let sequential =
+    with_recorder (fun () ->
+        Recorder.record ~time:1.0 ~label:"a.x" ();
+        Recorder.record ~time:2.0 ~label:"b.y" ~subject:"s" ();
+        Recorder.record ~time:3.0 ~label:"a.z" ();
+        Recorder.fingerprint ())
+  in
+  let merged =
+    with_recorder (fun () ->
+        Recorder.record ~time:1.0 ~label:"a.x" ();
+        let (), shard =
+          Recorder.capture (fun () ->
+              Recorder.record ~time:2.0 ~label:"b.y" ~subject:"s" ();
+              Recorder.record ~time:3.0 ~label:"a.z" ())
+        in
+        check Alcotest.int "buffered records bypass the live stream" 1 (Recorder.records ());
+        Recorder.merge shard;
+        check Alcotest.int "merge replays in order" 3 (Recorder.records ());
+        check
+          (Alcotest.list Alcotest.int)
+          "seq renumbered across the merge" [ 0; 1; 2 ]
+          (List.map (fun (r : Recorder.record) -> r.Recorder.seq) (Recorder.recent ()));
+        Recorder.fingerprint ())
+  in
+  check Alcotest.bool "merged stream fingerprint equals sequential" true
+    (sequential.Recorder.fpr_hash = merged.Recorder.fpr_hash
+    && sequential.Recorder.fpr_prefixes = merged.Recorder.fpr_prefixes)
+
+let test_span_with_minter_scoping () =
+  (* A scoped minter starts fresh and restores the ambient one, so a
+     parallel task's span ids never depend on what minted before. *)
+  Span.reset ();
+  let outer = Span.root "claim:9:10.0.0.0/8" in
+  check Alcotest.int "ambient minter at 0" 0 outer.Span.span;
+  let inner =
+    Span.with_minter (Span.create_minter ()) (fun () -> Span.root "claim:9:10.0.0.0/8")
+  in
+  check Alcotest.int "fresh minter restarts the trace id" 0 inner.Span.span;
+  let after = Span.root "claim:9:10.0.0.0/8" in
+  check Alcotest.int "ambient minter restored and advanced" 1 after.Span.span
+
+let test_counted_loaders_report_malformed () =
+  (* Trace, Prof and Timeseries share the skip-and-count contract the
+     report subcommand surfaces as a warning. *)
+  let file = Filename.temp_file "counted" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let tr = Trace.create ~sink:(Trace.Jsonl file) () in
+      Trace.record tr ~time:1.0 ~actor:"a" ~tag:"t" "ok";
+      Trace.close tr;
+      let oc = open_out_gen [ Open_append ] 0o644 file in
+      output_string oc "not json\n\n{\"time\": 2.0, \"actor\": \"b\", \"tag\"\n";
+      close_out oc;
+      let entries, bad = Trace.load_jsonl_counted file in
+      check Alcotest.int "trace entries" 1 (List.length entries);
+      check Alcotest.int "trace bad lines" 2 bad;
+      let pts, bad_ts =
+        let oc = open_out file in
+        output_string oc "{\"at\": 1.0, \"series\": \"s\", \"value\": 2.0}\ngarbage\n";
+        close_out oc;
+        Timeseries.load_jsonl_counted file
+      in
+      check Alcotest.int "timeseries points" 1 (List.length pts);
+      check Alcotest.int "timeseries bad lines" 1 bad_ts;
+      let rows, bad_prof =
+        let oc = open_out file in
+        output_string oc "nonsense\n";
+        close_out oc;
+        Prof.load_jsonl_counted file
+      in
+      check Alcotest.int "prof rows" 0 (List.length rows);
+      check Alcotest.int "prof bad lines" 1 bad_prof)
+
 let suite =
   [
     ("counter basics", `Quick, test_counter_basics);
@@ -576,4 +746,17 @@ let suite =
     ("timeseries jsonl roundtrip", `Quick, test_timeseries_jsonl_roundtrip);
     ("engine sampler cadence", `Quick, test_engine_sampler_cadence);
     ("json shape", `Quick, test_json_shape);
+    ("recorder disabled is no-op", `Quick, test_recorder_disabled_is_noop);
+    ("recorder ring and counts", `Quick, test_recorder_ring_and_counts);
+    ( "recorder fingerprint deterministic, order-sensitive",
+      `Quick,
+      test_recorder_fingerprint_deterministic_and_order_sensitive );
+    ("recorder prefix buckets", `Quick, test_recorder_prefix_buckets);
+    ("recorder jsonl roundtrip", `Quick, test_recorder_jsonl_roundtrip);
+    ("recorder sink and counted loader", `Quick, test_recorder_sink_and_counted_loader);
+    ( "recorder capture/merge matches sequential",
+      `Quick,
+      test_recorder_capture_merge_matches_sequential );
+    ("span with_minter scoping", `Quick, test_span_with_minter_scoping);
+    ("counted loaders report malformed lines", `Quick, test_counted_loaders_report_malformed);
   ]

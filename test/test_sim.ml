@@ -171,6 +171,65 @@ let test_engine_watermarks () =
   check (Alcotest.option (Alcotest.float 1e-9)) "converged at the last state change" (Some 3.0)
     (Engine.converged_at e)
 
+let test_engine_watermarks_empty_run () =
+  (* A run that never notes activity: no watermarks, no convergence
+     time, and quiescence detection still terminates (quiet window
+     anchors on the clock). *)
+  let e = Engine.create () in
+  Engine.run_until_idle e;
+  check (Alcotest.option (Alcotest.float 1e-9)) "idle run: no convergence" None
+    (Engine.converged_at e);
+  check Alcotest.int "idle run: no watermarks" 0 (List.length (Engine.watermarks e));
+  let e2 = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule_at e2 1.0 (fun () -> incr fired));
+  Engine.run_until_quiescent ~grace:5.0 e2;
+  check Alcotest.int "silent event fires inside the window" 1 !fired;
+  check (Alcotest.option (Alcotest.float 1e-9)) "still no convergence" None
+    (Engine.converged_at e2)
+
+let test_engine_quiescence_grace_boundary () =
+  (* Events past the quiet window never fire — activity they would
+     have reported cannot resurrect the run. *)
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e 1.0 (fun () -> Engine.note_activity e "x"));
+  let late = ref false in
+  ignore
+    (Engine.schedule_at e 20.0 (fun () ->
+         late := true;
+         Engine.note_activity e "x"));
+  Engine.run_until_quiescent ~grace:5.0 e;
+  check Alcotest.bool "event beyond watermark+grace never fires" false !late;
+  check Alcotest.int "it stays pending" 1 (Engine.pending e);
+  check (Alcotest.option (Alcotest.float 1e-9)) "converged at the last fired activity" (Some 1.0)
+    (Engine.converged_at e);
+  (* A chain of state changes each within [grace] of the last keeps
+     extending the run. *)
+  let e2 = Engine.create () in
+  List.iter
+    (fun t -> ignore (Engine.schedule_at e2 t (fun () -> Engine.note_activity e2 "x")))
+    [ 1.0; 4.0; 7.0; 10.0 ];
+  Engine.run_until_quiescent ~grace:5.0 e2;
+  check (Alcotest.option (Alcotest.float 1e-9)) "chained activity extends the run" (Some 10.0)
+    (Engine.converged_at e2)
+
+let test_engine_watermark_ordering () =
+  (* The watermark list is sorted by class name, independent of the
+     order classes first report, and converged_at is the max across
+     classes whichever class produced it. *)
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e 1.0 (fun () -> Engine.note_activity e "zeta"));
+  ignore (Engine.schedule_at e 2.0 (fun () -> Engine.note_activity e "alpha"));
+  ignore (Engine.schedule_at e 3.0 (fun () -> Engine.note_activity e "mid"));
+  Engine.run_until_idle e;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9)))
+    "sorted by class, not by first report"
+    [ ("alpha", 2.0); ("mid", 3.0); ("zeta", 1.0) ]
+    (Engine.watermarks e);
+  check (Alcotest.option (Alcotest.float 1e-9)) "max watermark wins" (Some 3.0)
+    (Engine.converged_at e)
+
 let test_engine_monitor () =
   let e = Engine.create () in
   check Alcotest.bool "non-positive cadence rejected" true
@@ -332,6 +391,9 @@ let suite =
     ("engine pending with periodic", `Quick, test_engine_pending_periodic);
     ("engine pending periodic self-cancel", `Quick, test_engine_pending_periodic_self_cancel);
     ("engine watermarks and converged_at", `Quick, test_engine_watermarks);
+    ("engine watermarks empty run", `Quick, test_engine_watermarks_empty_run);
+    ("engine quiescence grace boundary", `Quick, test_engine_quiescence_grace_boundary);
+    ("engine watermark ordering determinism", `Quick, test_engine_watermark_ordering);
     ("engine monitor hook", `Quick, test_engine_monitor);
     ("trace report chains and latencies", `Quick, test_trace_report_chains_and_latencies);
     ("trace basics", `Quick, test_trace_basics);
