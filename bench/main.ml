@@ -308,6 +308,70 @@ let parallel_report () =
   (j1, j8, speedup, cores)
 
 (* ------------------------------------------------------------------ *)
+(* fig4-modern: incremental vs from-scratch route maintenance          *)
+(* ------------------------------------------------------------------ *)
+
+(* The ROADMAP-scale state study: a ~75k-domain transit-stub topology,
+   10^5 dense group ids, 2 * 10^5 membership events with a peer-link
+   failure/restore every 2000 — and the same run twice, once with the
+   maintained SPF cache repairing its trees in place on every link
+   event, once recomputing every in-use tree from scratch (the retired
+   pattern).  [spf_seconds]/[spf_bytes] isolate exactly the maintenance
+   work, so the speedup and the GC-pressure ratio are direct.  Each
+   mode is the median of [repeat_runs] after one warmup. *)
+
+let fig4_modern_params =
+  {
+    Modern_experiment.default_params with
+    Modern_experiment.domains = 75000;
+    groups = 100_000;
+    roots = 32;
+    events = 200_000;
+    link_every = 2000;
+    trials = 1;
+    jobs = 1;
+  }
+
+let fig4_modern_report () =
+  Format.printf "@.=== fig4-modern: route maintenance under churn (75k domains, 100k groups) ===@.";
+  let p = fig4_modern_params in
+  let run mode () = Modern_experiment.run { p with Modern_experiment.mode } in
+  let printed = run Modern_experiment.Incremental () in
+  Format.printf "%a" Modern_experiment.pp_summary printed;
+  Format.printf "topology: %d domains, %d links@." printed.Modern_experiment.r_domains
+    printed.Modern_experiment.r_links;
+  let measure name mode =
+    (* warmup is the printed run for Incremental; Scratch warms itself *)
+    let runs = ref [] in
+    for _ = 1 to repeat_runs do
+      let r, wall = timed (run mode) in
+      runs := (r, wall) :: !runs
+    done;
+    let med f = (mstat_of (List.map f !runs)).med in
+    let spf_s = med (fun (r, _) -> r.Modern_experiment.spf_seconds) in
+    let spf_b = med (fun (r, _) -> r.Modern_experiment.spf_bytes) in
+    let wall_s = med snd in
+    let link_events =
+      match !runs with (r, _) :: _ -> r.Modern_experiment.link_events | [] -> 0
+    in
+    let events_per_s = if spf_s > 0.0 then float_of_int link_events /. spf_s else 0.0 in
+    Format.printf
+      "%-12s %8.3f s maintaining routes (%.0f link events/s), %12.0f bytes allocated, %7.3f s \
+       whole trial@."
+      name spf_s events_per_s spf_b wall_s;
+    (spf_s, spf_b, events_per_s, wall_s)
+  in
+  let inc = measure "incremental" Modern_experiment.Incremental in
+  ignore (run Modern_experiment.Scratch ());
+  let scr = measure "from-scratch" Modern_experiment.Scratch in
+  let inc_s, inc_b, _, _ = inc and scr_s, scr_b, _, _ = scr in
+  let speedup = if inc_s > 0.0 then scr_s /. inc_s else 0.0 in
+  let bytes_ratio = if inc_b > 0.0 then scr_b /. inc_b else 0.0 in
+  Format.printf "incremental repair: %.1fx faster, %.1fx fewer GC bytes than from-scratch@."
+    speedup bytes_ratio;
+  (printed, inc, scr, speedup, bytes_ratio)
+
+(* ------------------------------------------------------------------ *)
 (* Beacon measurement soak                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -435,9 +499,9 @@ let convergence_report () =
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_8.json"
+let json_file = "BENCH_9.json"
 
-let baseline_file = "BENCH_7.json"
+let baseline_file = "BENCH_8.json"
 
 (* Entries of a results file, scanned with Str (no JSON dependency in
    the image). *)
@@ -469,6 +533,46 @@ let load_baseline () =
 let load_baseline_figures () =
   scan_json_file baseline_file
     (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"wall_clock_s\": \\([0-9.]+\\)")
+
+let load_baseline_profile () =
+  scan_json_file baseline_file
+    (Str.regexp
+       "{\"path\": \"\\([^\"]+\\)\", \"count\": [0-9]+, \"total_s\": [0-9.]+, \"self_s\": \
+        [0-9.]+, \"self_bytes\": \\([0-9.]+\\)")
+
+(* Allocation trajectory of the figure-4 pipeline vs the baseline
+   file's profile rows: the PR's representation work (int-packed
+   arenas, lazily allocated cache slots, maintained trees instead of
+   per-trial recomputes) must show up as an allocated-bytes drop in
+   the same profiled fig4 regeneration, not just feel faster.  Rows
+   are matched by span path against the current run's profile. *)
+let alloc_reduction_report prof_kernels =
+  Format.printf "@.=== fig4 allocated bytes vs %s ===@." baseline_file;
+  let baseline = load_baseline_profile () in
+  let current =
+    List.map
+      (fun (r : Prof.row) -> (String.concat ";" r.Prof.path, r.Prof.self_bytes))
+      prof_kernels
+  in
+  let rows =
+    List.filter_map
+      (fun (path, base) ->
+        match List.assoc_opt path current with
+        | Some cur when base > 0.0 ->
+            let ratio = if cur > 0.0 then base /. cur else infinity in
+            Format.printf "%-44s %12.0f -> %12.0f bytes (%.2fx)@." path base cur ratio;
+            Some (path, base, cur, ratio)
+        | _ -> None)
+      baseline
+  in
+  let total_base = List.fold_left (fun acc (_, b, _, _) -> acc +. b) 0.0 rows in
+  let total_cur = List.fold_left (fun acc (_, _, c, _) -> acc +. c) 0.0 rows in
+  let total_ratio = if total_cur > 0.0 then total_base /. total_cur else 0.0 in
+  if rows <> [] then
+    Format.printf "%-44s %12.0f -> %12.0f bytes (%.2fx)@." "total" total_base total_cur
+      total_ratio
+  else Format.printf "no overlapping profile rows in %s; comparison skipped@." baseline_file;
+  (rows, total_base, total_cur, total_ratio)
 
 (* Wall-clock cost of the hierarchical profiler on the Figure-4
    experiment: disabled (the shipping default — every span is one flag
@@ -584,7 +688,7 @@ let overhead_report micro =
     overhead_watchlist
 
 let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels
-    ~rec_overhead ~fingerprints ~beacon ~convergence ~counters =
+    ~alloc ~fig4_modern ~rec_overhead ~fingerprints ~beacon ~convergence ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -650,6 +754,56 @@ let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead 
         (if i = List.length prof_kernels - 1 then "" else ","))
     prof_kernels;
   out "  ],\n";
+  let alloc_rows, alloc_base, alloc_cur, alloc_ratio = alloc in
+  out "  \"alloc_reduction\": {\"baseline\": %S, \"rows\": [\n" baseline_file;
+  List.iteri
+    (fun i (path, base, cur, ratio) ->
+      out
+        "    {\"path\": %S, \"baseline_bytes\": %.0f, \"current_bytes\": %.0f, \"ratio\": %.2f}%s\n"
+        path base cur ratio
+        (if i = List.length alloc_rows - 1 then "" else ","))
+    alloc_rows;
+  out
+    "  ], \"total_baseline_bytes\": %.0f, \"total_current_bytes\": %.0f, \"total_ratio\": %.2f},\n"
+    alloc_base alloc_cur alloc_ratio;
+  let mres, inc, scr, speedup, bytes_ratio = fig4_modern in
+  let inc_s, inc_b, inc_eps, inc_w = inc and scr_s, scr_b, scr_eps, scr_w = scr in
+  let mp = fig4_modern_params in
+  out "  \"fig4_modern\": {\n";
+  out
+    "    \"domains\": %d, \"links\": %d, \"groups\": %d, \"roots\": %d, \"events\": %d, \
+     \"link_every\": %d, \"trials\": %d, \"seed\": %d,\n"
+    mres.Modern_experiment.r_domains mres.Modern_experiment.r_links mp.Modern_experiment.groups
+    mp.Modern_experiment.roots mp.Modern_experiment.events mp.Modern_experiment.link_every
+    mp.Modern_experiment.trials mp.Modern_experiment.seed;
+  out
+    "    \"joins\": %d, \"leaves\": %d, \"skipped\": %d, \"link_events\": %d, \"repairs\": %d, \
+     \"touched\": %d,\n"
+    mres.Modern_experiment.joins mres.Modern_experiment.leaves mres.Modern_experiment.skipped
+    mres.Modern_experiment.link_events mres.Modern_experiment.repairs
+    mres.Modern_experiment.touched;
+  out "    \"state_vs_members\": [\n";
+  let cks = mres.Modern_experiment.checkpoints in
+  List.iteri
+    (fun i (ck : Modern_experiment.checkpoint) ->
+      out
+        "      {\"events\": %d, \"members\": %.1f, \"entries\": %.1f, \"max_router\": %.1f, \
+         \"stateful_routers\": %.1f, \"grib_entries\": %.1f}%s\n"
+        ck.Modern_experiment.ck_events ck.Modern_experiment.ck_members
+        ck.Modern_experiment.ck_entries ck.Modern_experiment.ck_max_router
+        ck.Modern_experiment.ck_stateful ck.Modern_experiment.ck_grib
+        (if i = List.length cks - 1 then "" else ","))
+    cks;
+  out "    ],\n";
+  out
+    "    \"incremental\": {\"spf_s\": %.6f, \"spf_bytes\": %.0f, \"link_events_per_s\": %.0f, \
+     \"wall_s\": %.3f},\n"
+    inc_s inc_b inc_eps inc_w;
+  out
+    "    \"scratch\": {\"spf_s\": %.6f, \"spf_bytes\": %.0f, \"link_events_per_s\": %.0f, \
+     \"wall_s\": %.3f},\n"
+    scr_s scr_b scr_eps scr_w;
+  out "    \"speedup\": %.2f, \"bytes_ratio\": %.2f\n  },\n" speedup bytes_ratio;
   let rec_off_s, rec_on_s, rec_pct = rec_overhead in
   out
     "  \"recorder_overhead\": {\"fig4_disabled_s\": %.3f, \"fig4_enabled_s\": %.3f, \
@@ -728,8 +882,9 @@ let budget_file = "bench/perf_budget.json"
    jitter never trips the gate, tight enough that a 2x slowdown does. *)
 let budget_headroom = 2.5
 
-(* CI-sized figure runs: a scaled fig2 (~35 ms) and a small fig4
-   (~150 ms), each exercising the real experiment code end-to-end. *)
+(* CI-sized figure runs: a scaled fig2 (~35 ms), a small fig4
+   (~150 ms) and a small fig4-modern churn run, each exercising the
+   real experiment code end-to-end. *)
 let smoke_figures =
   [
     ( "fig2-smoke",
@@ -751,19 +906,38 @@ let smoke_figures =
                Tree_experiment.nodes = 1000;
                trials = 5;
              }) );
+    ( "fig4-modern-smoke",
+      fun () ->
+        ignore
+          (Modern_experiment.run
+             { Modern_experiment.default_params with Modern_experiment.jobs = 1 }) );
   ]
 
+(* Each budget line carries a wall-clock budget and an allocated-bytes
+   budget; both are gated.  The bytes column catches representation
+   regressions (an arena quietly reverting to per-entry boxing) that
+   hide inside wall-clock jitter on a busy CI host. *)
 let load_budgets () =
   scan_json_file budget_file
     (Str.regexp "{\"name\": \"\\([^\"]+\\)\", \"budget_s\": \\([0-9.]+\\)")
+
+let load_byte_budgets () =
+  scan_json_file budget_file
+    (Str.regexp
+       "{\"name\": \"\\([^\"]+\\)\", \"budget_s\": [0-9.]+, \"measured_s\": [0-9.]+, \
+        \"budget_bytes\": \\([0-9.]+\\)")
 
 let write_budgets measured =
   let oc = open_out budget_file in
   Printf.fprintf oc "{\n  \"headroom\": %.1f,\n  \"budgets\": [\n" budget_headroom;
   List.iteri
-    (fun i (name, med) ->
-      Printf.fprintf oc "    {\"name\": %S, \"budget_s\": %.3f, \"measured_s\": %.3f}%s\n" name
-        (med *. budget_headroom) med
+    (fun i (name, med, bytes) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"budget_s\": %.3f, \"measured_s\": %.3f, \"budget_bytes\": %.0f, \
+         \"measured_bytes\": %.0f}%s\n"
+        name (med *. budget_headroom) med
+        (bytes *. budget_headroom)
+        bytes
         (if i = List.length measured - 1 then "" else ","))
     measured;
   Printf.fprintf oc "  ]\n}\n";
@@ -771,10 +945,10 @@ let write_budgets measured =
   Format.printf "bench smoke: wrote %s (budgets = %.1fx measured medians)@." budget_file
     budget_headroom
 
-(* Gate the scaled figure medians against the checked-in budgets.
-   Missing budget file (e.g. running outside the repo root) warns and
-   skips rather than failing — the gate is only meaningful where
-   bench/perf_budget.json is visible. *)
+(* Gate the scaled figure medians — wall-clock AND allocated bytes —
+   against the checked-in budgets.  Missing budget file (e.g. running
+   outside the repo root) warns and skips rather than failing — the
+   gate is only meaningful where bench/perf_budget.json is visible. *)
 let perf_gate () =
   let write_budget = Array.exists (( = ) "--write-budget") Sys.argv in
   let measured =
@@ -783,10 +957,18 @@ let perf_gate () =
         for _ = 1 to warmup_runs do
           f ()
         done;
-        let s = timed_median f in
-        Format.printf "bench smoke: %-12s %.3f s median  [%.3f .. %.3f, %.1f%% spread]@." name
-          s.med s.mn s.mx s.spread_pct;
-        (name, s.med))
+        let bytes = ref [] in
+        let timed_counting () =
+          let b0 = Gc.allocated_bytes () in
+          f ();
+          bytes := (Gc.allocated_bytes () -. b0) :: !bytes
+        in
+        let s = timed_median timed_counting in
+        let b = mstat_of !bytes in
+        Format.printf
+          "bench smoke: %-16s %.3f s median  [%.3f .. %.3f, %.1f%% spread], %.0f bytes median@."
+          name s.med s.mn s.mx s.spread_pct b.med;
+        (name, s.med, b.med))
       smoke_figures
   in
   if write_budget then write_budgets measured
@@ -796,16 +978,24 @@ let perf_gate () =
         Format.printf "bench smoke: %s not found; perf gate skipped (create with --write-budget)@."
           budget_file
     | budgets ->
+        let byte_budgets = load_byte_budgets () in
         let failed = ref false in
         List.iter
-          (fun (name, med) ->
-            match List.assoc_opt name budgets with
+          (fun (name, med, med_bytes) ->
+            (match List.assoc_opt name budgets with
             | None -> Format.printf "bench smoke: no budget for %s; skipped@." name
             | Some budget ->
                 let verdict = if med > budget then "FAIL" else "ok" in
-                Format.printf "bench smoke: %-12s %.3f s vs budget %.3f s — %s@." name med budget
+                Format.printf "bench smoke: %-16s %.3f s vs budget %.3f s — %s@." name med budget
                   verdict;
-                if med > budget then failed := true)
+                if med > budget then failed := true);
+            match List.assoc_opt name byte_budgets with
+            | None -> ()
+            | Some budget ->
+                let verdict = if med_bytes > budget then "FAIL" else "ok" in
+                Format.printf "bench smoke: %-16s %.0f bytes vs budget %.0f bytes — %s@." name
+                  med_bytes budget verdict;
+                if med_bytes > budget then failed := true)
           measured;
         if !failed then begin
           Format.eprintf
@@ -1009,6 +1199,8 @@ let () =
   in
   let inv_overhead = invariant_overhead () in
   let prof_overhead, prof_kernels = profiling_overhead () in
+  let alloc = alloc_reduction_report prof_kernels in
+  let fig4_modern = fig4_modern_report () in
   let rec_overhead, fig4_fp = recorder_overhead () in
   let fingerprints = fingerprint_report ~fig4_fp in
   let parallel = parallel_report () in
@@ -1016,5 +1208,5 @@ let () =
   let convergence = convergence_report () in
   write_json ~micro
     ~figures:[ fig2_stat; fig4_stat ]
-    ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~rec_overhead ~fingerprints
-    ~beacon ~convergence ~counters
+    ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~alloc ~fig4_modern
+    ~rec_overhead ~fingerprints ~beacon ~convergence ~counters

@@ -186,6 +186,43 @@ let run_fig4 check summary_only nodes trials topology seed sampling =
   fig4_summary r;
   if check then fail_on_violations "fig4" r.Tree_experiment.invariant_violations
 
+(* ---------------- fig4-modern ---------------------------------------- *)
+
+let run_fig4_modern summary_only domains groups roots events link_every trials scratch seed jobs =
+  let mode = if scratch then Modern_experiment.Scratch else Modern_experiment.Incremental in
+  let p =
+    {
+      Modern_experiment.default_params with
+      Modern_experiment.domains;
+      groups;
+      roots;
+      events;
+      link_every;
+      trials;
+      seed;
+      mode;
+      jobs;
+    }
+  in
+  Format.printf
+    "# fig4-modern: state vs members at scale (%d-domain target, %d groups x %d trials, %s \
+     route maintenance)@."
+    domains groups trials
+    (match mode with
+    | Modern_experiment.Incremental -> "incremental"
+    | Modern_experiment.Scratch -> "from-scratch");
+  let r = Modern_experiment.run p in
+  Format.printf "topology: %d domains, %d links@." r.Modern_experiment.r_domains
+    r.Modern_experiment.r_links;
+  if not summary_only then
+    List.iter
+      (fun ck ->
+        Format.printf "fig4-modern %d %.1f %.1f %.1f@." ck.Modern_experiment.ck_events
+          ck.Modern_experiment.ck_members ck.Modern_experiment.ck_entries
+          ck.Modern_experiment.ck_grib)
+      r.Modern_experiment.checkpoints;
+  Modern_experiment.pp_summary Format.std_formatter r
+
 (* ---------------- ablations ------------------------------------------ *)
 
 let run_ablate_placement check days seed =
@@ -1197,6 +1234,43 @@ let fig4_cmd =
           with_obs obs (run_fig4 check summary nodes trials topology seed))
       $ obs_term $ jobs_arg $ check_arg $ summary_flag $ nodes $ trials $ topology $ seed_arg)
 
+let fig4_modern_cmd =
+  let doc =
+    "The state-vs-members study at modern scale: arena-backed per-router state under group and \
+     link churn, with incrementally maintained routing."
+  in
+  let domains =
+    Arg.(value & opt int 2000 & info [ "domains" ] ~doc:"Target domain count (transit-stub).")
+  in
+  let groups = Arg.(value & opt int 200 & info [ "groups" ] ~doc:"Group-id space per trial.") in
+  let roots = Arg.(value & opt int 8 & info [ "roots" ] ~doc:"Distinct tree-root domains.") in
+  let events = Arg.(value & opt int 4000 & info [ "events" ] ~doc:"Membership events per trial.") in
+  let link_every =
+    Arg.(
+      value & opt int 500
+      & info [ "link-every" ]
+          ~doc:"One peer-link failure/restore per this many membership events (0 disables).")
+  in
+  let trials = Arg.(value & opt int 2 & info [ "trials" ] ~doc:"Independent trials (averaged).") in
+  let scratch =
+    Arg.(
+      value & flag
+      & info [ "scratch" ]
+          ~doc:
+            "Recompute every in-use tree from scratch on each link event (the retired baseline) \
+             instead of repairing the maintained trees in place.")
+  in
+  Cmd.v
+    (Cmd.info "fig4-modern" ~doc)
+    Term.(
+      const (fun obs jobs summary domains groups roots events link_every trials scratch seed ->
+          Par.set_jobs jobs;
+          with_obs obs (fun _ ->
+              run_fig4_modern summary domains groups roots events link_every trials scratch seed
+                jobs))
+      $ obs_basic_term $ jobs_arg $ summary_flag $ domains $ groups $ roots $ events $ link_every
+      $ trials $ scratch $ seed_arg)
+
 let ablate_placement_cmd =
   Cmd.v
     (Cmd.info "ablate-placement"
@@ -1426,6 +1500,7 @@ let main_cmd =
     [
       fig2_cmd;
       fig4_cmd;
+      fig4_modern_cmd;
       ablate_placement_cmd;
       ablate_threshold_cmd;
       ablate_root_cmd;

@@ -82,6 +82,10 @@ let run_trial p ~trial ~seed =
     Hashtbl.replace roots (domain_group d) d
   done;
   let cache = Spf.make_cache topo in
+  (* Maintained routing: link churn repairs the cached trees in place
+     instead of invalidating them, so routes served mid-outage follow
+     the surviving topology. *)
+  Net.on_link_change net (fun a b ~up -> Spf.cache_note_link cache ~a ~b ~up);
   let route_to_root dom group =
     match Hashtbl.find_opt roots group with
     | None -> Bgmp_fabric.Unroutable

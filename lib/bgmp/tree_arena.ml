@@ -1,0 +1,95 @@
+type handle = int
+
+type t = {
+  n : int;
+  refs : Packed_map.t;  (* (group * n + node) -> refcount *)
+  counts : int array;  (* per-router live entry count *)
+  mutable pool : int array;  (* recorded paths: [group; len; nodes...] *)
+  mutable pool_len : int;
+}
+
+let create ?(initial = 16) ~domains () =
+  if domains < 1 then invalid_arg "Tree_arena.create: need at least one domain";
+  {
+    n = domains;
+    refs = Packed_map.create ~initial ();
+    counts = Array.make domains 0;
+    pool = Array.make 1024 0;
+    pool_len = 0;
+  }
+
+let domains t = t.n
+
+let key t group node = (group * t.n) + node
+
+let pool_reserve t extra =
+  let need = t.pool_len + extra in
+  if need > Array.length t.pool then begin
+    let cap = ref (2 * Array.length t.pool) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let grown = Array.make !cap 0 in
+    Array.blit t.pool 0 grown 0 t.pool_len;
+    t.pool <- grown
+  end
+
+let incr_ref t group node =
+  let k = key t group node in
+  let r = Packed_map.find t.refs k in
+  if r < 0 then begin
+    Packed_map.set t.refs k 1;
+    t.counts.(node) <- t.counts.(node) + 1
+  end
+  else Packed_map.set t.refs k (r + 1)
+
+let decr_ref t group node =
+  let k = key t group node in
+  let r = Packed_map.find t.refs k in
+  if r <= 1 then begin
+    Packed_map.remove t.refs k;
+    t.counts.(node) <- t.counts.(node) - 1
+  end
+  else Packed_map.set t.refs k (r - 1)
+
+let join t ~group ~path =
+  if group < 0 then invalid_arg "Tree_arena.join: negative group";
+  let len = Array.length path in
+  if len = 0 then invalid_arg "Tree_arena.join: empty path";
+  Array.iter
+    (fun v -> if v < 0 || v >= t.n then invalid_arg "Tree_arena.join: node out of range")
+    path;
+  pool_reserve t (len + 2);
+  let h = t.pool_len in
+  t.pool.(h) <- group;
+  t.pool.(h + 1) <- len;
+  Array.blit path 0 t.pool (h + 2) len;
+  t.pool_len <- t.pool_len + len + 2;
+  for i = 0 to len - 1 do
+    incr_ref t group path.(i)
+  done;
+  h
+
+let leave t ~group (h : handle) =
+  if h < 0 || h + 2 > t.pool_len then invalid_arg "Tree_arena.leave: bad handle";
+  if t.pool.(h) <> group || t.pool.(h + 1) <= 0 then
+    invalid_arg "Tree_arena.leave: handle spent or group mismatch";
+  let len = t.pool.(h + 1) in
+  for i = 0 to len - 1 do
+    decr_ref t group t.pool.(h + 2 + i)
+  done;
+  (* spend the handle: a second leave of the same receipt must not
+     corrupt refcounts silently *)
+  t.pool.(h + 1) <- -len
+
+let entries t = Packed_map.length t.refs
+
+let node_entries t node =
+  if node < 0 || node >= t.n then invalid_arg "Tree_arena: unknown node id";
+  t.counts.(node)
+
+let refs t ~group ~node =
+  if node < 0 || node >= t.n then invalid_arg "Tree_arena: unknown node id";
+  match Packed_map.find t.refs (key t group node) with -1 -> 0 | r -> r
+
+let storage_words t = (2 * Packed_map.capacity t.refs) + t.n + Array.length t.pool

@@ -1,0 +1,52 @@
+(** Arena-backed BGMP tree state for dense group/domain ids.
+
+    {!Bgmp_router} models one router's protocol behavior with per-entry
+    records (joined parent, (S,G) lists, timers).  At fig4-modern scale
+    — 75k domains, 10⁵ groups, hundreds of thousands of membership
+    events — per-router forwarding state must be two int arrays, not a
+    record heap.  Each (group, node) pair on some member's path to the
+    group root holds one packed refcount; a node's entry count is the
+    classic "multicast forwarding entries per router" state axis.
+
+    Joins record the exact path they installed (as a segment in a flat
+    int pool) and {!leave} tears down that recorded path, so membership
+    stays balanced even when SPF trees were repaired between the join
+    and the leave — the incremental-routing analogue of BGMP's rule
+    that a prune must retrace the join it cancels. *)
+
+type t
+
+type handle = int
+(** Receipt for one {!join}, to be passed to {!leave} exactly once. *)
+
+val create : ?initial:int -> domains:int -> unit -> t
+(** [initial] hints the expected live (group, node) entry count. *)
+
+val domains : t -> int
+
+val join : t -> group:int -> path:Domain.id array -> handle
+(** Install one member whose packets travel [path] (member end to tree
+    end, inclusive; order is irrelevant): every node on the path gains
+    a reference to [group], creating the forwarding entry where the
+    count was zero.  The path is copied into the arena's pool.
+    @raise Invalid_argument on an empty path, a node out of range, or a
+    negative group. *)
+
+val leave : t -> group:int -> handle -> unit
+(** Remove the member installed by the matching {!join}, decrementing
+    along the path recorded then (not the path SPF would give now).
+    Entries reaching zero references are freed.
+    @raise Invalid_argument when the handle was already spent. *)
+
+val entries : t -> int
+(** Live (group, node) forwarding entries across all routers. *)
+
+val node_entries : t -> int -> int
+(** Forwarding entries at this router. *)
+
+val refs : t -> group:int -> node:int -> int
+(** Reference count of one entry; [0] when absent. *)
+
+val storage_words : t -> int
+(** Words held by the arena's flat arrays (entry table + per-router
+    counts + path pool). *)

@@ -1,0 +1,46 @@
+type t = {
+  n : int;
+  map : Packed_map.t;  (* (group * n + node) -> next_hop + 1 *)
+  counts : int array;  (* per-router entry count *)
+}
+
+let create ?(initial = 16) ~domains () =
+  if domains < 1 then invalid_arg "Grib_arena.create: need at least one domain";
+  { n = domains; map = Packed_map.create ~initial (); counts = Array.make domains 0 }
+
+let domains t = t.n
+
+let key t ~group ~node =
+  if group < 0 then invalid_arg "Grib_arena: negative group id";
+  if node < 0 || node >= t.n then invalid_arg "Grib_arena: unknown node id";
+  (group * t.n) + node
+
+let no_entry = -2
+
+let find t ~group ~node =
+  match Packed_map.find t.map (key t ~group ~node) with
+  | -1 -> no_entry
+  | v -> v - 1
+
+let mem t ~group ~node = Packed_map.mem t.map (key t ~group ~node)
+
+let set t ~group ~node hop =
+  if hop < -1 || hop >= t.n then invalid_arg "Grib_arena.set: bad next hop";
+  let k = key t ~group ~node in
+  if not (Packed_map.mem t.map k) then t.counts.(node) <- t.counts.(node) + 1;
+  Packed_map.set t.map k (hop + 1)
+
+let remove t ~group ~node =
+  let k = key t ~group ~node in
+  if Packed_map.mem t.map k then begin
+    Packed_map.remove t.map k;
+    t.counts.(node) <- t.counts.(node) - 1
+  end
+
+let entries t = Packed_map.length t.map
+
+let node_entries t node =
+  if node < 0 || node >= t.n then invalid_arg "Grib_arena: unknown node id";
+  t.counts.(node)
+
+let storage_words t = (2 * Packed_map.capacity t.map) + t.n

@@ -1,0 +1,46 @@
+(** Arena-backed G-RIB state for dense group/root ids.
+
+    The per-router G-RIB of the full protocol stack ({!Speaker}) keeps
+    one record per route with AS paths and provenance — right for
+    protocol dynamics, far too heavy for state-scaling studies where
+    75k routers each hold entries for thousands of group ranges.  This
+    arena keeps exactly what a G-RIB lookup answers — {e next hop
+    toward the group's root domain} — as one packed int per (group,
+    node) entry in a flat open-addressed table, plus a per-router entry
+    count, so "G-RIB size vs members/groups" curves come from int
+    arrays instead of record heaps. *)
+
+type t
+
+val create : ?initial:int -> domains:int -> unit -> t
+(** An empty arena for routers [0 .. domains-1].  Group ids are dense
+    nonnegative ints (their range is not fixed up front); [initial]
+    hints the expected total entry count. *)
+
+val domains : t -> int
+
+val no_entry : int
+(** [-2]: returned by {!find} when the router holds no entry. *)
+
+val find : t -> group:int -> node:int -> int
+(** The next hop toward the group's root: a domain id, [-1] when [node]
+    is itself the root (an entry with no next hop), or {!no_entry}. *)
+
+val mem : t -> group:int -> node:int -> bool
+
+val set : t -> group:int -> node:int -> int -> unit
+(** [set t ~group ~node hop] installs or overwrites the entry ([hop] is
+    a domain id, or [-1] at the root itself). *)
+
+val remove : t -> group:int -> node:int -> unit
+
+val entries : t -> int
+(** Total (group, node) entries across all routers. *)
+
+val node_entries : t -> int -> int
+(** This router's G-RIB entry count — the paper's per-router state
+    axis. *)
+
+val storage_words : t -> int
+(** Words held by the arena's flat arrays (table slots + counts) —
+    the [Obs.Prof]-comparable footprint of the representation. *)

@@ -12,23 +12,33 @@ let power_law ~rng ~n ~m =
       Topo.add_link topo i j Topo.Provider_customer
     done
   done;
-  (* Repeated-endpoint list: picking a uniform element of [endpoints] is
-     degree-proportional attachment. *)
-  let endpoints = ref [] in
-  let endpoint_arr = ref [||] in
-  let refresh () = endpoint_arr := Array.of_list !endpoints in
+  (* Repeated-endpoint pool: picking a uniform element is
+     degree-proportional attachment.  One preallocated array appended at
+     the tail replaces the historical cons-list + per-node
+     [Array.of_list] rebuild (which alone was most of a large graph's
+     allocation).  Historical draws indexed the list FRONT, so the pick
+     reads [len - 1 - k] and every [x :: y :: rest] cons becomes
+     "append y, then x" — the draw sequence, and thus every golden, is
+     unchanged. *)
+  let cap = 2 * ((((m + 1) * m) / 2) + (max 0 (n - m - 1) * m)) in
+  let ep = Array.make (max 1 cap) 0 in
+  let len = ref 0 in
+  let append u =
+    ep.(!len) <- u;
+    incr len
+  in
   for i = 0 to m do
     for j = i + 1 to m do
-      endpoints := i :: j :: !endpoints
+      append j;
+      append i
     done
   done;
-  refresh ();
   for v = m + 1 to n - 1 do
     let chosen = Hashtbl.create m in
     let tries = ref 0 in
     while Hashtbl.length chosen < m && !tries < 50 * m do
       incr tries;
-      let u = Rng.pick rng !endpoint_arr in
+      let u = ep.(!len - 1 - Rng.int rng !len) in
       if u <> v && not (Hashtbl.mem chosen u) then Hashtbl.add chosen u ()
     done;
     (* Fallback for pathological draws: attach to lowest-id nodes not yet
@@ -41,9 +51,9 @@ let power_law ~rng ~n ~m =
     Hashtbl.iter
       (fun u () ->
         Topo.add_link topo u v Topo.Provider_customer;
-        endpoints := u :: v :: !endpoints)
-      chosen;
-    refresh ()
+        append v;
+        append u)
+      chosen
   done;
   (* Rebuild with kinds derived from final degrees. *)
   let final = Topo.create () in

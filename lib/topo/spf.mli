@@ -60,7 +60,13 @@ val valley_free_dist : Topo.t -> Domain.id -> int array
     Allocation-free apart from the result arrays: all scratch (BFS
     queue, Dijkstra heap and settled flags, valley-free phase table)
     lives in a reusable {!workspace}.  When [?ws] is omitted a fresh
-    workspace is allocated for the call. *)
+    workspace is allocated for the call.
+
+    Each kernel takes an optional [?alive] mask keyed by link id
+    (through [csr.eid]): a link whose entry is [false] is never relaxed,
+    so the kernels double as from-scratch oracles for trees maintained
+    under link failures.  An empty (or omitted) mask means every link is
+    alive. *)
 
 type workspace
 
@@ -68,18 +74,38 @@ val make_workspace : Topo.csr -> workspace
 (** Scratch sized for the given snapshot.  A workspace may be reused
     across snapshots; it grows as needed and is never shrunk. *)
 
-val bfs_csr : ?ws:workspace -> Topo.csr -> Domain.id -> paths
+val bfs_csr : ?ws:workspace -> ?alive:bool array -> Topo.csr -> Domain.id -> paths
 
-val dijkstra_csr : ?ws:workspace -> Topo.csr -> Domain.id -> weighted
+val dijkstra_csr : ?ws:workspace -> ?alive:bool array -> Topo.csr -> Domain.id -> weighted
 
-val valley_free_dist_csr : ?ws:workspace -> Topo.csr -> Domain.id -> int array
+val valley_free_dist_csr :
+  ?ws:workspace -> ?alive:bool array -> Topo.csr -> Domain.id -> int array
 
-(** {2 Source-keyed SPF cache}
+type vftree = {
+  vsrc : Domain.id;
+  vdist : int array;
+      (** per layered state [3 * node + phase] (phase 0 = Up, 1 = Peered,
+          2 = Down); [max_int] unreachable *)
+  vvia : int array;  (** predecessor {e state}; [-1] at the root / unreachable *)
+  vbest : int array;  (** per node: min over its three states — what
+                          {!valley_free_dist} reports *)
+}
+(** The full valley-free layered tree, kept (rather than just the
+    per-node minimum) so the incremental cache can repair it in place. *)
 
-    Memoizes {!bfs} results per source id over one frozen snapshot, so
-    harness code evaluating many groups on one topology never recomputes
-    a BFS it already ran.  The cache holds its own workspace.  Like the
-    snapshot it wraps, it must be rebuilt if the topology mutates. *)
+(** {2 Maintained SPF cache}
+
+    Memoizes BFS / Dijkstra / valley-free trees per source id over one
+    frozen snapshot — and {e maintains} them under link deltas instead
+    of invalidating.  {!cache_note_link} flips a link's alive bit and
+    ripple-repairs only the affected subtree of every filled slot:
+    restores seed a decrease-ripple from the link's endpoints, failures
+    cut the orphaned subtree and re-settle it from its intact boundary.
+    Wire it to the event stack with
+    [Net.on_link_change net (fun a b ~up -> Spf.cache_note_link cache ~a ~b ~up)].
+
+    Cached results are live views: a [paths] handed out earlier reflects
+    repairs applied later.  The cache holds its own workspace. *)
 
 type cache
 
@@ -97,10 +123,44 @@ val cache_csr : cache -> Topo.csr
 (** The snapshot this cache computes over. *)
 
 val bfs_cached : cache -> Domain.id -> paths
-(** [bfs] from the given source, computed at most once per cache. *)
+(** [bfs] from the given source, computed at most once per cache and
+    repaired in place across link deltas. *)
+
+val dijkstra_cached : cache -> Domain.id -> weighted
+
+val valley_free_cached : cache -> Domain.id -> int array
+(** The maintained equivalent of {!valley_free_dist}; the returned array
+    is the live [vbest] of {!valley_free_tree_cached}. *)
+
+val valley_free_tree_cached : cache -> Domain.id -> vftree
+
+val cache_note_link : cache -> a:Domain.id -> b:Domain.id -> up:bool -> unit
+(** Record that the link between [a] and [b] went down ([up:false]) or
+    came back ([up:true]) and repair every filled slot.  A pair that is
+    not a link of the snapshot, or a transition to the state the link is
+    already in, is a silent no-op. *)
+
+val cache_adopt : cache -> Topo.csr -> unit
+(** Move the cache onto a fresh snapshot of the {e same} graph after
+    links were appended ({!Topo.add_link} + {!Topo.freeze}): each
+    appended link is insert-repaired into every filled slot.  A snapshot
+    that is not the old graph plus appended links (nodes changed, links
+    rewritten) drops all maintained trees instead. *)
+
+val cache_link_alive : cache -> a:Domain.id -> b:Domain.id -> bool
+(** Current alive state of a link ([true] for unknown pairs). *)
+
+val cache_alive_mask : cache -> bool array
+(** The mask consumed by the [?alive] kernels; [[||]] means every link
+    is alive.  Shared, not copied — treat as read-only. *)
 
 val cache_stats : cache -> int * int
 (** [(hits, misses)] so far. *)
+
+val cache_repair_stats : cache -> int * int
+(** [(repairs, touched)]: link transitions that repaired at least one
+    maintained tree, and total labels rewritten doing so.  Mirrored by
+    the [spf.inc_repairs] / [spf.inc_touched] counters. *)
 
 (** {2 List-based reference kernels}
 

@@ -18,18 +18,27 @@ type t = {
   mutable adj : (Domain.id * link) list array;
       (** per-node: (neighbor, link), in REVERSE insertion order (cons on
           add); public accessors restore insertion order *)
-  mutable links_rev : link list;
+  mutable linkv_dyn : link array;
+      (** links in insertion order; first [link_n] slots are live.  Kept
+          as a growable array (not a list) so {!freeze} snapshots the
+          link table with one [Array.sub] instead of an O(m) list
+          reversal — the dirty-range fast path of re-memoization. *)
   mutable link_n : int;
   by_name : (string, Domain.id) Hashtbl.t;
   mutable frozen : csr option;  (** memoized snapshot, cleared on mutation *)
 }
+
+(* How often a mutated graph actually pays for a CSR rebuild; the
+   incremental SPF layer's savings show up as this staying flat while
+   link-churn counters climb. *)
+let m_csr_rebuilds = Metrics.counter "topo.csr_rebuilds"
 
 let create () =
   {
     doms = [||];
     n = 0;
     adj = [||];
-    links_rev = [];
+    linkv_dyn = [||];
     link_n = 0;
     by_name = Hashtbl.create 64;
     frozen = None;
@@ -84,7 +93,13 @@ let add_link ?(delay = Time.seconds 0.010) t a b rel =
   let l = { a; b; rel; delay } in
   t.adj.(a) <- (b, l) :: t.adj.(a);
   t.adj.(b) <- (a, l) :: t.adj.(b);
-  t.links_rev <- l :: t.links_rev;
+  let cap = Array.length t.linkv_dyn in
+  if t.link_n = cap then begin
+    let grown = Array.make (if cap = 0 then 16 else 2 * cap) l in
+    Array.blit t.linkv_dyn 0 grown 0 t.link_n;
+    t.linkv_dyn <- grown
+  end;
+  t.linkv_dyn.(t.link_n) <- l;
   t.link_n <- t.link_n + 1;
   t.frozen <- None
 
@@ -127,7 +142,7 @@ let peers_of t id =
       | Provider_customer -> None)
     (List.rev t.adj.(id))
 
-let links t = List.rev t.links_rev
+let links t = Array.to_list (Array.sub t.linkv_dyn 0 t.link_n)
 
 let edge_up = 0
 let edge_peer = 1
@@ -137,8 +152,9 @@ let freeze t =
   match t.frozen with
   | Some c -> c
   | None ->
+      Metrics.incr m_csr_rebuilds;
       let n = t.n in
-      let linkv = Array.of_list (List.rev t.links_rev) in
+      let linkv = Array.sub t.linkv_dyn 0 t.link_n in
       let m = 2 * Array.length linkv in
       let row = Array.make (n + 1) 0 in
       Array.iter

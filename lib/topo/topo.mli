@@ -69,7 +69,10 @@ val adjacency : t -> Domain.id -> (Domain.id * link) list
 val freeze : t -> csr
 (** The current graph as a CSR snapshot.  Memoized: repeated calls on an
     unmodified graph return the same snapshot; any mutation invalidates
-    the memo (but never the snapshots already handed out). *)
+    the memo (but never the snapshots already handed out).  Each actual
+    rebuild bumps the [topo.csr_rebuilds] counter (visible in
+    [--metrics]); the link table is kept as a flat array so a rebuild
+    re-snapshots it with one copy rather than walking a list. *)
 
 val degree : t -> Domain.id -> int
 

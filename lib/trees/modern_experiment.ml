@@ -1,0 +1,323 @@
+type mode = Incremental | Scratch
+
+type params = {
+  domains : int;
+  groups : int;
+  roots : int;
+  events : int;
+  link_every : int;
+  join_bias : float;
+  trials : int;
+  seed : int;
+  mode : mode;
+  jobs : int;
+}
+
+let default_params =
+  {
+    domains = 2000;
+    groups = 200;
+    roots = 8;
+    events = 4000;
+    link_every = 500;
+    join_bias = 0.55;
+    trials = 2;
+    seed = 1998;
+    mode = Incremental;
+    jobs = 0;
+  }
+
+type checkpoint = {
+  ck_events : int;
+  ck_members : float;
+  ck_entries : float;
+  ck_max_router : float;
+  ck_stateful : float;
+  ck_grib : float;
+}
+
+type result = {
+  r_domains : int;
+  r_links : int;
+  checkpoints : checkpoint list;
+  joins : int;
+  leaves : int;
+  skipped : int;
+  link_events : int;
+  repairs : int;
+  touched : int;
+  spf_seconds : float;
+  spf_bytes : float;
+}
+
+(* The same transit-stub shape solver as [Tree_experiment]: 8 backbones,
+   11 stubs per regional, regionals sized to land near the target. *)
+let make_topology ~rng ~domains =
+  let backbones = 8 in
+  let regionals = max 1 (domains / (backbones * 12)) in
+  Gen.transit_stub ~rng ~backbones ~regionals_per_backbone:regionals ~stubs_per_regional:11
+
+(* What one trial reports back.  Everything is an int (or a sum of
+   ints) drawn from the trial's own (seed, trial) streams, so the
+   reduce is byte-identical at any job count; the two float fields are
+   timing/allocation telemetry that never reaches stdout. *)
+type trial_out = {
+  o_live : int array;  (* per checkpoint *)
+  o_entries : int array;
+  o_maxr : int array;
+  o_stateful : int array;
+  o_grib : int array;
+  o_joins : int;
+  o_leaves : int;
+  o_skipped : int;
+  o_linkev : int;
+  o_repairs : int;
+  o_touched : int;
+  o_spf_s : float;
+  o_spf_b : float;
+}
+
+let run p =
+  if p.roots < 1 then invalid_arg "Modern_experiment: need at least one root";
+  if p.trials < 1 then invalid_arg "Modern_experiment: need at least one trial";
+  let rng = Rng.create p.seed in
+  let topo = Prof.span "fig4m.topology" (fun () -> make_topology ~rng ~domains:p.domains) in
+  let n = Topo.domain_count topo in
+  let csr = Topo.freeze topo in
+  let nlinks = Array.length csr.Topo.linkv in
+  let nroots = min p.roots n in
+  let roots_arr = Array.init nroots (fun i -> i * n / nroots) in
+  (* Link churn toggles peer links: provider chains stay up, so stubs
+     keep a route to their own cone while transit diversity flaps. *)
+  let cands =
+    let acc = ref [] in
+    Array.iteri
+      (fun lid l -> if l.Topo.rel = Topo.Peer then acc := (lid, l.Topo.a, l.Topo.b) :: !acc)
+      csr.Topo.linkv;
+    Array.of_list (List.rev !acc)
+  in
+  let cks =
+    if p.events <= 0 then [||]
+    else begin
+      let raw = Array.init 10 (fun k -> p.events * (k + 1) / 10) in
+      let out = ref [] in
+      Array.iter (fun e -> if e > 0 && (match !out with x :: _ -> x <> e | [] -> true) then out := e :: !out) raw;
+      Array.of_list (List.rev !out)
+    end
+  in
+  let ncks = Array.length cks in
+  let run_trial ws trial =
+    let churn =
+      Membership.group_churn ~seed:p.seed ~shard:trial ~domains:n ~groups:p.groups
+        ~join_bias:p.join_bias ~events:p.events ()
+    in
+    let lrng = Rng.create (p.seed lxor ((trial + 1) * 0x51ED2705)) in
+    let arena = Tree_arena.create ~initial:1024 ~domains:n () in
+    let grib = Grib_arena.create ~initial:256 ~domains:n () in
+    let handles = Array.make (max 1 p.events) (-1) in
+    (* Mode plumbing: both serve the same maintained-tree queries; they
+       differ only in what a link toggle costs. *)
+    let cache = Spf.make_cache_csr ~ws csr in
+    let scratch_alive = if p.mode = Scratch then Array.make (max 1 nlinks) true else [||] in
+    let scratch_trees : Spf.paths option array =
+      if p.mode = Scratch then Array.make n None else [||]
+    in
+    let get_tree root =
+      match p.mode with
+      | Incremental -> Spf.bfs_cached cache root
+      | Scratch -> (
+          match scratch_trees.(root) with
+          | Some t -> t
+          | None ->
+              let t = Spf.bfs_csr ~ws ~alive:scratch_alive csr root in
+              scratch_trees.(root) <- Some t;
+              t)
+    in
+    let spf_s = ref 0.0 and spf_b = ref 0.0 in
+    let apply_toggle lid a b up =
+      let t0 = Sys.time () in
+      let b0 = Gc.allocated_bytes () in
+      (match p.mode with
+      | Incremental -> Spf.cache_note_link cache ~a ~b ~up
+      | Scratch ->
+          scratch_alive.(lid) <- up;
+          (* the retired pattern: invalidate everything, recompute every
+             tree anyone is using *)
+          Array.iteri
+            (fun r t ->
+              match t with
+              | Some _ -> scratch_trees.(r) <- Some (Spf.bfs_csr ~ws ~alive:scratch_alive csr r)
+              | None -> ())
+            scratch_trees);
+      spf_s := !spf_s +. (Sys.time () -. t0);
+      spf_b := !spf_b +. (Gc.allocated_bytes () -. b0)
+    in
+    let cand_up = Array.make (max 1 (Array.length cands)) true in
+    let joins = ref 0 and leaves = ref 0 and skipped = ref 0 and linkev = ref 0 in
+    let live = ref 0 in
+    let o_live = Array.make ncks 0
+    and o_entries = Array.make ncks 0
+    and o_maxr = Array.make ncks 0
+    and o_stateful = Array.make ncks 0
+    and o_grib = Array.make ncks 0 in
+    let next_ck = ref 0 in
+    let buf = ref (Array.make 64 0) in
+    let sample () =
+      let k = !next_ck in
+      o_live.(k) <- !live;
+      o_entries.(k) <- Tree_arena.entries arena;
+      o_grib.(k) <- Grib_arena.entries grib;
+      let mx = ref 0 and st = ref 0 in
+      for v = 0 to n - 1 do
+        let e = Tree_arena.node_entries arena v in
+        if e > 0 then incr st;
+        if e > !mx then mx := e
+      done;
+      o_maxr.(k) <- !mx;
+      o_stateful.(k) <- !st;
+      next_ck := k + 1
+    in
+    Array.iteri
+      (fun i ev ->
+        (if ev.Membership.join then begin
+           let ri = ev.Membership.group mod nroots in
+           let root = roots_arr.(ri) in
+           let tree = get_tree root in
+           let m = ev.Membership.node in
+           if tree.Spf.dist.(m) = max_int then incr skipped
+           else begin
+             let len = tree.Spf.dist.(m) + 1 in
+             if len > Array.length !buf then buf := Array.make (2 * len) 0;
+             let v = ref m in
+             for j = 0 to len - 1 do
+               !buf.(j) <- !v;
+               (* install the group-range route the first time any
+                  member's state touches this router *)
+               if not (Grib_arena.mem grib ~group:ri ~node:!v) then
+                 Grib_arena.set grib ~group:ri ~node:!v tree.Spf.via.(!v);
+               v := tree.Spf.via.(!v)
+             done;
+             let path = Array.sub !buf 0 len in
+             handles.(ev.Membership.seq) <- Tree_arena.join arena ~group:ev.Membership.group ~path;
+             incr joins;
+             incr live
+           end
+         end
+         else begin
+           let h = handles.(ev.Membership.join_ref) in
+           if h >= 0 then begin
+             Tree_arena.leave arena ~group:ev.Membership.group h;
+             handles.(ev.Membership.join_ref) <- -1;
+             incr leaves;
+             decr live
+           end
+         end);
+        (if p.link_every > 0 && Array.length cands > 0 && (i + 1) mod p.link_every = 0 then begin
+           let j = Rng.int lrng (Array.length cands) in
+           let lid, a, b = cands.(j) in
+           let up = not cand_up.(j) in
+           cand_up.(j) <- up;
+           apply_toggle lid a b up;
+           incr linkev
+         end);
+        if !next_ck < ncks && i + 1 = cks.(!next_ck) then sample ())
+      churn;
+    let repairs, touched =
+      match p.mode with Incremental -> Spf.cache_repair_stats cache | Scratch -> (0, 0)
+    in
+    {
+      o_live;
+      o_entries;
+      o_maxr;
+      o_stateful;
+      o_grib;
+      o_joins = !joins;
+      o_leaves = !leaves;
+      o_skipped = !skipped;
+      o_linkev = !linkev;
+      o_repairs = repairs;
+      o_touched = touched;
+      o_spf_s = !spf_s;
+      o_spf_b = !spf_b;
+    }
+  in
+  let jobs = if p.jobs = 0 then None else Some p.jobs in
+  let trial_ids = List.init p.trials (fun t -> t) in
+  let outs =
+    Par.map_with ?jobs
+      ~init:(fun () -> Spf.make_workspace csr)
+      (fun ws trial ->
+        Par.with_shard (fun () -> Prof.span "fig4m.trial" (fun () -> run_trial ws trial)))
+      trial_ids
+  in
+  (* Reduce in trial order: shard folding and float accumulation are
+     scheduling-independent. *)
+  let joins = ref 0
+  and leaves = ref 0
+  and skipped = ref 0
+  and linkev = ref 0
+  and repairs = ref 0
+  and touched = ref 0 in
+  let spf_s = ref 0.0 and spf_b = ref 0.0 in
+  let sum_live = Array.make ncks 0
+  and sum_entries = Array.make ncks 0
+  and sum_maxr = Array.make ncks 0
+  and sum_stateful = Array.make ncks 0
+  and sum_grib = Array.make ncks 0 in
+  List.iter
+    (fun (o, shard) ->
+      Par.merge_shard shard;
+      joins := !joins + o.o_joins;
+      leaves := !leaves + o.o_leaves;
+      skipped := !skipped + o.o_skipped;
+      linkev := !linkev + o.o_linkev;
+      repairs := !repairs + o.o_repairs;
+      touched := !touched + o.o_touched;
+      spf_s := !spf_s +. o.o_spf_s;
+      spf_b := !spf_b +. o.o_spf_b;
+      for k = 0 to ncks - 1 do
+        sum_live.(k) <- sum_live.(k) + o.o_live.(k);
+        sum_entries.(k) <- sum_entries.(k) + o.o_entries.(k);
+        sum_maxr.(k) <- sum_maxr.(k) + o.o_maxr.(k);
+        sum_stateful.(k) <- sum_stateful.(k) + o.o_stateful.(k);
+        sum_grib.(k) <- sum_grib.(k) + o.o_grib.(k)
+      done)
+    outs;
+  let t = float_of_int p.trials in
+  let checkpoints =
+    List.init ncks (fun k ->
+        {
+          ck_events = cks.(k);
+          ck_members = float_of_int sum_live.(k) /. t;
+          ck_entries = float_of_int sum_entries.(k) /. t;
+          ck_max_router = float_of_int sum_maxr.(k) /. t;
+          ck_stateful = float_of_int sum_stateful.(k) /. t;
+          ck_grib = float_of_int sum_grib.(k) /. t;
+        })
+  in
+  {
+    r_domains = n;
+    r_links = nlinks;
+    checkpoints;
+    joins = !joins;
+    leaves = !leaves;
+    skipped = !skipped;
+    link_events = !linkev;
+    repairs = !repairs;
+    touched = !touched;
+    spf_seconds = !spf_s;
+    spf_bytes = !spf_b;
+  }
+
+let pp_summary ppf r =
+  Format.fprintf ppf "--- fig4-modern state vs members ---@.";
+  Format.fprintf ppf "%8s %10s %12s %9s %9s %10s@." "events" "members" "entries" "max/rtr"
+    "routers" "grib";
+  List.iter
+    (fun ck ->
+      Format.fprintf ppf "%8d %10.1f %12.1f %9.1f %9.1f %10.1f@." ck.ck_events ck.ck_members
+        ck.ck_entries ck.ck_max_router ck.ck_stateful ck.ck_grib)
+    r.checkpoints;
+  Format.fprintf ppf
+    "totals: %d joins, %d leaves, %d unreachable, %d link events, %d repairs touching %d labels@."
+    r.joins r.leaves r.skipped r.link_events r.repairs r.touched

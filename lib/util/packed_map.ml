@@ -1,0 +1,131 @@
+type t = {
+  mutable keys : int array;  (* -1 = empty slot *)
+  mutable vals : int array;
+  mutable len : int;
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable shift : int;  (* 62 - log2 capacity, for multiply-shift *)
+}
+
+(* Fixed odd multiplier (splitmix64's golden-gamma); the home slot is
+   the high bits of [k * mult], which mixes far better than the low
+   bits for the near-sequential packed keys the arenas produce. *)
+let mult = 0x2545F4914F6CDD1D
+
+let home t k = (k * mult) lsr t.shift land t.mask
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
+
+let make_table cap = (Array.make cap (-1), Array.make cap 0)
+
+let create ?(initial = 16) () =
+  let cap = ref 16 in
+  while !cap * 7 / 10 < initial do
+    cap := !cap * 2
+  done;
+  let keys, vals = make_table !cap in
+  { keys; vals; len = 0; mask = !cap - 1; shift = 62 - log2 !cap }
+
+let length t = t.len
+
+let capacity t = t.mask + 1
+
+let find t k =
+  let i = ref (home t k) in
+  let r = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    let kk = t.keys.(!i) in
+    if kk = k then begin
+      r := t.vals.(!i);
+      continue := false
+    end
+    else if kk = -1 then continue := false
+    else i := (!i + 1) land t.mask
+  done;
+  !r
+
+let mem t k = find t k >= 0
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = 2 * (t.mask + 1) in
+  let keys, vals = make_table cap in
+  t.keys <- keys;
+  t.vals <- vals;
+  t.mask <- cap - 1;
+  t.shift <- 62 - log2 cap;
+  Array.iteri
+    (fun s k ->
+      if k >= 0 then begin
+        let i = ref (home t k) in
+        while t.keys.(!i) >= 0 do
+          i := (!i + 1) land t.mask
+        done;
+        t.keys.(!i) <- k;
+        t.vals.(!i) <- old_vals.(s)
+      end)
+    old_keys
+
+let set t k v =
+  if k < 0 || v < 0 then invalid_arg "Packed_map.set: negative key or value";
+  if (t.len + 1) * 10 > (t.mask + 1) * 7 then grow t;
+  let i = ref (home t k) in
+  let continue = ref true in
+  while !continue do
+    let kk = t.keys.(!i) in
+    if kk = k then begin
+      t.vals.(!i) <- v;
+      continue := false
+    end
+    else if kk = -1 then begin
+      t.keys.(!i) <- k;
+      t.vals.(!i) <- v;
+      t.len <- t.len + 1;
+      continue := false
+    end
+    else i := (!i + 1) land t.mask
+  done
+
+let remove t k =
+  let i = ref (home t k) in
+  let found = ref false in
+  let continue = ref true in
+  while !continue do
+    let kk = t.keys.(!i) in
+    if kk = k then begin
+      found := true;
+      continue := false
+    end
+    else if kk = -1 then continue := false
+    else i := (!i + 1) land t.mask
+  done;
+  if !found then begin
+    t.len <- t.len - 1;
+    (* Backward-shift: walk the probe cluster after the hole; any entry
+       whose home position lies at or before the hole (cyclically) is
+       moved into it, re-opening the hole further down. *)
+    let hole = ref !i in
+    let s = ref ((!i + 1) land t.mask) in
+    let scanning = ref true in
+    while !scanning do
+      let kk = t.keys.(!s) in
+      if kk = -1 then scanning := false
+      else begin
+        let h = home t kk in
+        if (!s - h) land t.mask >= (!s - !hole) land t.mask then begin
+          t.keys.(!hole) <- kk;
+          t.vals.(!hole) <- t.vals.(!s);
+          hole := !s
+        end;
+        s := (!s + 1) land t.mask
+      end
+    done;
+    t.keys.(!hole) <- -1
+  end
+
+let iter f t =
+  Array.iteri (fun s k -> if k >= 0 then f k t.vals.(s)) t.keys
+
+let clear t =
+  Array.fill t.keys 0 (t.mask + 1) (-1);
+  t.len <- 0

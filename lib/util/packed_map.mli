@@ -1,0 +1,44 @@
+(** Open-addressed int-to-int hash map with flat array storage.
+
+    The compact-state backbone: keys and values are nonnegative ints
+    packed into two parallel arrays, so a map of N entries costs ~2N
+    words at 70% load — no per-entry blocks, no boxing, no GC pressure
+    beyond the occasional table doubling.  Arena layers (per-router
+    G-RIB and BGMP tree state) pack their (group, node) coordinates
+    into one key and build on this.
+
+    Linear probing with multiply-shift hashing; deletion is
+    backward-shift (no tombstones), so lookup cost stays bounded by
+    load factor regardless of churn history. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** [initial] is a capacity hint (entries, not slots); the table grows
+    as needed regardless. *)
+
+val length : t -> int
+(** Live entries. *)
+
+val capacity : t -> int
+(** Current slot count — [2 * capacity] words of storage. *)
+
+val find : t -> int -> int
+(** The value bound to the key, or [-1] when absent.  Keys and values
+    must be nonnegative ([-1] is the absence sentinel). *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** Insert or overwrite.  @raise Invalid_argument on a negative key or
+    value. *)
+
+val remove : t -> int -> unit
+(** No-op when absent. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** Iteration order is the internal slot order — deterministic for a
+    given insertion/removal history, but otherwise unspecified. *)
+
+val clear : t -> unit
+(** Drop every entry, keeping the allocated table. *)

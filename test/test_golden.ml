@@ -243,6 +243,25 @@ let suite =
       check_stdout_jobs_invariant
         ~args:"beacon --domains 8 --per-domain 1 --probes 2 --trials 3 --loss 0.05"
         ~jobs:[ 1; 4; 8 ] );
+    ( "fig4-modern summary",
+      `Quick,
+      check_figure
+        ~args:"fig4-modern --domains 600 --groups 50 --events 1500 --trials 2"
+        ~golden:"fig4_modern_summary.txt" );
+    ( "fig4-modern summary --jobs 4",
+      `Quick,
+      check_figure
+        ~args:"fig4-modern --domains 600 --groups 50 --events 1500 --trials 2 --jobs 4"
+        ~golden:"fig4_modern_summary.txt" );
+    ( "fig4-modern metrics identical across jobs",
+      `Quick,
+      check_metrics_jobs_invariant
+        ~args:"fig4-modern --summary --domains 600 --groups 50 --events 1500 --trials 2" );
+    ( "fig4-modern fingerprint identical across jobs",
+      `Quick,
+      check_fingerprint_jobs_invariant
+        ~args:"fig4-modern --summary --domains 600 --groups 50 --events 1500 --trials 2"
+        ~jobs:[ 1; 4 ] );
     ( "fig2 metric keys",
       `Quick,
       check_metric_keys ~args:"fig2 --summary --days 30" ~golden:"fig2_metrics_keys.txt" );

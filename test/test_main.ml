@@ -11,6 +11,7 @@ let () =
       ("net", Test_net.suite);
       ("topo", Test_topo.suite);
       ("spf_equiv", Test_spf_equiv.suite);
+      ("spf_inc", Test_spf_inc.suite);
       ("bgp", Test_bgp.suite);
       ("masc", Test_masc.suite);
       ("migp", Test_migp.suite);

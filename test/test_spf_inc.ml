@@ -1,0 +1,284 @@
+(* Differential tests for the maintained SPF cache — randomized seeded
+   fail/restore schedules, asserting after every delta that the
+   in-place-repaired trees match the from-scratch masked kernels — plus
+   the arena-backed state representations (Packed_map, Grib_arena,
+   Tree_arena) against naive oracles. *)
+
+let check = Alcotest.check
+let int_array = Alcotest.array Alcotest.int
+
+let topologies seed =
+  let pl = Gen.power_law ~rng:(Rng.create seed) ~n:180 ~m:2 in
+  let ts =
+    Gen.transit_stub ~rng:(Rng.create seed) ~backbones:3 ~regionals_per_backbone:4
+      ~stubs_per_regional:5
+  in
+  [ ("power_law", pl); ("transit_stub", ts) ]
+
+(* Does the snapshot hold an alive edge between [u] and [v]? *)
+let edge_alive csr alive u v =
+  let found = ref false in
+  for k = csr.Topo.row.(u) to csr.Topo.row.(u + 1) - 1 do
+    if
+      csr.Topo.nbr.(k) = v
+      && (Array.length alive = 0 || alive.(csr.Topo.eid.(k)))
+    then found := true
+  done;
+  !found
+
+(* A repaired BFS tree need not pick the oracle's parents (ties break
+   by repair order), so assert the strong property that holds: equal
+   dist everywhere, and every parent edge is alive and one hop
+   closer. *)
+let assert_bfs name csr alive (oracle : Spf.paths) (p : Spf.paths) =
+  check int_array (name ^ " dist") oracle.Spf.dist p.Spf.dist;
+  for v = 0 to csr.Topo.csr_nodes - 1 do
+    if v <> p.Spf.src && p.Spf.dist.(v) <> max_int then begin
+      let u = p.Spf.via.(v) in
+      if u < 0 || not (edge_alive csr alive u v) then
+        Alcotest.failf "%s: via(%d)=%d is not an alive edge" name v u;
+      if p.Spf.dist.(u) + 1 <> p.Spf.dist.(v) then
+        Alcotest.failf "%s: via(%d)=%d is not one hop closer" name v u
+    end
+  done
+
+let assert_dijkstra name csr alive (oracle : Spf.weighted) (w : Spf.weighted) =
+  for v = 0 to csr.Topo.csr_nodes - 1 do
+    let ov = oracle.Spf.wdist.(v) and wv = w.Spf.wdist.(v) in
+    if ov = infinity || wv = infinity then begin
+      if ov <> wv then Alcotest.failf "%s: wdist(%d) reachability differs" name v
+    end
+    else if abs_float (ov -. wv) > 1e-9 then
+      Alcotest.failf "%s: wdist(%d) %.12g vs oracle %.12g" name v wv ov;
+    if v <> w.Spf.wsrc && wv <> infinity then begin
+      let u = w.Spf.wvia.(v) in
+      if u < 0 || not (edge_alive csr alive u v) then
+        Alcotest.failf "%s: wvia(%d)=%d is not an alive edge" name v u
+    end
+  done
+
+(* Warm every kind of tree for [srcs], then walk a seeded
+   fail/restore schedule; after every transition the maintained trees
+   must match from-scratch kernels run under the cache's own mask. *)
+let run_schedule ~name ~seed ~topo ~steps =
+  let csr = Topo.freeze topo in
+  let cache = Spf.make_cache_csr csr in
+  let n = csr.Topo.csr_nodes in
+  let nlinks = Array.length csr.Topo.linkv in
+  let rng = Rng.create seed in
+  let srcs = ref (List.init 3 (fun _ -> Rng.int rng n)) in
+  let warm s =
+    ignore (Spf.bfs_cached cache s);
+    ignore (Spf.dijkstra_cached cache s);
+    ignore (Spf.valley_free_cached cache s)
+  in
+  List.iter warm !srcs;
+  let verify step =
+    let alive = Spf.cache_alive_mask cache in
+    List.iter
+      (fun s ->
+        let tag k = Printf.sprintf "%s/step%d/src%d %s" name step s k in
+        assert_bfs (tag "bfs") csr alive (Spf.bfs_csr ~alive csr s) (Spf.bfs_cached cache s);
+        assert_dijkstra (tag "dijkstra") csr alive
+          (Spf.dijkstra_csr ~alive csr s)
+          (Spf.dijkstra_cached cache s);
+        check int_array (tag "valley-free")
+          (Spf.valley_free_dist_csr ~alive csr s)
+          (Spf.valley_free_cached cache s))
+      !srcs
+  in
+  for step = 1 to steps do
+    let l = csr.Topo.linkv.(Rng.int rng nlinks) in
+    let up = not (Spf.cache_link_alive cache ~a:l.Topo.a ~b:l.Topo.b) in
+    Spf.cache_note_link cache ~a:l.Topo.a ~b:l.Topo.b ~up;
+    (* Halfway through, demand a tree the cache has never seen: cold
+       builds under a partially failed mask must agree too. *)
+    if step = steps / 2 then begin
+      let s = Rng.int rng n in
+      if not (List.mem s !srcs) then begin
+        warm s;
+        srcs := s :: !srcs
+      end
+    end;
+    verify step
+  done;
+  let repairs, touched = Spf.cache_repair_stats cache in
+  if repairs = 0 then Alcotest.fail (name ^ ": schedule repaired nothing");
+  if touched = 0 then Alcotest.fail (name ^ ": repairs touched no labels")
+
+let test_incremental_matches_scratch () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (tname, topo) ->
+          run_schedule
+            ~name:(Printf.sprintf "%s/%d" tname seed)
+            ~seed:(seed * 13 + 5) ~topo ~steps:30)
+        (topologies seed))
+    [ 7; 42; 1998 ]
+
+let test_note_link_noops () =
+  let topo = Gen.power_law ~rng:(Rng.create 3) ~n:60 ~m:2 in
+  let cache = Spf.make_cache topo in
+  let base = Spf.bfs_cached cache 0 in
+  let d0 = Array.copy base.Spf.dist in
+  (* Unknown pair: not a link of the snapshot. *)
+  Spf.cache_note_link cache ~a:0 ~b:59 ~up:false;
+  Spf.cache_note_link cache ~a:0 ~b:0 ~up:false;
+  (* Transition to the state the link is already in. *)
+  let l = (Topo.freeze topo).Topo.linkv.(0) in
+  Spf.cache_note_link cache ~a:l.Topo.a ~b:l.Topo.b ~up:true;
+  check int_array "no-op deltas leave dist alone" d0 base.Spf.dist;
+  let repairs, touched = Spf.cache_repair_stats cache in
+  check Alcotest.int "no repairs recorded" 0 repairs;
+  check Alcotest.int "no labels touched" 0 touched
+
+let test_cache_adopt_appended_links () =
+  let rng = Rng.create 11 in
+  let topo = Gen.power_law ~rng ~n:120 ~m:2 in
+  let csr0 = Topo.freeze topo in
+  let cache = Spf.make_cache_csr csr0 in
+  List.iter (fun s -> ignore (Spf.bfs_cached cache s)) [ 0; 17; 60 ];
+  (* Fail one link first so adoption composes with a live mask. *)
+  let l = csr0.Topo.linkv.(5) in
+  Spf.cache_note_link cache ~a:l.Topo.a ~b:l.Topo.b ~up:false;
+  (* Append shortcut links (skipping pairs already linked) and adopt
+     the refrozen snapshot. *)
+  let seen = Hashtbl.create 256 in
+  let key a b = (min a b * 1024) + max a b in
+  List.iter (fun l -> Hashtbl.replace seen (key l.Topo.a l.Topo.b) ()) (Topo.links topo);
+  for _ = 1 to 6 do
+    let a = Rng.int rng 120 and b = Rng.int rng 120 in
+    if a <> b && not (Hashtbl.mem seen (key a b)) then begin
+      Hashtbl.replace seen (key a b) ();
+      Topo.add_link topo a b Topo.Peer
+    end
+  done;
+  let csr1 = Topo.freeze topo in
+  Spf.cache_adopt cache csr1;
+  check Alcotest.bool "cache moved onto the new snapshot" true (Spf.cache_csr cache == csr1);
+  check Alcotest.bool "failed link still down" false
+    (Spf.cache_link_alive cache ~a:l.Topo.a ~b:l.Topo.b);
+  let alive = Spf.cache_alive_mask cache in
+  List.iter
+    (fun s ->
+      assert_bfs
+        (Printf.sprintf "adopt src%d" s)
+        csr1 alive (Spf.bfs_csr ~alive csr1 s) (Spf.bfs_cached cache s))
+    [ 0; 17; 60 ]
+
+let test_cache_adopt_incompatible_drops () =
+  let topo = Gen.power_law ~rng:(Rng.create 19) ~n:80 ~m:2 in
+  let cache = Spf.make_cache topo in
+  ignore (Spf.bfs_cached cache 3);
+  (* A different graph entirely: adoption must fall back to dropping
+     every maintained tree, not mis-repair. *)
+  let other = Gen.power_law ~rng:(Rng.create 20) ~n:80 ~m:3 in
+  let csr = Topo.freeze other in
+  Spf.cache_adopt cache csr;
+  let p = Spf.bfs_cached cache 3 in
+  check int_array "rebuilt over the new graph" (Spf.bfs_csr csr 3).Spf.dist p.Spf.dist
+
+(* ---------------- arenas --------------------------------------------- *)
+
+let test_packed_map_oracle () =
+  let m = Packed_map.create ~initial:4 () in
+  let oracle = Hashtbl.create 64 in
+  let rng = Rng.create 2024 in
+  for _ = 1 to 5000 do
+    let k = Rng.int rng 700 in
+    match Rng.int rng 3 with
+    | 0 | 1 ->
+        let v = Rng.int rng 1000 in
+        Packed_map.set m k v;
+        Hashtbl.replace oracle k v
+    | _ ->
+        Packed_map.remove m k;
+        Hashtbl.remove oracle k
+  done;
+  check Alcotest.int "length" (Hashtbl.length oracle) (Packed_map.length m);
+  Hashtbl.iter
+    (fun k v -> check Alcotest.int (Printf.sprintf "find %d" k) v (Packed_map.find m k))
+    oracle;
+  for k = 0 to 699 do
+    if not (Hashtbl.mem oracle k) then begin
+      check Alcotest.int (Printf.sprintf "absent %d" k) (-1) (Packed_map.find m k);
+      check Alcotest.bool "mem" false (Packed_map.mem m k)
+    end
+  done;
+  Packed_map.clear m;
+  check Alcotest.int "clear" 0 (Packed_map.length m);
+  check Alcotest.int "find after clear" (-1) (Packed_map.find m 17)
+
+let test_packed_map_rejects_negative () =
+  let m = Packed_map.create () in
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Packed_map.set: negative key or value") (fun () ->
+      Packed_map.set m (-1) 0);
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Packed_map.set: negative key or value") (fun () ->
+      Packed_map.set m 0 (-1))
+
+let test_grib_arena () =
+  let g = Grib_arena.create ~initial:4 ~domains:10 () in
+  check Alcotest.int "empty" Grib_arena.no_entry (Grib_arena.find g ~group:0 ~node:0);
+  Grib_arena.set g ~group:0 ~node:3 7;
+  Grib_arena.set g ~group:5 ~node:3 2;
+  Grib_arena.set g ~group:5 ~node:9 (-1);
+  check Alcotest.int "hop" 7 (Grib_arena.find g ~group:0 ~node:3);
+  check Alcotest.int "root entry" (-1) (Grib_arena.find g ~group:5 ~node:9);
+  check Alcotest.int "entries" 3 (Grib_arena.entries g);
+  check Alcotest.int "node 3 holds two" 2 (Grib_arena.node_entries g 3);
+  Grib_arena.set g ~group:0 ~node:3 8;
+  check Alcotest.int "overwrite keeps count" 2 (Grib_arena.node_entries g 3);
+  check Alcotest.int "overwrite value" 8 (Grib_arena.find g ~group:0 ~node:3);
+  Grib_arena.remove g ~group:0 ~node:3;
+  check Alcotest.int "removed" Grib_arena.no_entry (Grib_arena.find g ~group:0 ~node:3);
+  check Alcotest.int "count decremented" 1 (Grib_arena.node_entries g 3);
+  check Alcotest.bool "storage is flat words" true (Grib_arena.storage_words g > 0)
+
+let test_tree_arena_refcounts () =
+  let t = Tree_arena.create ~domains:6 () in
+  let h1 = Tree_arena.join t ~group:4 ~path:[| 0; 1; 2 |] in
+  let h2 = Tree_arena.join t ~group:4 ~path:[| 0; 1; 3 |] in
+  check Alcotest.int "shared prefix refcount" 2 (Tree_arena.refs t ~group:4 ~node:1);
+  check Alcotest.int "leaf refcount" 1 (Tree_arena.refs t ~group:4 ~node:3);
+  check Alcotest.int "entries are distinct (group,node)" 4 (Tree_arena.entries t);
+  check Alcotest.int "router 1 holds one group" 1 (Tree_arena.node_entries t 1);
+  Tree_arena.leave t ~group:4 h1;
+  check Alcotest.int "prefix survives the other member" 1 (Tree_arena.refs t ~group:4 ~node:1);
+  check Alcotest.int "branch torn down" 0 (Tree_arena.refs t ~group:4 ~node:2);
+  check Alcotest.int "entries after leave" 3 (Tree_arena.entries t);
+  Alcotest.check_raises "handle spent"
+    (Invalid_argument "Tree_arena.leave: handle spent or group mismatch") (fun () ->
+      Tree_arena.leave t ~group:4 h1);
+  Alcotest.check_raises "group mismatch"
+    (Invalid_argument "Tree_arena.leave: handle spent or group mismatch") (fun () ->
+      Tree_arena.leave t ~group:5 h2);
+  Tree_arena.leave t ~group:4 h2;
+  check Alcotest.int "empty again" 0 (Tree_arena.entries t);
+  check Alcotest.int "router count drained" 0 (Tree_arena.node_entries t 1)
+
+let test_csr_rebuild_counter () =
+  let c = Metrics.counter "topo.csr_rebuilds" in
+  let topo = Gen.line ~n:6 in
+  let before = Metrics.count c in
+  ignore (Topo.freeze topo);
+  ignore (Topo.freeze topo);
+  check Alcotest.int "memoized freeze rebuilds once" (before + 1) (Metrics.count c);
+  Topo.add_link topo 0 5 Topo.Peer;
+  ignore (Topo.freeze topo);
+  check Alcotest.int "mutation forces one more rebuild" (before + 2) (Metrics.count c)
+
+let suite =
+  [
+    ("incremental matches from-scratch", `Quick, test_incremental_matches_scratch);
+    ("note_link no-ops", `Quick, test_note_link_noops);
+    ("cache adopts appended links", `Quick, test_cache_adopt_appended_links);
+    ("cache adopt incompatible drops", `Quick, test_cache_adopt_incompatible_drops);
+    ("packed map vs hashtbl oracle", `Quick, test_packed_map_oracle);
+    ("packed map rejects negatives", `Quick, test_packed_map_rejects_negative);
+    ("grib arena", `Quick, test_grib_arena);
+    ("tree arena refcounts", `Quick, test_tree_arena_refcounts);
+    ("csr rebuild counter", `Quick, test_csr_rebuild_counter);
+  ]

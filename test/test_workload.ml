@@ -164,6 +164,78 @@ let test_scenario_figure3_pim_sm () =
   check Alcotest.bool "no branch under PIM-SM" true
     (Scenario.figure3_branch_demo w ~before:[ 3 ] ~after:[ 3 ])
 
+let test_group_churn_deterministic () =
+  let gen shard =
+    Membership.group_churn ~seed:424242 ~shard ~domains:500 ~groups:40 ~events:2000 ()
+  in
+  let a = gen 3 and b = gen 3 in
+  Alcotest.(check int) "same length" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i ev ->
+      let ev' = b.(i) in
+      Alcotest.(check bool) "same event" true
+        (ev.Membership.seq = ev'.Membership.seq
+        && ev.Membership.group = ev'.Membership.group
+        && ev.Membership.node = ev'.Membership.node
+        && ev.Membership.join = ev'.Membership.join
+        && ev.Membership.join_ref = ev'.Membership.join_ref))
+    a
+
+let test_group_churn_shards_disjoint () =
+  (* Shard s draws group ids only from its own block, so parallel
+     trials mutate disjoint (group, router) state at any job count. *)
+  let groups = 40 in
+  List.iter
+    (fun shard ->
+      let evs =
+        Membership.group_churn ~seed:7 ~shard ~domains:300 ~groups ~events:1500 ()
+      in
+      Array.iter
+        (fun ev ->
+          if ev.Membership.group < shard * groups || ev.Membership.group >= (shard + 1) * groups
+          then
+            Alcotest.failf "shard %d drew group %d outside its block" shard ev.Membership.group)
+        evs)
+    [ 0; 1; 2; 5 ];
+  (* And different shards draw genuinely different streams. *)
+  let a = Membership.group_churn ~seed:7 ~shard:0 ~domains:300 ~groups ~events:1500 () in
+  let b = Membership.group_churn ~seed:7 ~shard:1 ~domains:300 ~groups ~events:1500 () in
+  let same = ref true in
+  Array.iteri
+    (fun i ev ->
+      if
+        ev.Membership.node <> b.(i).Membership.node
+        || ev.Membership.join <> b.(i).Membership.join
+      then same := false)
+    a;
+  Alcotest.(check bool) "shards are independent streams" false !same
+
+let test_group_churn_leaves_reference_live_joins () =
+  let evs = Membership.group_churn ~seed:99 ~shard:2 ~domains:200 ~groups:25 ~events:3000 () in
+  let live = Hashtbl.create 256 in
+  Array.iter
+    (fun ev ->
+      if ev.Membership.join then begin
+        Alcotest.(check int) "joins carry no back-reference" (-1) ev.Membership.join_ref;
+        Hashtbl.replace live ev.Membership.seq ev
+      end
+      else begin
+        match Hashtbl.find_opt live ev.Membership.join_ref with
+        | None ->
+            Alcotest.failf "leave %d references %d, which is not a live join" ev.Membership.seq
+              ev.Membership.join_ref
+        | Some j ->
+            Alcotest.(check int) "leave cancels the join's group" j.Membership.group
+              ev.Membership.group;
+            Alcotest.(check int) "leave cancels the join's member" j.Membership.node
+              ev.Membership.node;
+            Hashtbl.remove live ev.Membership.join_ref
+      end)
+    evs;
+  (* Some churn actually happened. *)
+  let leaves = Array.fold_left (fun n ev -> if ev.Membership.join then n else n + 1) 0 evs in
+  Alcotest.(check bool) "stream contains leaves" true (leaves > 0)
+
 let suite =
   [
     ("demand schedule ordering", `Quick, test_demand_schedule_ordering);
@@ -174,6 +246,9 @@ let suite =
     ("membership beacon plan", `Quick, test_membership_beacon_plan);
     ("membership clustered concentrated", `Quick, test_membership_clustered_is_concentrated);
     ("membership waves", `Quick, test_membership_waves);
+    ("group churn deterministic", `Quick, test_group_churn_deterministic);
+    ("group churn shards disjoint", `Quick, test_group_churn_shards_disjoint);
+    ("group churn leaves reference live joins", `Quick, test_group_churn_leaves_reference_live_joins);
     ("scenario figure1", `Quick, test_scenario_figure1);
     ("scenario figure3 branch", `Quick, test_scenario_figure3_branch);
     ("scenario figure3 under pim-sm", `Quick, test_scenario_figure3_pim_sm);
