@@ -16,10 +16,10 @@
    repeated whole; for the figures, the printed regeneration doubles as
    the warmup and the timed repeats run silently.
 
-   Besides the human-readable report, the harness writes BENCH_8.json
+   Besides the human-readable report, the harness writes BENCH_10.json
    (per-benchmark ns/run medians with min/max/spread, wall-clock
    medians for the figure regenerations, the micro-benchmark trajectory
-   against the BENCH_6.json baseline, the live invariant-check overhead
+   against the BENCH_9.json baseline, the live invariant-check overhead
    measured by running the Figure-4 experiment and a scaled Figure-2
    run with the checks off and on, the profiler's disabled- and
    enabled-path cost on the Figure-4 experiment with the per-kernel
@@ -31,10 +31,13 @@
    hundreds of domains, millions
    of probe messages through the BGMP data path under seeded loss and
    mid-window link churn, with probe throughput, the aggregate delivery
-   matrix, and the data-path profile rows — the convergence times the
-   watermarks report, and the metrics-registry counters accumulated
-   across the regenerations) into the working directory so successive
-   PRs can track the performance trajectory.
+   matrix, and the data-path profile rows — the fault-scenario
+   explorer's campaign throughput at --jobs 1 vs 8 with its shrink-run
+   counts and the invariant-oracle monitor's monitored-vs-plain cost,
+   the convergence times the watermarks report, and the
+   metrics-registry counters accumulated across the regenerations) into
+   the working directory so successive PRs can track the performance
+   trajectory.
 
    `--smoke` additionally gates on bench/perf_budget.json: scaled
    fig2/fig4 medians must stay under the checked-in budgets (~2.5x a
@@ -436,6 +439,55 @@ let beacon_soak () =
   (r, wall_s, throughput, rows)
 
 (* ------------------------------------------------------------------ *)
+(* Fault-scenario explorer                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Campaign throughput of the schedule explorer at --jobs 1 vs 8 —
+   each trial is a full protocol-stack run judged by the invariant
+   oracle, so schedules/s is the number that bounds how much fault
+   space a CI budget can cover — plus the oracle's own price: the same
+   empty-schedule run with the cadence invariant monitor off and on. *)
+
+let explore_budget = 24
+
+let explore_report () =
+  Format.printf "@.=== Fault-scenario explorer (%d schedules, --jobs 1 vs 8) ===@." explore_budget;
+  let ledger = Filename.temp_file "bench_explore" ".jsonl" in
+  let campaign jobs =
+    Explore.run_campaign
+      {
+        Explore.default_config with
+        Explore.budget = explore_budget;
+        seed = 7;
+        jobs = Some jobs;
+        ledger;
+      }
+  in
+  let s0 = campaign 1 in
+  (* the summary we report; doubles as the warmup *)
+  let j1 = timed_median (fun () -> ignore (campaign 1)) in
+  let j8 = timed_median (fun () -> ignore (campaign 8)) in
+  (try Sys.remove ledger with Sys_error _ -> ());
+  let tput (m : mstat) = if m.med > 0.0 then float_of_int explore_budget /. m.med else 0.0 in
+  let speedup = if j8.med > 0.0 then j1.med /. j8.med else 0.0 in
+  Format.printf
+    "campaign: --jobs 1 %.3f s (%.1f schedules/s), --jobs 8 %.3f s (%.1f schedules/s) — %.2fx@."
+    j1.med (tput j1) j8.med (tput j8) speedup;
+  Format.printf
+    "verdicts: %d pass, %d violation, %d non-convergence; %d shrink runs over %d \
+     counterexamples@."
+    s0.Explore.passed s0.Explore.violation s0.Explore.non_convergence s0.Explore.shrink_steps
+    (List.length (Explore.counterexamples s0.Explore.entries));
+  let orun monitor () = ignore (Oracle.run ~monitor ~seed:7 []) in
+  orun true ();
+  let on = timed_median (orun true) in
+  let off = timed_median (orun false) in
+  let pct = if off.med > 0.0 then (on.med -. off.med) /. off.med *. 100.0 else 0.0 in
+  Format.printf "oracle (empty schedule): %.3f s plain, %.3f s monitored: %+.1f%%@." off.med
+    on.med pct;
+  (s0, j1, j8, speedup, (off.med, on.med, pct))
+
+(* ------------------------------------------------------------------ *)
 (* Invariant-check overhead and convergence                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -499,9 +551,9 @@ let convergence_report () =
 (* Machine-readable results                                            *)
 (* ------------------------------------------------------------------ *)
 
-let json_file = "BENCH_9.json"
+let json_file = "BENCH_10.json"
 
-let baseline_file = "BENCH_8.json"
+let baseline_file = "BENCH_9.json"
 
 (* Entries of a results file, scanned with Str (no JSON dependency in
    the image). *)
@@ -688,7 +740,7 @@ let overhead_report micro =
     overhead_watchlist
 
 let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels
-    ~alloc ~fig4_modern ~rec_overhead ~fingerprints ~beacon ~convergence ~counters =
+    ~alloc ~fig4_modern ~rec_overhead ~fingerprints ~beacon ~explore ~convergence ~counters =
   let oc = open_out json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -854,6 +906,23 @@ let write_json ~micro ~figures ~parallel ~overhead ~inv_overhead ~prof_overhead 
         (if i = List.length soak_rows - 1 then "" else ","))
     soak_rows;
   out "    ]\n  },\n";
+  let xs, xj1, xj8, xspeedup, (xoff, xon, xpct) = explore in
+  let xtput (m : mstat) = if m.med > 0.0 then float_of_int explore_budget /. m.med else 0.0 in
+  out "  \"explore\": {\n";
+  out
+    "    \"budget\": %d, \"pass\": %d, \"violation\": %d, \"non_convergence\": %d, \
+     \"counterexamples\": %d, \"shrink_runs\": %d,\n"
+    explore_budget xs.Explore.passed xs.Explore.violation xs.Explore.non_convergence
+    (List.length (Explore.counterexamples xs.Explore.entries))
+    xs.Explore.shrink_steps;
+  out
+    "    \"jobs1_s\": %.3f, \"jobs8_s\": %.3f, \"speedup\": %.2f, \"schedules_per_s_jobs1\": \
+     %.2f, \"schedules_per_s_jobs8\": %.2f,\n"
+    xj1.med xj8.med xspeedup (xtput xj1) (xtput xj8);
+  out
+    "    \"oracle_plain_s\": %.3f, \"oracle_monitored_s\": %.3f, \"monitor_overhead_pct\": \
+     %.1f\n  },\n"
+    xoff xon xpct;
   out "  \"convergence\": [\n";
   List.iteri
     (fun i (name, v) ->
@@ -1046,6 +1115,74 @@ let smoke_beacon () =
   Format.printf
     "bench smoke: beacon matrix byte-identical at --jobs 1/4/8; wrote beacon_matrix.jsonl@."
 
+(* Explorer canary for `--smoke`: a seeded 25-schedule campaign over
+   the default 2x2 arena must find the partition canary (both top-level
+   MASC nodes first-fit-claiming 224.0.0.0/24 blind to each other),
+   shrink it to a single fault, and write a repro recording that names
+   the violated invariant and its blamed trace id; the ledger must be
+   byte-identical at --jobs 1/4/8.  explore_ledger.jsonl and
+   explore_repro/ land in the working directory (CI uploads them as
+   artifacts). *)
+let smoke_explore () =
+  let fail fmt = Format.kasprintf (fun m -> Format.eprintf "bench smoke: %s@." m; exit 1) fmt in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let mem needle hay =
+    try
+      ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+      true
+    with Not_found -> false
+  in
+  let run jobs ledger repro_dir =
+    Explore.run_campaign
+      {
+        Explore.default_config with
+        Explore.budget = 25;
+        seed = 7;
+        jobs = Some jobs;
+        ledger;
+        repro_dir;
+      }
+  in
+  let s, wall_s = timed (fun () -> run 1 "explore_ledger.jsonl" (Some "explore_repro")) in
+  Format.printf
+    "bench smoke: explore %d schedules, %d violations, %d non-convergence, %d shrink runs, %.2f \
+     s@."
+    s.Explore.total s.Explore.violation s.Explore.non_convergence s.Explore.shrink_steps wall_s;
+  if s.Explore.violation = 0 then fail "explore: the seeded partition canary was not found";
+  (match Explore.counterexamples s.Explore.entries with
+  | [] -> fail "explore: violations recorded but no counterexample ranked"
+  | (e : Ledger.entry) :: _ -> (
+      if not (List.mem "masc-sibling-overlap" e.Ledger.invariants) then
+        fail "explore: smallest counterexample does not blame masc-sibling-overlap";
+      if e.Ledger.min_faults <> Some 1 then
+        fail "explore: canary did not shrink to a single fault (min_faults = %s)"
+          (match e.Ledger.min_faults with Some n -> string_of_int n | None -> "none");
+      match e.Ledger.repro_recording with
+      | Some p when Sys.file_exists p ->
+          let recording = read_file p in
+          if not (mem "explore.violation" recording && mem "masc-sibling-overlap" recording) then
+            fail "explore: repro recording does not name the violated invariant";
+          if not (mem "claim:" recording) then
+            fail "explore: repro recording carries no blamed trace id"
+      | _ -> fail "explore: no repro recording written for the smallest counterexample"));
+  let want = read_file "explore_ledger.jsonl" in
+  List.iter
+    (fun jobs ->
+      let ledger = Printf.sprintf "explore_ledger_j%d.jsonl" jobs in
+      ignore (run jobs ledger (Some "explore_repro"));
+      let got = read_file ledger in
+      Sys.remove ledger;
+      if got <> want then fail "explore: ledger differs at --jobs %d" jobs)
+    [ 4; 8 ];
+  Format.printf
+    "bench smoke: explore ledger byte-identical at --jobs 1/4/8; wrote explore_ledger.jsonl and \
+     explore_repro/@."
+
 (* Cross-jobs fingerprint canary for `--smoke`: a scaled fig2, a small
    fig4 and a lossless beacon campaign must hash to the same
    event-stream fingerprint at --jobs 1/4/8 — shard records fold back
@@ -1116,8 +1253,10 @@ let smoke_fingerprint () =
    full Bechamel session.  The beacon canary then runs a lossless
    measurement campaign and checks the matrix is complete and
    jobs-invariant, the fingerprint canary asserts the flight recorder's
-   event-stream hash is byte-identical at --jobs 1/4/8, and the perf
-   gate above compares scaled fig2/fig4 medians against
+   event-stream hash is byte-identical at --jobs 1/4/8, the explorer
+   canary runs a seeded 25-schedule campaign that must find, shrink and
+   reproduce the partition canary with a jobs-invariant ledger, and the
+   perf gate above compares scaled fig2/fig4 medians against
    bench/perf_budget.json.  With `--profile`, the
    canary run is profiled and sampled: profile.jsonl and
    timeseries.jsonl land in the working directory (CI uploads them as
@@ -1165,7 +1304,8 @@ let run_smoke () =
      measured on a one-domain process. *)
   perf_gate ();
   smoke_beacon ();
-  smoke_fingerprint ()
+  smoke_fingerprint ();
+  smoke_explore ()
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then begin
@@ -1205,8 +1345,9 @@ let () =
   let fingerprints = fingerprint_report ~fig4_fp in
   let parallel = parallel_report () in
   let beacon = beacon_soak () in
+  let explore = explore_report () in
   let convergence = convergence_report () in
   write_json ~micro
     ~figures:[ fig2_stat; fig4_stat ]
     ~parallel ~overhead ~inv_overhead ~prof_overhead ~prof_kernels ~alloc ~fig4_modern
-    ~rec_overhead ~fingerprints ~beacon ~convergence ~counters
+    ~rec_overhead ~fingerprints ~beacon ~explore ~convergence ~counters

@@ -188,7 +188,8 @@ let run_fig4 check summary_only nodes trials topology seed sampling =
 
 (* ---------------- fig4-modern ---------------------------------------- *)
 
-let run_fig4_modern summary_only domains groups roots events link_every trials scratch seed jobs =
+let run_fig4_modern check summary_only domains groups roots events link_every trials scratch seed
+    jobs sampling =
   let mode = if scratch then Modern_experiment.Scratch else Modern_experiment.Incremental in
   let p =
     {
@@ -202,6 +203,8 @@ let run_fig4_modern summary_only domains groups roots events link_every trials s
       seed;
       mode;
       jobs;
+      check_invariants = check;
+      telemetry = Option.map fst sampling;
     }
   in
   Format.printf
@@ -221,7 +224,8 @@ let run_fig4_modern summary_only domains groups roots events link_every trials s
           ck.Modern_experiment.ck_members ck.Modern_experiment.ck_entries
           ck.Modern_experiment.ck_grib)
       r.Modern_experiment.checkpoints;
-  Modern_experiment.pp_summary Format.std_formatter r
+  Modern_experiment.pp_summary Format.std_formatter r;
+  if check then fail_on_violations "fig4-modern" r.Modern_experiment.invariant_violations
 
 (* ---------------- ablations ------------------------------------------ *)
 
@@ -1044,7 +1048,7 @@ let run_diff ppf a b =
       pp_chain_near ppf ("B = " ^ b) rb i;
       1
 
-let run_report profile timeseries metrics series fold matrix diff files =
+let run_report profile timeseries metrics series fold matrix triage diff files =
   let ppf = Format.std_formatter in
   (match (diff, files) with
   | false, [] -> ()
@@ -1056,6 +1060,18 @@ let run_report profile timeseries metrics series fold matrix diff files =
       Format.eprintf "report --diff: exactly two recording files required (got %d)@."
         (List.length files);
       exit 2);
+  (match triage with
+  | None -> ()
+  | Some file ->
+      if Sys.file_exists file then begin
+        Explore.pp_triage ppf ~ledger:file;
+        exit 0
+      end
+      else begin
+        Format.eprintf "report --triage: %s not found (produce it with the explore subcommand)@."
+          file;
+        exit 2
+      end);
   if Sys.file_exists profile then report_profile ppf profile fold
   else Format.fprintf ppf "profile %s: not found (produce it with --profile)@." profile;
   if Sys.file_exists timeseries then report_timeseries ppf timeseries series
@@ -1072,6 +1088,15 @@ let run_report profile timeseries metrics series fold matrix diff files =
       if Sys.file_exists file then report_matrix ppf file
       else
         Format.fprintf ppf "matrix %s: not found (produce it with beacon --matrix-out)@." file
+
+(* ---------------- explore -------------------------------------------- *)
+
+let run_explore budget max_faults seed ledger repro_dir =
+  let config =
+    { Explore.default_config with Explore.budget; max_faults; seed; ledger; repro_dir }
+  in
+  let s = Explore.run_campaign config in
+  Explore.pp_summary Format.std_formatter s
 
 (* ---------------- cmdliner wiring ------------------------------------ *)
 
@@ -1110,8 +1135,8 @@ let sample_arg =
           "Record sim-time telemetry series (pending events, per-protocol in-flight messages, \
            G-RIB size, outstanding claims, tree entries) as JSON lines to timeseries.jsonl, \
            sampled every $(docv) simulated seconds; inspect them with the $(b,report) \
-           subcommand.  fig2 samples at its figure cadence and fig4 once per group-size \
-           point, ignoring $(docv).")
+           subcommand.  fig2 samples at its figure cadence, fig4 once per group-size point \
+           and fig4-modern once per checkpoint, ignoring $(docv).")
 
 let record_arg =
   Arg.(
@@ -1263,13 +1288,13 @@ let fig4_modern_cmd =
   Cmd.v
     (Cmd.info "fig4-modern" ~doc)
     Term.(
-      const (fun obs jobs summary domains groups roots events link_every trials scratch seed ->
+      const (fun obs jobs check summary domains groups roots events link_every trials scratch seed ->
           Par.set_jobs jobs;
-          with_obs obs (fun _ ->
-              run_fig4_modern summary domains groups roots events link_every trials scratch seed
-                jobs))
-      $ obs_basic_term $ jobs_arg $ summary_flag $ domains $ groups $ roots $ events $ link_every
-      $ trials $ scratch $ seed_arg)
+          with_obs obs
+            (run_fig4_modern check summary domains groups roots events link_every trials scratch
+               seed jobs))
+      $ obs_term $ jobs_arg $ check_arg $ summary_flag $ domains $ groups $ roots $ events
+      $ link_every $ trials $ scratch $ seed_arg)
 
 let ablate_placement_cmd =
   Cmd.v
@@ -1423,6 +1448,53 @@ let trace_cmd =
       const (fun obs file id -> with_obs obs (fun _ -> run_trace file id))
       $ obs_basic_term $ file $ id)
 
+let explore_cmd =
+  let budget =
+    Arg.(
+      value & opt int 50
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Fault schedules to run: every single-fault schedule over the arena's links is \
+             enumerated first, then seeded random multi-fault episodes fill the rest of the \
+             budget.")
+  in
+  let max_faults =
+    Arg.(
+      value & opt int 6
+      & info [ "max-faults" ] ~docv:"K" ~doc:"Fault-step ceiling per sampled schedule.")
+  in
+  let ledger =
+    Arg.(
+      value
+      & opt string "explore_ledger.jsonl"
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Violation ledger: one JSON outcome record per schedule, written in trial order \
+             (byte-identical at any --jobs); triage it with $(b,report --triage).")
+  in
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:
+            "Re-run the smallest shrunk counterexamples sequentially with the flight recorder \
+             on, writing a replayable recording (compare with $(b,report --diff)) and a trace \
+             dump (inspect with $(b,trace)) per counterexample into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Fault-scenario explorer: search link-failure/partition/loss schedules against the \
+          invariant oracle (plus non-convergence watermarks), shrink every failure to a minimal \
+          counterexample, and append structured outcomes to a violation ledger (triage it with \
+          $(b,report --triage)).")
+    Term.(
+      const (fun obs jobs budget max_faults ledger repro_dir seed ->
+          Par.set_jobs jobs;
+          with_obs obs (fun _ -> run_explore budget max_faults seed ledger repro_dir))
+      $ obs_basic_term $ jobs_arg $ budget $ max_faults $ ledger $ repro_dir $ seed_arg)
+
 let report_cmd =
   let profile =
     Arg.(
@@ -1470,6 +1542,17 @@ let report_cmd =
             "Delivery-matrix JSONL to summarize (written by $(b,beacon --matrix-out)): \
              measurement timeline, aggregate summary, worst pairs.")
   in
+  let triage =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "triage" ] ~docv:"LEDGER"
+          ~doc:
+            "Triage an explorer violation ledger (written by $(b,explore)): bucket outcomes by \
+             verdict and by violated invariant, rank counterexamples by minimality, and print \
+             the blamed causal chain out of each top counterexample's repro trace.  Exclusive \
+             with the other report views.")
+  in
   let diff =
     Arg.(
       value & flag
@@ -1489,9 +1572,11 @@ let report_cmd =
        ~doc:
          "Summarize a run's observability artifacts: the per-phase wall-clock/allocation \
           breakdown from a --profile JSONL, sim-time telemetry series from a --sample JSONL, \
-          a --metrics JSON snapshot, a beacon delivery matrix — or diff two flight \
-          recordings.")
-    Term.(const run_report $ profile $ timeseries $ metrics $ series $ fold $ matrix $ diff $ files)
+          a --metrics JSON snapshot, a beacon delivery matrix, an explorer violation ledger \
+          (--triage) — or diff two flight recordings.")
+    Term.(
+      const run_report $ profile $ timeseries $ metrics $ series $ fold $ matrix $ triage $ diff
+      $ files)
 
 let main_cmd =
   let doc = "Experiments for the MASC/BGMP inter-domain multicast architecture (SIGCOMM 1998)." in
@@ -1509,6 +1594,7 @@ let main_cmd =
       baselines_cmd;
       beacon_cmd;
       soak_cmd;
+      explore_cmd;
       dot_cmd;
       trace_cmd;
       report_cmd;

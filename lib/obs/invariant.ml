@@ -4,11 +4,22 @@ type check = unit -> (string * string option) list
 
 type pred = { name : string; quiescent_only : bool; run : check }
 
-type t = { registry : Metrics.registry; mutable preds : pred list }
+(* Bounded retention of violations returned by [check]: the first
+   [seen_cap] survive, later ones only bump the counters.  Keeping the
+   head (not a sliding tail) means the *first* violation — the one a
+   caller wants to blame after a run — is always recoverable. *)
+let seen_cap = 64
+
+type t = {
+  registry : Metrics.registry;
+  mutable preds : pred list;
+  mutable seen : violation list;  (** first [seen_cap] violations, newest first *)
+  mutable n_seen : int;
+}
 
 let create ?registry () =
   let registry = match registry with Some r -> r | None -> Metrics.current () in
-  { registry; preds = [] }
+  { registry; preds = []; seen = []; n_seen = 0 }
 
 let register ?(quiescent_only = false) t ~name run =
   if List.exists (fun p -> p.name = name) t.preds then
@@ -19,19 +30,33 @@ let names t = List.map (fun p -> p.name) t.preds
 
 let check ?(quiescent = true) t =
   Metrics.incr (Metrics.counter ~registry:t.registry "invariant.checks");
-  List.concat_map
-    (fun p ->
-      if p.quiescent_only && not quiescent then []
-      else
-        let vs = p.run () in
-        (match vs with
-        | [] -> ()
-        | _ ->
-            let n = List.length vs in
-            Metrics.add (Metrics.counter ~registry:t.registry "invariant.violations") n;
-            Metrics.add (Metrics.counter ~registry:t.registry ("invariant.violations." ^ p.name)) n);
-        List.map (fun (detail, trace_id) -> { inv = p.name; detail; trace_id }) vs)
-    t.preds
+  let vs =
+    List.concat_map
+      (fun p ->
+        if p.quiescent_only && not quiescent then []
+        else
+          let vs = p.run () in
+          (match vs with
+          | [] -> ()
+          | _ ->
+              let n = List.length vs in
+              Metrics.add (Metrics.counter ~registry:t.registry "invariant.violations") n;
+              Metrics.add
+                (Metrics.counter ~registry:t.registry ("invariant.violations." ^ p.name))
+                n);
+          List.map (fun (detail, trace_id) -> { inv = p.name; detail; trace_id }) vs)
+      t.preds
+  in
+  List.iter
+    (fun v ->
+      if t.n_seen < seen_cap then begin
+        t.seen <- v :: t.seen;
+        t.n_seen <- t.n_seen + 1
+      end)
+    vs;
+  vs
+
+let violations_seen t = List.rev t.seen
 
 let pp_violation ppf v =
   match v.trace_id with

@@ -35,4 +35,11 @@ val check : ?quiescent:bool -> t -> violation list
     cadence check) skips [quiescent_only] predicates.  Default is
     [true]: check everything. *)
 
+val violations_seen : t -> violation list
+(** Violations returned by every {!check} so far, oldest first, capped
+    at a bounded ring of 64: the head of the history survives, so the
+    {e first} violation's detail and trace id are always recoverable
+    after a run without re-deriving them from metrics.  Counter
+    semantics ([invariant.violations.*]) are unchanged by retention. *)
+
 val pp_violation : Format.formatter -> violation -> unit

@@ -65,7 +65,11 @@ type counter = Pinned_c of ccell | Dyn_c of ccell binding
 
 type gauge = Pinned_g of gcell | Dyn_g of gcell binding
 
-type histogram = Pinned_h of hcell | Dyn_h of hcell binding
+(* The dynamic histogram handle must remember its creation limits:
+   re-resolving in a fresh registry (a Par shard) has to recreate the
+   cell with the *same* buckets, or the shard merge would reject it as
+   mismatched. *)
+type histogram = Pinned_h of hcell | Dyn_h of { blimits : float array option; hb : hcell binding }
 
 let counter_cell registry name =
   find_or_create registry name ~kind:"counter"
@@ -121,7 +125,7 @@ let histogram ?registry ?limits name =
   | Some r -> Pinned_h (histogram_cell ?limits r name)
   | None ->
       let r = current () in
-      Dyn_h { bname = name; bound = (r, histogram_cell ?limits r name) }
+      Dyn_h { blimits = limits; hb = { bname = name; bound = (r, histogram_cell ?limits r name) } }
 
 let resolve b cell_of =
   let r, cell = b.bound in
@@ -137,7 +141,9 @@ let ccell = function Pinned_c c -> c | Dyn_c b -> resolve b counter_cell
 
 let gcell = function Pinned_g g -> g | Dyn_g b -> resolve b gauge_cell
 
-let hcell = function Pinned_h h -> h | Dyn_h b -> resolve b (fun r n -> histogram_cell r n)
+let hcell = function
+  | Pinned_h h -> h
+  | Dyn_h { blimits; hb } -> resolve hb (fun r n -> histogram_cell ?limits:blimits r n)
 
 let incr c =
   let c = ccell c in

@@ -11,6 +11,8 @@ type params = {
   seed : int;
   mode : mode;
   jobs : int;
+  check_invariants : bool;
+  telemetry : Timeseries.t option;
 }
 
 let default_params =
@@ -25,6 +27,8 @@ let default_params =
     seed = 1998;
     mode = Incremental;
     jobs = 0;
+    check_invariants = false;
+    telemetry = None;
   }
 
 type checkpoint = {
@@ -46,6 +50,7 @@ type result = {
   link_events : int;
   repairs : int;
   touched : int;
+  invariant_violations : int;
   spf_seconds : float;
   spf_bytes : float;
 }
@@ -73,6 +78,7 @@ type trial_out = {
   o_linkev : int;
   o_repairs : int;
   o_touched : int;
+  o_violations : int;
   o_spf_s : float;
   o_spf_b : float;
 }
@@ -162,19 +168,48 @@ let run p =
     and o_grib = Array.make ncks 0 in
     let next_ck = ref 0 in
     let buf = ref (Array.make 64 0) in
+    (* Per-trial sanity predicates over the arena state, counted into
+       the trial's shard (same reason each trial owns its SPF cache):
+       the arena's global entry counter must agree with the per-router
+       sum, live memberships must balance joins minus leaves, and the
+       G-RIB can only grow (this experiment never withdraws a
+       group-range route) up to its (root-range x router) ceiling. *)
+    let invariants = Invariant.create () in
+    let pending = ref [] in
+    Invariant.register invariants ~name:"state-accounting" (fun () -> !pending);
+    let prev_grib = ref 0 in
+    let flag fmt = Printf.ksprintf (fun s -> pending := (s, None) :: !pending) fmt in
     let sample () =
       let k = !next_ck in
       o_live.(k) <- !live;
       o_entries.(k) <- Tree_arena.entries arena;
       o_grib.(k) <- Grib_arena.entries grib;
-      let mx = ref 0 and st = ref 0 in
+      let mx = ref 0 and st = ref 0 and tot = ref 0 in
       for v = 0 to n - 1 do
         let e = Tree_arena.node_entries arena v in
+        tot := !tot + e;
         if e > 0 then incr st;
         if e > !mx then mx := e
       done;
       o_maxr.(k) <- !mx;
       o_stateful.(k) <- !st;
+      if p.check_invariants then begin
+        if !tot <> o_entries.(k) then
+          flag "checkpoint %d: arena counter %d <> per-router sum %d" cks.(k) o_entries.(k) !tot;
+        if !live <> !joins - !leaves then
+          flag "checkpoint %d: %d live members <> %d joins - %d leaves" cks.(k) !live !joins
+            !leaves;
+        if !live = 0 && o_entries.(k) <> 0 then
+          flag "checkpoint %d: %d forwarding entries left with no live member" cks.(k)
+            o_entries.(k);
+        if o_grib.(k) < !prev_grib then
+          flag "checkpoint %d: G-RIB shrank %d -> %d (routes are never withdrawn)" cks.(k)
+            !prev_grib o_grib.(k);
+        if o_grib.(k) > nroots * n then
+          flag "checkpoint %d: G-RIB %d exceeds %d ranges x %d routers" cks.(k) o_grib.(k) nroots
+            n;
+        prev_grib := o_grib.(k)
+      end;
       next_ck := k + 1
     in
     Array.iteri
@@ -225,6 +260,9 @@ let run p =
     let repairs, touched =
       match p.mode with Incremental -> Spf.cache_repair_stats cache | Scratch -> (0, 0)
     in
+    let violations =
+      if p.check_invariants then List.length (Invariant.check ~quiescent:false invariants) else 0
+    in
     {
       o_live;
       o_entries;
@@ -237,6 +275,7 @@ let run p =
       o_linkev = !linkev;
       o_repairs = repairs;
       o_touched = touched;
+      o_violations = violations;
       o_spf_s = !spf_s;
       o_spf_b = !spf_b;
     }
@@ -257,7 +296,8 @@ let run p =
   and skipped = ref 0
   and linkev = ref 0
   and repairs = ref 0
-  and touched = ref 0 in
+  and touched = ref 0
+  and violations = ref 0 in
   let spf_s = ref 0.0 and spf_b = ref 0.0 in
   let sum_live = Array.make ncks 0
   and sum_entries = Array.make ncks 0
@@ -273,6 +313,7 @@ let run p =
       linkev := !linkev + o.o_linkev;
       repairs := !repairs + o.o_repairs;
       touched := !touched + o.o_touched;
+      violations := !violations + o.o_violations;
       spf_s := !spf_s +. o.o_spf_s;
       spf_b := !spf_b +. o.o_spf_b;
       for k = 0 to ncks - 1 do
@@ -295,6 +336,25 @@ let run p =
           ck_grib = float_of_int sum_grib.(k) /. t;
         })
   in
+  (* Telemetry fires on the main domain after the in-order reduce, one
+     row per checkpoint with the membership-event count as the time
+     axis (this experiment has no engine), so the series is
+     byte-identical at any job count. *)
+  (match p.telemetry with
+  | Some ts ->
+      let cur = ref None in
+      let get f = match !cur with Some ck -> f ck | None -> 0.0 in
+      Timeseries.register ts "fig4m.members" (fun () -> get (fun ck -> ck.ck_members));
+      Timeseries.register ts "fig4m.entries" (fun () -> get (fun ck -> ck.ck_entries));
+      Timeseries.register ts "fig4m.max_router" (fun () -> get (fun ck -> ck.ck_max_router));
+      Timeseries.register ts "fig4m.stateful" (fun () -> get (fun ck -> ck.ck_stateful));
+      Timeseries.register ts "fig4m.grib" (fun () -> get (fun ck -> ck.ck_grib));
+      List.iter
+        (fun ck ->
+          cur := Some ck;
+          Timeseries.sample ts ~time:(float_of_int ck.ck_events))
+        checkpoints
+  | None -> ());
   {
     r_domains = n;
     r_links = nlinks;
@@ -305,6 +365,7 @@ let run p =
     link_events = !linkev;
     repairs = !repairs;
     touched = !touched;
+    invariant_violations = !violations;
     spf_seconds = !spf_s;
     spf_bytes = !spf_b;
   }

@@ -34,6 +34,17 @@ type params = {
   seed : int;
   mode : mode;
   jobs : int;  (** 0 = the [Par] default *)
+  check_invariants : bool;
+      (** evaluate the per-trial state-accounting predicates at every
+          checkpoint (arena counter vs per-router sum, join/leave
+          balance, G-RIB monotonicity and ceiling); violations are
+          counted into each trial's shard and summed into
+          [invariant_violations] *)
+  telemetry : Timeseries.t option;
+      (** when set, one telemetry row per checkpoint (members, entries,
+          max/router, stateful routers, G-RIB) is sampled on the main
+          domain after the in-order reduce, with the membership-event
+          count as the time axis *)
 }
 
 val default_params : params
@@ -61,6 +72,9 @@ type result = {
   link_events : int;
   repairs : int;  (** incremental repair passes ([0] under {!Scratch}) *)
   touched : int;  (** labels rewritten by those repairs *)
+  invariant_violations : int;
+      (** state-accounting violations across all trials ([0] unless
+          [check_invariants]) *)
   spf_seconds : float;
       (** wall time spent keeping root trees valid under link churn —
           repairs ({!Incremental}) or full recomputes ({!Scratch}).

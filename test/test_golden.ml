@@ -164,6 +164,99 @@ let check_fingerprint_jobs_invariant ~args ~jobs () =
             first got)
         rest
 
+let contains needle hay =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+(* --check-invariants must leave stdout byte-identical: the verdict is
+   stderr-only, per the CLI header contract. *)
+let check_invariants_stdout_invariant ~args () =
+  let run extra =
+    let out = Filename.temp_file "ck" ".out" and err = Filename.temp_file "ck" ".err" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ out; err ])
+      (fun () ->
+        let cmd =
+          Printf.sprintf "%s %s%s > %s 2> %s" (Filename.quote exe) args extra
+            (Filename.quote out) (Filename.quote err)
+        in
+        let rc = Sys.command cmd in
+        check Alcotest.int (args ^ extra ^ ": exit code") 0 rc;
+        (read_file out, read_file err))
+  in
+  let plain, _ = run "" in
+  let checked, err = run " --check-invariants" in
+  check Alcotest.string (args ^ ": stdout unchanged by --check-invariants") plain checked;
+  check Alcotest.bool (args ^ ": stderr reports the verdict") true
+    (contains "invariants clean" err)
+
+(* End-to-end explorer: the campaign must find the seeded partition
+   canary, shrink it to one fault, write a replayable recording naming
+   the violated invariant, and produce a byte-identical ledger and
+   stdout at any --jobs; triage must render the blamed causal chain. *)
+let check_explore_cli () =
+  let ledger j = Printf.sprintf "explore_test_j%d.jsonl" j in
+  let repro_dir = "explore_test_repro" in
+  let out j = Printf.sprintf "explore_test_j%d.out" j in
+  let triage_out = "explore_test_triage.out" in
+  let jobs = [ 1; 4; 8 ] in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      (triage_out :: List.concat_map (fun j -> [ ledger j; out j ]) jobs);
+    if Sys.file_exists repro_dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat repro_dir f) with Sys_error _ -> ())
+        (Sys.readdir repro_dir);
+      try Sys.rmdir repro_dir with Sys_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      List.iter
+        (fun j ->
+          let cmd =
+            Printf.sprintf "%s explore --budget 10 --seed 7 --jobs %d --ledger %s --repro-dir %s > %s 2>&1"
+              (Filename.quote exe) j (ledger j) repro_dir (out j)
+          in
+          check Alcotest.int (Printf.sprintf "explore --jobs %d: exit code" j) 0 (Sys.command cmd))
+        jobs;
+      let l1 = read_file (ledger 1) in
+      List.iter
+        (fun j ->
+          check Alcotest.string
+            (Printf.sprintf "ledger identical at --jobs 1 and --jobs %d" j)
+            l1
+            (read_file (ledger j));
+          check Alcotest.string
+            (Printf.sprintf "stdout identical at --jobs 1 and --jobs %d" j)
+            (read_file (out 1)) (read_file (out j)))
+        [ 4; 8 ];
+      check Alcotest.bool "ledger records the canary violation" true
+        (contains "masc-sibling-overlap" l1);
+      check Alcotest.bool "canary shrinks to a single fault" true
+        (contains "\"min_faults\": 1" l1);
+      check Alcotest.bool "ledger points at the repro recording" true
+        (contains "cex-0.recording.jsonl" l1);
+      let recording = read_file (Filename.concat repro_dir "cex-0.recording.jsonl") in
+      check Alcotest.bool "recording names the violated invariant" true
+        (contains "explore.violation" recording && contains "masc-sibling-overlap" recording);
+      check Alcotest.bool "recording carries the blamed trace id" true
+        (contains "claim:" recording);
+      let cmd =
+        Printf.sprintf "%s report --triage %s > %s 2>&1" (Filename.quote exe) (ledger 1)
+          triage_out
+      in
+      check Alcotest.int "report --triage: exit code" 0 (Sys.command cmd);
+      let triage = read_file triage_out in
+      check Alcotest.bool "triage buckets by invariant" true
+        (contains "masc-sibling-overlap" triage);
+      check Alcotest.bool "triage blames the claim chain" true (contains "blames claim:" triage);
+      check Alcotest.bool "triage renders the causal chain" true
+        (contains "causal chain" triage))
+
 (* End-to-end diff: two demo recordings that differ only in --loss must
    diverge, and the report must say where. *)
 let check_record_diff () =
@@ -282,4 +375,9 @@ let suite =
         ~args:"beacon --domains 8 --per-domain 1 --probes 2 --trials 3 --loss 0.05"
         ~jobs:[ 1; 4; 8 ] );
     ("report --diff on demo recordings", `Quick, check_record_diff);
+    ( "fig4-modern --check-invariants leaves stdout unchanged",
+      `Quick,
+      check_invariants_stdout_invariant
+        ~args:"fig4-modern --domains 600 --groups 50 --events 1500 --trials 2" );
+    ("explore finds, shrinks, reproduces; ledger jobs-invariant", `Quick, check_explore_cli);
   ]

@@ -25,6 +25,7 @@ let () =
       ("repair", Test_repair.suite);
       ("failures", Test_failures.suite);
       ("conformance", Test_conformance.suite);
+      ("explore", Test_explore.suite);
       ("golden", Test_golden.suite);
       ("artifacts", Test_artifacts.suite);
     ]
